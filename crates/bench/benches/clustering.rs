@@ -1,0 +1,39 @@
+//! Benchmarks for community detection — the clustering phase the paper
+//! runs once per dataset (§6.2: Louvain, 10 restarts, refinement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socialrec_bench::fixture;
+use socialrec_community::{modularity, ClusteringStrategy, KMeansStrategy, Louvain};
+use std::hint::black_box;
+
+fn bench_clustering(c: &mut Criterion) {
+    let ds = fixture(0.25);
+    let mut g = c.benchmark_group("clustering");
+    g.sample_size(10);
+
+    g.bench_function("louvain_refined", |b| {
+        let l = Louvain { refine: true, ..Default::default() };
+        b.iter(|| black_box(l.run(&ds.social)))
+    });
+    g.bench_function("louvain_plain", |b| {
+        let l = Louvain { refine: false, ..Default::default() };
+        b.iter(|| black_box(l.run(&ds.social)))
+    });
+    g.bench_function("louvain_best_of_10", |b| {
+        let l = Louvain::default();
+        b.iter(|| black_box(l.run_best_of(&ds.social, 10)))
+    });
+    g.bench_function("kmeans_adjacency_k16", |b| {
+        let km = KMeansStrategy { k: 16, max_iters: 15, seed: 0 };
+        b.iter(|| black_box(km.cluster(&ds.social)))
+    });
+
+    let partition = Louvain::default().run(&ds.social).partition;
+    g.bench_function("modularity", |b| {
+        b.iter(|| black_box(modularity(&ds.social, &partition)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks for evaluation and DP primitives: NDCG, top-N selection,
+//! Laplace sampling and the counter-based noise stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use socialrec_core::{per_user_ndcg, top_n_items};
+use socialrec_dp::{sample_laplace, CounterLaplace};
+use socialrec_graph::ItemId;
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let utilities: Vec<f64> = (0..17_632).map(|_| rng.gen::<f64>() * 100.0).collect();
+
+    let mut g = c.benchmark_group("eval");
+    g.bench_function("topn_50_of_17632", |b| {
+        b.iter(|| black_box(top_n_items(&utilities, 50)))
+    });
+
+    let list: Vec<ItemId> =
+        top_n_items(&utilities, 50).into_iter().map(|(i, _)| i).collect();
+    g.bench_function("ndcg_at_50", |b| {
+        b.iter(|| black_box(per_user_ndcg(&utilities, &list, 50)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("dp_primitives");
+    g.bench_function("laplace_sample", |b| {
+        b.iter(|| black_box(sample_laplace(&mut rng, 1.0)))
+    });
+    let stream = CounterLaplace::new(7, 1.0);
+    g.bench_function("counter_laplace", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(stream.noise(k, k.wrapping_mul(31)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Benchmarks for the future-work extensions: weighted preferences,
+//! the geometric noise model, extended measures, clustering
+//! post-processing, and the attack estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use socialrec_bench::fixture;
+use socialrec_community::{merge_small_clusters, ClusteringStrategy, Louvain, LouvainStrategy};
+use socialrec_core::attack::{estimate_leakage, SybilAttack};
+use socialrec_core::private::{ClusterFramework, NoiseModel};
+use socialrec_core::weighted::{WeightedClusterFramework, WeightedInputs};
+use socialrec_core::{cluster_by_similarity, RecommenderInputs};
+use socialrec_dp::Epsilon;
+use socialrec_graph::weighted::WeightedPreferenceGraphBuilder;
+use socialrec_graph::{ItemId, UserId};
+use socialrec_similarity::{Jaccard, Measure, ResourceAllocation, SimilarityMatrix};
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let ds = fixture(0.25);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let partition = LouvainStrategy { restarts: 3, seed: 0, refine: true }.cluster(&ds.social);
+    let users: Vec<UserId> = (0..ds.social.num_users() as u32).map(UserId).collect();
+    let eps = Epsilon::Finite(0.5);
+
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    // Geometric vs Laplace noise in the framework.
+    g.bench_function("framework_laplace", |b| {
+        let fw = ClusterFramework::new(&partition, eps);
+        b.iter(|| black_box(fw.noisy_cluster_averages(&inputs, 1)))
+    });
+    g.bench_function("framework_geometric", |b| {
+        let fw = ClusterFramework::new(&partition, eps).with_noise(NoiseModel::Geometric);
+        b.iter(|| black_box(fw.noisy_cluster_averages(&inputs, 1)))
+    });
+
+    // Weighted pipeline end-to-end.
+    let ratings = {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut wb =
+            WeightedPreferenceGraphBuilder::new(ds.prefs.num_users(), ds.prefs.num_items());
+        for (u, i) in ds.prefs.edges() {
+            wb.add_edge(u, i, rng.gen_range(0.2..=1.0)).expect("in range");
+        }
+        wb.build()
+    };
+    g.bench_function("weighted_framework_full", |b| {
+        let winputs = WeightedInputs { prefs: &ratings, sim: &sim };
+        let fw = WeightedClusterFramework::new(&partition, eps);
+        b.iter(|| black_box(fw.recommend(&winputs, &users, 20, 1)))
+    });
+
+    // Extended similarity measures (matrix build).
+    g.bench_function("similarity_jaccard", |b| {
+        b.iter(|| black_box(SimilarityMatrix::build(&ds.social, &Jaccard)))
+    });
+    g.bench_function("similarity_resource_allocation", |b| {
+        b.iter(|| black_box(SimilarityMatrix::build(&ds.social, &ResourceAllocation)))
+    });
+
+    // Clustering post-processing + similarity-weighted clustering.
+    g.bench_function("merge_small_clusters", |b| {
+        b.iter(|| black_box(merge_small_clusters(&ds.social, &partition, 10)))
+    });
+    g.bench_function("similarity_weighted_louvain", |b| {
+        b.iter(|| black_box(cluster_by_similarity(&sim, Louvain::default(), 0.0)))
+    });
+
+    // Attack estimation (small trial count; scales linearly).
+    g.bench_function("attack_leakage_50_trials", |b| {
+        let attack = SybilAttack::mount(&ds.social, UserId(3));
+        let prefs = attack.extend_preferences(&ds.prefs);
+        let target = *ds
+            .prefs
+            .items_of(UserId(3))
+            .first()
+            .unwrap_or(&ItemId(0));
+        let prefs = if prefs.has_edge(UserId(3), target) {
+            prefs
+        } else {
+            prefs.toggled_edge(UserId(3), target)
+        };
+        let asim = SimilarityMatrix::build(&attack.social, &Measure::CommonNeighbors);
+        let apart = LouvainStrategy { restarts: 2, seed: 0, refine: true }
+            .cluster(&attack.social);
+        let fw = ClusterFramework::new(&apart, eps);
+        b.iter(|| {
+            black_box(estimate_leakage(&fw, &attack, &asim, &prefs, target, 50))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks for the dataset generators — the kernel behind Table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socialrec_datasets::{flixster_like, lastfm_like_scaled};
+use socialrec_graph::generate::{
+    barabasi_albert, erdos_renyi, planted_communities, watts_strogatz, CommunityGraphConfig,
+};
+use socialrec_graph::stats::DatasetStats;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+
+    g.bench_function("lastfm_like_scale_0.25", |b| {
+        b.iter(|| black_box(lastfm_like_scaled(0.25, 7)))
+    });
+    g.bench_function("flixster_like_scale_0.02", |b| {
+        b.iter(|| black_box(flixster_like(0.02, 7)))
+    });
+    g.bench_function("planted_communities_2k", |b| {
+        let cfg = CommunityGraphConfig {
+            num_users: 2000,
+            num_communities: 16,
+            triadic_closure: 0.4,
+            ..Default::default()
+        };
+        b.iter(|| black_box(planted_communities(&cfg)))
+    });
+    g.bench_function("erdos_renyi_2k", |b| b.iter(|| black_box(erdos_renyi(2000, 12_000, 3))));
+    g.bench_function("barabasi_albert_2k", |b| b.iter(|| black_box(barabasi_albert(2000, 6, 3))));
+    g.bench_function("watts_strogatz_2k", |b| {
+        b.iter(|| black_box(watts_strogatz(2000, 12, 0.1, 3)))
+    });
+    g.finish();
+
+    let ds = lastfm_like_scaled(0.5, 7);
+    c.bench_function("table1_stats", |b| {
+        b.iter(|| black_box(DatasetStats::compute(&ds.social, &ds.prefs)))
+    });
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

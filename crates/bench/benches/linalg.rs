@@ -1,0 +1,34 @@
+//! Benchmarks for the dense linear algebra behind the LRM comparator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socialrec_linalg::{randomized_svd, symmetric_jacobi_eigen, thin_qr, Matrix};
+use std::hint::black_box;
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    g.sample_size(10);
+
+    let a = Matrix::gaussian(256, 256, 1);
+    g.bench_function("matmul_256", |b| {
+        let x = Matrix::gaussian(256, 256, 2);
+        b.iter(|| black_box(a.matmul(&x)))
+    });
+    g.bench_function("qr_256x64", |b| {
+        let t = Matrix::gaussian(256, 64, 3);
+        b.iter(|| black_box(thin_qr(&t)))
+    });
+    g.bench_function("jacobi_eigen_64", |b| {
+        let s = {
+            let m = Matrix::gaussian(64, 64, 4);
+            m.matmul(&m.transpose())
+        };
+        b.iter(|| black_box(symmetric_jacobi_eigen(&s)))
+    });
+    g.bench_function("randomized_svd_256_rank32", |b| {
+        b.iter(|| black_box(randomized_svd(&a, 32, 8, 1, 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

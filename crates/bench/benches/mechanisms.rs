@@ -1,0 +1,70 @@
+//! Benchmarks for the recommendation mechanisms — the kernels behind
+//! Figures 1/2 (framework) and Figure 4 (baselines and comparators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socialrec_bench::fixture;
+use socialrec_community::{ClusteringStrategy, LouvainStrategy};
+use socialrec_core::private::{
+    ClusterFramework, GroupAndSmooth, LowRankMechanism, NoiseOnEdges, NoiseOnUtility,
+};
+use socialrec_core::{ExactRecommender, RecommenderInputs, TopNRecommender};
+use socialrec_dp::Epsilon;
+use socialrec_graph::UserId;
+use socialrec_similarity::{Measure, SimilarityMatrix};
+use std::hint::black_box;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let ds = fixture(0.25);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let partition = LouvainStrategy { restarts: 3, seed: 0, refine: true }.cluster(&ds.social);
+    let users: Vec<UserId> = (0..ds.social.num_users() as u32).map(UserId).collect();
+    let eps = Epsilon::Finite(0.1);
+    let n = 50;
+
+    let mut g = c.benchmark_group("mechanisms");
+    g.sample_size(10);
+
+    g.bench_function("exact", |b| {
+        b.iter(|| black_box(ExactRecommender.recommend(&inputs, &users, n, 0)))
+    });
+    g.bench_function("framework_full", |b| {
+        let fw = ClusterFramework::new(&partition, eps);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(fw.recommend(&inputs, &users, n, seed))
+        })
+    });
+    g.bench_function("framework_noisy_averages_only", |b| {
+        let fw = ClusterFramework::new(&partition, eps);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(fw.noisy_cluster_averages(&inputs, seed))
+        })
+    });
+    g.bench_function("nou", |b| {
+        let m = NoiseOnUtility::new(eps);
+        b.iter(|| black_box(m.recommend(&inputs, &users, n, 1)))
+    });
+
+    // NOE touches |sim(u)|·|I| noise cells per user: bench on a slice.
+    let few: Vec<UserId> = users.iter().copied().take(40).collect();
+    g.bench_function("noe_40_users", |b| {
+        let m = NoiseOnEdges::new(eps);
+        b.iter(|| black_box(m.recommend(&inputs, &few, n, 1)))
+    });
+    g.bench_function("gs_40_users", |b| {
+        let m = GroupAndSmooth::new(eps).with_group_sizes(vec![64, 1024]);
+        b.iter(|| black_box(m.recommend(&inputs, &few, n, 1)))
+    });
+    g.bench_function("lrm_rank32_40_users", |b| {
+        let m = LowRankMechanism::new(eps, 32);
+        b.iter(|| black_box(m.recommend(&inputs, &few, n, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

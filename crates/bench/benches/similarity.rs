@@ -1,0 +1,40 @@
+//! Benchmarks for the four structural similarity measures (per-user set
+//! computation and the full parallel matrix build).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socialrec_bench::fixture;
+use socialrec_graph::UserId;
+use socialrec_similarity::{Measure, SimScratch, Similarity, SimilarityMatrix};
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let ds = fixture(0.25);
+    let n = ds.social.num_users();
+
+    let mut g = c.benchmark_group("similarity_matrix");
+    g.sample_size(10);
+    for measure in Measure::paper_suite() {
+        g.bench_function(measure.name(), |b| {
+            b.iter(|| black_box(SimilarityMatrix::build(&ds.social, &measure)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("similarity_per_user");
+    for measure in Measure::paper_suite() {
+        g.bench_function(measure.name(), |b| {
+            let mut scratch = SimScratch::new(n);
+            let mut out = Vec::new();
+            let mut u = 0u32;
+            b.iter(|| {
+                measure.similarity_set(&ds.social, UserId(u % n as u32), &mut scratch, &mut out);
+                u = u.wrapping_add(17);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared helpers for the criterion benchmark suite.
+//!
+//! The actual benchmarks live in `benches/`; this library only hosts
+//! fixtures reused across them.
+
+#![warn(missing_docs)]
+
+use socialrec_datasets::{lastfm_like_scaled, Dataset};
+
+/// The standard small fixture: a Last.fm-like dataset at the given
+/// scale, seeded deterministically so benchmark runs are comparable.
+pub fn fixture(scale: f64) -> Dataset {
+    lastfm_like_scaled(scale, 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_stable() {
+        let a = fixture(0.05);
+        let b = fixture(0.05);
+        assert_eq!(a.social, b.social);
+        assert_eq!(a.prefs, b.prefs);
+    }
+}

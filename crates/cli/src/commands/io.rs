@@ -1,0 +1,151 @@
+//! Shared file plumbing for the CLI commands.
+
+use socialrec_community::Partition;
+use socialrec_experiments::Args;
+use socialrec_graph::io::{read_preference_graph, read_social_graph};
+use socialrec_graph::{PreferenceGraph, SocialGraph};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Load `--social` and `--prefs` files into graphs.
+pub fn load_dataset(args: &Args) -> Result<(SocialGraph, PreferenceGraph), String> {
+    let social_path =
+        args.get_str("social").ok_or("missing --social <file>".to_string())?;
+    let prefs_path = args.get_str("prefs").ok_or("missing --prefs <file>".to_string())?;
+    let social_file = std::fs::File::open(social_path)
+        .map_err(|e| format!("cannot open {social_path}: {e}"))?;
+    let social = read_social_graph(social_file, social_path).map_err(|e| e.to_string())?;
+    let prefs_file = std::fs::File::open(prefs_path)
+        .map_err(|e| format!("cannot open {prefs_path}: {e}"))?;
+    let prefs =
+        read_preference_graph(prefs_file, prefs_path).map_err(|e| e.to_string())?;
+    if social.num_users() != prefs.num_users() {
+        return Err(format!(
+            "user-count mismatch: social has {}, prefs has {}",
+            social.num_users(),
+            prefs.num_users()
+        ));
+    }
+    Ok((social, prefs))
+}
+
+/// Load just the social graph.
+pub fn load_social(args: &Args) -> Result<SocialGraph, String> {
+    let social_path =
+        args.get_str("social").ok_or("missing --social <file>".to_string())?;
+    let f = std::fs::File::open(social_path)
+        .map_err(|e| format!("cannot open {social_path}: {e}"))?;
+    read_social_graph(f, social_path).map_err(|e| e.to_string())
+}
+
+/// Write a partition as `user<TAB>cluster` lines.
+pub fn write_partition(partition: &Partition, path: &Path) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "# users={} clusters={}", partition.num_users(), partition.num_clusters())
+        .map_err(|e| e.to_string())?;
+    for (u, &c) in partition.assignment().iter().enumerate() {
+        writeln!(w, "{u}\t{c}").map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())
+}
+
+/// Read a partition written by [`write_partition`]; `num_users` must
+/// match the graph it will be used with.
+pub fn read_partition(path: &Path, num_users: usize) -> Result<Partition, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let mut assignment = vec![u32::MAX; num_users];
+    for (idx, line) in BufReader::new(f).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Result<u32, String> {
+            s.and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{path:?}:{}: bad partition line {t:?}", idx + 1))
+        };
+        let u = parse(it.next())?;
+        let c = parse(it.next())?;
+        if u as usize >= num_users {
+            return Err(format!("{path:?}:{}: user {u} out of range", idx + 1));
+        }
+        assignment[u as usize] = c;
+    }
+    if let Some(missing) = assignment.iter().position(|&c| c == u32::MAX) {
+        return Err(format!("partition file misses user {missing}"));
+    }
+    Ok(Partition::from_assignment(&assignment))
+}
+
+/// Parse `--users 0,3,5` (or `all`) into a user list.
+pub fn parse_users(args: &Args, num_users: usize) -> Result<Vec<socialrec_graph::UserId>, String> {
+    match args.get_str("users") {
+        None | Some("all") => {
+            Ok((0..num_users as u32).map(socialrec_graph::UserId).collect())
+        }
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                let id: u32 = t
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad user id {t:?} in --users"))?;
+                if (id as usize) < num_users {
+                    Ok(socialrec_graph::UserId(id))
+                } else {
+                    Err(format!("user {id} out of range (have {num_users})"))
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_experiments::Args;
+
+    fn args(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let p = Partition::from_assignment(&[0, 1, 0, 2, 1]);
+        let path = std::env::temp_dir().join(format!("socialrec-part-{}", std::process::id()));
+        write_partition(&p, &path).unwrap();
+        let p2 = read_partition(&path, 5).unwrap();
+        assert_eq!(p, p2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partition_missing_user_detected() {
+        let path =
+            std::env::temp_dir().join(format!("socialrec-part-bad-{}", std::process::id()));
+        std::fs::write(&path, "0\t0\n2\t1\n").unwrap();
+        let err = read_partition(&path, 3).unwrap_err();
+        assert!(err.contains("misses user 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn users_parsing() {
+        let us = parse_users(&args("--users 0,2"), 5).unwrap();
+        assert_eq!(us.len(), 2);
+        assert_eq!(us[1].0, 2);
+        assert_eq!(parse_users(&args(""), 3).unwrap().len(), 3);
+        assert_eq!(parse_users(&args("--users all"), 3).unwrap().len(), 3);
+        assert!(parse_users(&args("--users 9"), 3).is_err());
+        assert!(parse_users(&args("--users x"), 3).is_err());
+    }
+
+    #[test]
+    fn missing_files_are_clean_errors() {
+        let err = load_dataset(&args("--social /no/such --prefs /no/such")).unwrap_err();
+        assert!(err.contains("cannot open"));
+        assert!(load_dataset(&args("")).unwrap_err().contains("--social"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Subcommand implementations. Every command is a plain function
+//! `run(&Args) -> Result<(), String>` so tests can drive them directly.
+
+pub mod attack;
+pub mod cluster;
+pub mod evaluate;
+pub mod generate;
+pub mod recommend;
+pub mod stats;
+
+mod io;
+
+pub use io::load_dataset;
+
+/// The `socialrec help` text.
+pub const HELP: &str = "\
+socialrec — privacy-preserving personalized social recommendations
+(Jorgensen & Yu, EDBT 2014)
+
+USAGE: socialrec <command> [--flag value]...
+
+COMMANDS
+  generate   Write a synthetic dataset to --out-dir as social.tsv/prefs.tsv
+               --kind lastfm|flixster  --scale F  --seed N  --out-dir DIR
+  stats      Print Table-1 style dataset statistics
+               --social FILE  --prefs FILE
+  cluster    Louvain-cluster the social graph, write user→cluster TSV
+               --social FILE  --out FILE  [--restarts N] [--seed N]
+               [--no-refine] [--min-size N (merge smaller clusters)]
+  recommend  Produce epsilon-DP top-N lists
+               --social FILE  --prefs FILE  --epsilon E  [--measure CN]
+               [--n 10] [--users 0,1,2 | all] [--seed N] [--clusters FILE]
+  evaluate   NDCG@N of a private mechanism vs the exact recommender
+               --social FILE  --prefs FILE  [--measure CN]
+               [--mechanism framework|nou|noe] [--epsilons inf,1.0,0.1]
+               [--n 50] [--runs 3] [--seed N] [--streaming (framework
+               only; avoids the similarity cache for huge graphs)]
+  attack     Sybil-attack leakage estimate (paper §2.3)
+               --social FILE  --prefs FILE  --victim U  --item I
+               --epsilon E  [--trials 2000] [--measure CN]
+  help       This message
+
+MEASURES: CN, GD, AA, KZ (paper) and JC, SA, RA, HP, PA (extended).
+EPSILON:  positive number or `inf`.
+";

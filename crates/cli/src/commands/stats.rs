@@ -1,0 +1,44 @@
+//! `socialrec stats` — Table-1 style dataset summary.
+
+use crate::commands::load_dataset;
+use socialrec_experiments::{Args, Table};
+use socialrec_graph::stats::DatasetStats;
+
+/// Run the command.
+pub fn run(args: &Args) -> Result<(), String> {
+    let (social, prefs) = load_dataset(args)?;
+    let stats = DatasetStats::compute(&social, &prefs);
+    let mut t = Table::new(&["metric", "value"]);
+    for (k, v) in stats.to_table_rows("dataset") {
+        t.row(vec![k, v]);
+    }
+    t.print();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::io::{write_preference_graph, write_social_graph};
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+
+    #[test]
+    fn runs_on_files() {
+        let dir = std::env::temp_dir().join(format!("socialrec-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = social_graph_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let p = preference_graph_from_edges(3, 2, &[(0, 0)]).unwrap();
+        let f = std::fs::File::create(dir.join("social.tsv")).unwrap();
+        write_social_graph(&s, f).unwrap();
+        let f = std::fs::File::create(dir.join("prefs.tsv")).unwrap();
+        write_preference_graph(&p, f).unwrap();
+        let args = Args::parse_from(
+            format!("--social {}/social.tsv --prefs {}/prefs.tsv", dir.display(), dir.display())
+                .split_whitespace()
+                .map(String::from),
+        );
+        run(&args).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

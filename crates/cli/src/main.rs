@@ -1,0 +1,43 @@
+//! `socialrec` — command-line interface to the privacy-preserving
+//! social recommendation library.
+//!
+//! ```text
+//! socialrec generate  --kind lastfm --scale 0.2 --seed 7 --out-dir data/
+//! socialrec stats     --social data/social.tsv --prefs data/prefs.tsv
+//! socialrec cluster   --social data/social.tsv --out data/clusters.tsv
+//! socialrec recommend --social data/social.tsv --prefs data/prefs.tsv \
+//!                     --measure CN --epsilon 0.5 --n 10 --users 0,1,2
+//! socialrec evaluate  --social data/social.tsv --prefs data/prefs.tsv \
+//!                     --measure CN --epsilons inf,1.0,0.1 --n 50
+//! socialrec attack    --social data/social.tsv --prefs data/prefs.tsv \
+//!                     --victim 5 --item 13 --epsilon 0.5 --trials 2000
+//! ```
+//!
+//! Run `socialrec help` for the full reference.
+
+mod commands;
+
+use socialrec_experiments::Args;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_string());
+    let args = Args::parse_from(argv);
+    let result = match command.as_str() {
+        "generate" => commands::generate::run(&args),
+        "stats" => commands::stats::run(&args),
+        "cluster" => commands::cluster::run(&args),
+        "recommend" => commands::recommend::run(&args),
+        "evaluate" => commands::evaluate::run(&args),
+        "attack" => commands::attack::run(&args),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; see `socialrec help`")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

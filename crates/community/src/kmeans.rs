@@ -1,0 +1,240 @@
+//! K-means clustering of users by their adjacency rows.
+//!
+//! The paper's §5.1.2 Remark considers — and rejects — clustering the
+//! user-similarity matrix with a matrix-clustering algorithm such as
+//! K-means, because (a) k must be fixed a priori and (b) it scales
+//! poorly. We implement it anyway as an ablation comparator: users are
+//! embedded as their (binary, sparse) social-adjacency rows and
+//! clustered by cosine distance with Lloyd iterations and k-means++
+//! seeding.
+//!
+//! Memory is `O(k·|U|)` for the dense centroids, so this is intended
+//! for Last.fm-scale ablations, exactly mirroring the paper's
+//! scalability objection.
+
+use crate::partition::Partition;
+use crate::strategy::ClusteringStrategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use socialrec_graph::{SocialGraph, UserId};
+
+/// K-means over adjacency rows with cosine similarity.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansStrategy {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed (initialisation and tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for KMeansStrategy {
+    fn default() -> Self {
+        KMeansStrategy { k: 16, max_iters: 25, seed: 0 }
+    }
+}
+
+/// Cosine similarity between a sparse binary row and a dense centroid.
+#[inline]
+fn cosine(row: &[UserId], row_norm: f64, centroid: &[f64], centroid_norm: f64) -> f64 {
+    if row.is_empty() || centroid_norm == 0.0 {
+        return 0.0;
+    }
+    let dot: f64 = row.iter().map(|v| centroid[v.index()]).sum();
+    dot / (row_norm * centroid_norm)
+}
+
+impl KMeansStrategy {
+    /// Run k-means and return the assignment (used by the trait impl and
+    /// directly by tests).
+    pub fn run(&self, g: &SocialGraph) -> Partition {
+        let n = g.num_users();
+        if n == 0 {
+            return Partition::from_assignment(&[]);
+        }
+        let k = self.k.clamp(1, n);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // k-means++-flavoured seeding on binary rows: first centroid
+        // uniform; subsequent ones biased toward users far (in cosine)
+        // from existing centroids.
+        let mut centroids = vec![vec![0.0f64; n]; k];
+        let mut centroid_norms = vec![0.0f64; k];
+        let set_centroid = |centroids: &mut Vec<Vec<f64>>,
+                            norms: &mut Vec<f64>,
+                            c: usize,
+                            g: &SocialGraph,
+                            u: UserId| {
+            let row = &mut centroids[c];
+            row.iter_mut().for_each(|x| *x = 0.0);
+            for &v in g.neighbors(u) {
+                row[v.index()] = 1.0;
+            }
+            norms[c] = (g.degree(u) as f64).sqrt();
+        };
+        let first = UserId(rng.gen_range(0..n as u32));
+        set_centroid(&mut centroids, &mut centroid_norms, 0, g, first);
+        for c in 1..k {
+            // Pick the user with the smallest max-similarity to chosen
+            // centroids, among a random sample (cheap approximation).
+            let mut best_u = UserId(rng.gen_range(0..n as u32));
+            let mut best_score = f64::INFINITY;
+            for _ in 0..16 {
+                let cand = UserId(rng.gen_range(0..n as u32));
+                let row = g.neighbors(cand);
+                let norm = (row.len() as f64).sqrt();
+                let score = (0..c)
+                    .map(|j| cosine(row, norm, &centroids[j], centroid_norms[j]))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if score < best_score {
+                    best_score = score;
+                    best_u = cand;
+                }
+            }
+            set_centroid(&mut centroids, &mut centroid_norms, c, g, best_u);
+        }
+
+        let mut assignment = vec![0u32; n];
+        for _iter in 0..self.max_iters {
+            // Assign.
+            let mut changed = false;
+            for u in g.users() {
+                let row = g.neighbors(u);
+                let norm = (row.len() as f64).sqrt();
+                let mut best = 0usize;
+                let mut best_sim = f64::NEG_INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let s = cosine(row, norm, centroid, centroid_norms[c]);
+                    if s > best_sim {
+                        best_sim = s;
+                        best = c;
+                    }
+                }
+                if assignment[u.index()] != best as u32 {
+                    assignment[u.index()] = best as u32;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Update: centroid = mean of member rows.
+            for centroid in centroids.iter_mut() {
+                centroid.iter_mut().for_each(|x| *x = 0.0);
+            }
+            let mut counts = vec![0usize; k];
+            for u in g.users() {
+                let c = assignment[u.index()] as usize;
+                counts[c] += 1;
+                for &v in g.neighbors(u) {
+                    centroids[c][v.index()] += 1.0;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    centroids[c].iter_mut().for_each(|x| *x *= inv);
+                }
+                centroid_norms[c] =
+                    centroids[c].iter().map(|x| x * x).sum::<f64>().sqrt();
+                // Re-seed empty clusters with a random user's row.
+                if counts[c] == 0 {
+                    let u = UserId(rng.gen_range(0..n as u32));
+                    set_centroid(&mut centroids, &mut centroid_norms, c, g, u);
+                }
+            }
+        }
+
+        Partition::from_assignment(&assignment)
+    }
+}
+
+impl ClusteringStrategy for KMeansStrategy {
+    fn name(&self) -> &'static str {
+        "kmeans-adjacency"
+    }
+
+    fn cluster(&self, g: &SocialGraph) -> Partition {
+        self.run(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::generate::{planted_communities, CommunityGraphConfig};
+    use socialrec_graph::social::social_graph_from_edges;
+
+    #[test]
+    fn clusters_two_cliques() {
+        // Two 4-cliques; k=2 should separate them (adjacency rows within
+        // a clique are near-identical).
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+                edges.push((a + 4, b + 4));
+            }
+        }
+        let g = social_graph_from_edges(8, &edges).unwrap();
+        let p = KMeansStrategy { k: 2, max_iters: 30, seed: 1 }.run(&g);
+        assert_eq!(p.num_users(), 8);
+        let c0 = p.cluster_of(UserId(0));
+        for u in 1..4 {
+            assert_eq!(p.cluster_of(UserId(u)), c0);
+        }
+        let c4 = p.cluster_of(UserId(4));
+        assert_ne!(c0, c4);
+        for u in 5..8 {
+            assert_eq!(p.cluster_of(UserId(u)), c4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = planted_communities(&CommunityGraphConfig {
+            num_users: 150,
+            seed: 4,
+            ..Default::default()
+        })
+        .graph;
+        let a = KMeansStrategy { k: 8, max_iters: 10, seed: 5 }.run(&g);
+        let b = KMeansStrategy { k: 8, max_iters: 10, seed: 5 }.run(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_clamped_to_user_count() {
+        let g = social_graph_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let p = KMeansStrategy { k: 50, max_iters: 5, seed: 0 }.run(&g);
+        assert!(p.num_clusters() <= 3);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = social_graph_from_edges(0, &[]).unwrap();
+        let p = KMeansStrategy::default().run(&g);
+        assert_eq!(p.num_users(), 0);
+    }
+
+    #[test]
+    fn worse_modularity_than_louvain_on_community_graph() {
+        // The paper's point: matrix clustering is a poor fit next to
+        // community detection.
+        let g = planted_communities(&CommunityGraphConfig {
+            num_users: 300,
+            num_communities: 8,
+            mixing: 0.1,
+            seed: 6,
+            ..Default::default()
+        })
+        .graph;
+        let km = KMeansStrategy { k: 8, max_iters: 20, seed: 0 }.run(&g);
+        let lv = crate::louvain::Louvain::default().run_best_of(&g, 4).partition;
+        let qk = crate::modularity::modularity(&g, &km);
+        let ql = crate::modularity::modularity(&g, &lv);
+        assert!(ql >= qk, "louvain {ql} should be at least as good as kmeans {qk}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Community detection and user-clustering strategies.
+//!
+//! The private framework of Jorgensen & Yu (EDBT 2014) clusters users
+//! *using only the public social graph* (§5.1.2); the paper adopts the
+//! Louvain method (Blondel et al. 2008) with the multi-level refinement
+//! of Rotta & Noack (JEA 2011), run 10 times with different node orders,
+//! keeping the clustering with the highest modularity.
+//!
+//! This crate implements:
+//!
+//! * [`Partition`] — a disjoint clustering of users,
+//! * [`modularity()`](modularity::modularity) — Newman modularity `Q(Φ)` (paper Eq. 8),
+//! * [`Louvain`] — greedy modularity maximisation with graph
+//!   contraction and optional multi-level refinement,
+//! * [`strategy`] — the [`ClusteringStrategy`] trait plus the
+//!   alternatives used in ablations (random-k, singleton, one-cluster,
+//!   k-means on adjacency rows).
+
+#![warn(missing_docs)]
+
+pub mod kmeans;
+pub mod louvain;
+pub mod modularity;
+pub mod partition;
+pub mod postprocess;
+pub mod strategy;
+mod weighted;
+
+pub use kmeans::KMeansStrategy;
+pub use louvain::{Louvain, LouvainResult};
+pub use modularity::modularity;
+pub use partition::Partition;
+pub use postprocess::merge_small_clusters;
+pub use strategy::{
+    ClusteringStrategy, LouvainStrategy, OneClusterStrategy, RandomStrategy, SingletonStrategy,
+};

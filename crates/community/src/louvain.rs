@@ -1,0 +1,394 @@
+//! The Louvain method (Blondel et al. 2008) with multi-level refinement
+//! (Rotta & Noack 2011), as used by the paper (§5.1.2, §6.2).
+//!
+//! Two alternating phases:
+//!
+//! 1. **Local moving** — visit nodes in random order; move each into the
+//!    neighboring community with the highest modularity gain, until no
+//!    move improves modularity.
+//! 2. **Contraction** — collapse each community into a super node
+//!    (internal weight becomes a self loop) and repeat on the coarser
+//!    graph.
+//!
+//! With `refine = true`, after the hierarchy stabilises, the final
+//! partition is projected back down the hierarchy level by level and the
+//! local-moving phase is re-run at each level — this stabilises the
+//! output across node orderings, which is why the paper adopts it.
+//!
+//! [`Louvain::run_best_of`] replicates the paper's protocol: R restarts
+//! with different random node orders, keep the clustering with the
+//! highest modularity.
+
+use crate::partition::Partition;
+use crate::weighted::WeightedGraph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use socialrec_graph::SocialGraph;
+
+/// Louvain configuration.
+///
+/// # Examples
+///
+/// ```
+/// use socialrec_community::Louvain;
+/// use socialrec_graph::social::social_graph_from_edges;
+///
+/// // Two triangles joined by a bridge: the canonical 2-community graph.
+/// let g = social_graph_from_edges(
+///     6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+/// ).unwrap();
+/// let result = Louvain::default().run_best_of(&g, 3);
+/// assert_eq!(result.partition.num_clusters(), 2);
+/// assert!(result.modularity > 0.3);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Louvain {
+    /// RNG seed controlling node visit order.
+    pub seed: u64,
+    /// Run the multi-level refinement pass (paper §5.1.2 uses it).
+    pub refine: bool,
+    /// Minimum modularity gain for a move to be accepted.
+    pub min_gain: f64,
+    /// Safety cap on hierarchy depth.
+    pub max_levels: usize,
+}
+
+impl Default for Louvain {
+    fn default() -> Self {
+        Louvain { seed: 0, refine: true, min_gain: 1e-12, max_levels: 32 }
+    }
+}
+
+/// Outcome of a Louvain run.
+#[derive(Clone, Debug)]
+pub struct LouvainResult {
+    /// The detected communities.
+    pub partition: Partition,
+    /// Modularity `Q` of the partition on the input graph.
+    pub modularity: f64,
+    /// Number of hierarchy levels built.
+    pub levels: usize,
+}
+
+/// Relabel `comm` densely in first-appearance order; returns the number
+/// of distinct labels.
+fn compact_labels(comm: &mut [u32]) -> usize {
+    let mut relabel = vec![u32::MAX; comm.len()];
+    let mut next = 0u32;
+    for c in comm.iter_mut() {
+        let slot = &mut relabel[*c as usize];
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+        *c = *slot;
+    }
+    next as usize
+}
+
+/// One local-moving phase starting from the assignment in `comm`
+/// (which may be singletons or a projected coarse partition).
+/// Returns whether any node moved.
+fn local_moving(wg: &WeightedGraph, comm: &mut [u32], rng: &mut SmallRng, min_gain: f64) -> bool {
+    let n = wg.num_nodes();
+    if n == 0 || wg.two_m == 0.0 {
+        return false;
+    }
+    let m2 = wg.two_m;
+
+    // Total weighted degree per community.
+    let mut comm_total = vec![0.0f64; n];
+    for u in 0..n {
+        comm_total[comm[u] as usize] += wg.degree[u];
+    }
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut any_move = false;
+
+    // Dense scratch: weight from the current node to each community.
+    let mut link_to = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    loop {
+        let mut moved_this_pass = false;
+        order.shuffle(rng);
+        for &u32u in &order {
+            let u = u32u as usize;
+            let cu = comm[u] as usize;
+            let ku = wg.degree[u];
+
+            // Accumulate links from u to neighboring communities.
+            let (ns, ws) = wg.neighbors_of(u);
+            for (&v, &w) in ns.iter().zip(ws) {
+                let cv = comm[v as usize] as usize;
+                if link_to[cv] == 0.0 {
+                    touched.push(cv as u32);
+                }
+                link_to[cv] += w;
+            }
+
+            // Remove u from its community for the comparison.
+            comm_total[cu] -= ku;
+
+            // Gain of joining community c (up to constants shared by all
+            // candidates): link_to[c] - tot_c·k_u / 2m.
+            let mut best_c = cu;
+            let mut best_gain = link_to[cu] - comm_total[cu] * ku / m2;
+            for &tc in &touched {
+                let c = tc as usize;
+                if c == cu {
+                    continue;
+                }
+                let gain = link_to[c] - comm_total[c] * ku / m2;
+                if gain > best_gain + min_gain {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+
+            comm_total[best_c] += ku;
+            if best_c != cu {
+                comm[u] = best_c as u32;
+                moved_this_pass = true;
+                any_move = true;
+            }
+
+            for &tc in &touched {
+                link_to[tc as usize] = 0.0;
+            }
+            touched.clear();
+        }
+        if !moved_this_pass {
+            break;
+        }
+    }
+    any_move
+}
+
+impl Louvain {
+    /// Run Louvain once on the social graph.
+    pub fn run(&self, g: &SocialGraph) -> LouvainResult {
+        self.run_core(WeightedGraph::from_social(g))
+    }
+
+    /// Run Louvain on an arbitrary *weighted* undirected graph given as
+    /// `(a, b, weight)` edges with positive weights — e.g. a similarity
+    /// graph, for the paper's §7 future-work idea of optimizing the
+    /// clustering for the similarity measure in use.
+    ///
+    /// Duplicate edges accumulate; self loops are ignored.
+    pub fn run_weighted_edges(
+        &self,
+        num_nodes: usize,
+        edges: &[(u32, u32, f64)],
+    ) -> LouvainResult {
+        self.run_core(WeightedGraph::from_weighted_edges(num_nodes, edges))
+    }
+
+    fn run_core(&self, base: WeightedGraph) -> LouvainResult {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        if base.num_nodes() == 0 {
+            return LouvainResult {
+                partition: Partition::from_assignment(&[]),
+                modularity: 0.0,
+                levels: 0,
+            };
+        }
+
+        // Build the hierarchy. graphs[l] is the graph at level l;
+        // merges[l] maps level-l nodes to level-(l+1) nodes.
+        let mut graphs: Vec<WeightedGraph> = vec![base];
+        let mut merges: Vec<Vec<u32>> = Vec::new();
+        loop {
+            let wg = graphs.last().unwrap();
+            let mut comm: Vec<u32> = (0..wg.num_nodes() as u32).collect();
+            let moved = local_moving(wg, &mut comm, &mut rng, self.min_gain);
+            let ncomm = compact_labels(&mut comm);
+            merges.push(comm.clone());
+            if !moved || ncomm == wg.num_nodes() || merges.len() >= self.max_levels {
+                break;
+            }
+            let contracted = graphs.last().unwrap().contract(&comm, ncomm);
+            graphs.push(contracted);
+        }
+
+        // Compose merges into an assignment for the original users.
+        let mut assign: Vec<u32> = merges[0].clone();
+        for level in merges.iter().skip(1) {
+            for a in assign.iter_mut() {
+                *a = level[*a as usize];
+            }
+        }
+
+        if self.refine {
+            // Project the final labels back down and re-run local moving
+            // at every level (Rotta & Noack multi-level refinement).
+            let lcount = merges.len();
+            let mut proj: Vec<u32> = merges[lcount - 1].clone();
+            for l in (0..lcount).rev() {
+                if l < lcount - 1 {
+                    proj = merges[l].iter().map(|&c| proj[c as usize]).collect();
+                }
+                let mut comm = proj.clone();
+                compact_labels(&mut comm);
+                local_moving(&graphs[l], &mut comm, &mut rng, self.min_gain);
+                compact_labels(&mut comm);
+                proj = comm;
+            }
+            assign = proj;
+        }
+
+        let partition = Partition::from_assignment(&assign);
+        let q = graphs[0].modularity(partition.assignment(), partition.num_clusters());
+        LouvainResult { partition, modularity: q, levels: merges.len() }
+    }
+
+    /// Run `restarts` times with different node orders (seeds
+    /// `seed..seed+restarts`) and keep the highest-modularity result —
+    /// the paper's protocol with `restarts = 10`.
+    pub fn run_best_of(&self, g: &SocialGraph, restarts: usize) -> LouvainResult {
+        assert!(restarts >= 1, "need at least one restart");
+        let mut best: Option<LouvainResult> = None;
+        for r in 0..restarts {
+            let cfg = Louvain { seed: self.seed.wrapping_add(r as u64), ..*self };
+            let res = cfg.run(g);
+            match &best {
+                Some(b) if b.modularity >= res.modularity => {}
+                _ => best = Some(res),
+            }
+        }
+        best.expect("at least one restart ran")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use socialrec_graph::generate::{planted_communities, CommunityGraphConfig};
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_graph::UserId;
+
+    fn two_triangles_bridge() -> SocialGraph {
+        social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_the_obvious_split() {
+        let g = two_triangles_bridge();
+        let res = Louvain::default().run(&g);
+        assert_eq!(res.partition.num_clusters(), 2);
+        let p = &res.partition;
+        assert_eq!(p.cluster_of(UserId(0)), p.cluster_of(UserId(1)));
+        assert_eq!(p.cluster_of(UserId(0)), p.cluster_of(UserId(2)));
+        assert_eq!(p.cluster_of(UserId(3)), p.cluster_of(UserId(4)));
+        assert_ne!(p.cluster_of(UserId(0)), p.cluster_of(UserId(3)));
+        let expected = 2.0 * (3.0 / 7.0 - 0.25);
+        assert!((res.modularity - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separate_components_get_separate_clusters() {
+        // Two disjoint triangles.
+        let g = social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap();
+        let res = Louvain::default().run(&g);
+        assert_eq!(res.partition.num_clusters(), 2);
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let cfg = CommunityGraphConfig {
+            num_users: 600,
+            num_communities: 6,
+            community_size_skew: 0.0,
+            mean_degree: 16.0,
+            degree_std: 4.0,
+            mixing: 0.05,
+            seed: 3,
+            ..Default::default()
+        };
+        let pg = planted_communities(&cfg);
+        let res = Louvain::default().run_best_of(&pg.graph, 5);
+        assert!(res.modularity > 0.6, "modularity {} too low", res.modularity);
+        // Cluster count near the planted count (Louvain may merge or
+        // split a couple).
+        let k = res.partition.num_clusters();
+        assert!((3..=12).contains(&k), "found {k} clusters for 6 planted");
+        // Agreement: most planted pairs that share a community share a
+        // cluster. Use a sampled pair check.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for u in 0..600usize {
+            for v in (u + 1..600).step_by(37) {
+                let same_planted = pg.community[u] == pg.community[v];
+                let same_found = res.partition.cluster_of(UserId(u as u32))
+                    == res.partition.cluster_of(UserId(v as u32));
+                if same_planted == same_found {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.9, "pair agreement {rate} too low");
+    }
+
+    #[test]
+    fn best_of_restarts_never_worse_than_single() {
+        let cfg = CommunityGraphConfig { num_users: 300, seed: 5, ..Default::default() };
+        let g = planted_communities(&cfg).graph;
+        let single = Louvain::default().run(&g);
+        let best = Louvain::default().run_best_of(&g, 6);
+        assert!(best.modularity >= single.modularity - 1e-12);
+    }
+
+    #[test]
+    fn refinement_does_not_hurt_modularity() {
+        let cfg = CommunityGraphConfig { num_users: 400, seed: 11, ..Default::default() };
+        let g = planted_communities(&cfg).graph;
+        for seed in 0..4 {
+            let plain = Louvain { refine: false, seed, ..Default::default() }.run(&g);
+            let refined = Louvain { refine: true, seed, ..Default::default() }.run(&g);
+            assert!(
+                refined.modularity >= plain.modularity - 1e-9,
+                "refinement regressed: {} -> {}",
+                plain.modularity,
+                refined.modularity
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CommunityGraphConfig { num_users: 200, seed: 8, ..Default::default() };
+        let g = planted_communities(&cfg).graph;
+        let a = Louvain { seed: 42, ..Default::default() }.run(&g);
+        let b = Louvain { seed: 42, ..Default::default() }.run(&g);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty = social_graph_from_edges(0, &[]).unwrap();
+        let res = Louvain::default().run(&empty);
+        assert_eq!(res.partition.num_users(), 0);
+        let edgeless = social_graph_from_edges(5, &[]).unwrap();
+        let res = Louvain::default().run(&edgeless);
+        assert_eq!(res.partition.num_users(), 5);
+        assert_eq!(res.partition.num_clusters(), 5, "isolated nodes stay singleton");
+        assert_eq!(res.modularity, 0.0);
+    }
+
+    #[test]
+    fn reported_modularity_matches_partition() {
+        let cfg = CommunityGraphConfig { num_users: 250, seed: 21, ..Default::default() };
+        let g = planted_communities(&cfg).graph;
+        let res = Louvain::default().run(&g);
+        assert!((res.modularity - modularity(&g, &res.partition)).abs() < 1e-12);
+    }
+}

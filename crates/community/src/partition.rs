@@ -1,0 +1,152 @@
+//! Disjoint user clusterings.
+
+use socialrec_graph::UserId;
+
+/// A partition of the user set into disjoint clusters.
+///
+/// Cluster ids are dense: `0..num_clusters`, every cluster non-empty.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    num_clusters: usize,
+}
+
+impl Partition {
+    /// Build from a raw assignment vector, relabelling cluster ids to be
+    /// dense in first-appearance order (so empty labels vanish).
+    pub fn from_assignment(raw: &[u32]) -> Partition {
+        let mut relabel: Vec<u32> = vec![u32::MAX; raw.len().max(1)];
+        // Cluster labels can exceed the node count only if the caller
+        // used sparse labels; grow the table as needed.
+        let max_label = raw.iter().copied().max().unwrap_or(0) as usize;
+        if relabel.len() <= max_label {
+            relabel.resize(max_label + 1, u32::MAX);
+        }
+        let mut next = 0u32;
+        let assignment = raw
+            .iter()
+            .map(|&c| {
+                let slot = &mut relabel[c as usize];
+                if *slot == u32::MAX {
+                    *slot = next;
+                    next += 1;
+                }
+                *slot
+            })
+            .collect();
+        Partition { assignment, num_clusters: next as usize }
+    }
+
+    /// The singleton partition: every user its own cluster.
+    pub fn singletons(num_users: usize) -> Partition {
+        Partition {
+            assignment: (0..num_users as u32).collect(),
+            num_clusters: num_users,
+        }
+    }
+
+    /// The trivial partition: all users in one cluster (empty input gives
+    /// zero clusters).
+    pub fn one_cluster(num_users: usize) -> Partition {
+        Partition {
+            assignment: vec![0; num_users],
+            num_clusters: usize::from(num_users > 0),
+        }
+    }
+
+    /// Number of users covered.
+    pub fn num_users(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Cluster id of user `u`.
+    #[inline]
+    pub fn cluster_of(&self, u: UserId) -> u32 {
+        self.assignment[u.index()]
+    }
+
+    /// The raw assignment slice (`user index -> cluster id`).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Size of every cluster, indexed by cluster id.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters];
+        for &c in &self.assignment {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of every cluster, indexed by cluster id; members ascend.
+    pub fn members(&self) -> Vec<Vec<UserId>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(UserId(i as u32));
+        }
+        out
+    }
+
+    /// Fraction of users in the largest cluster (0 for empty).
+    pub fn largest_cluster_share(&self) -> f64 {
+        if self.assignment.is_empty() {
+            return 0.0;
+        }
+        let max = self.cluster_sizes().into_iter().max().unwrap_or(0);
+        max as f64 / self.assignment.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabels_dense() {
+        let p = Partition::from_assignment(&[5, 5, 9, 5, 2]);
+        assert_eq!(p.num_clusters(), 3);
+        assert_eq!(p.assignment(), &[0, 0, 1, 0, 2]);
+        assert_eq!(p.cluster_sizes(), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn singleton_and_one_cluster() {
+        let s = Partition::singletons(4);
+        assert_eq!(s.num_clusters(), 4);
+        assert_eq!(s.cluster_sizes(), vec![1, 1, 1, 1]);
+        let o = Partition::one_cluster(4);
+        assert_eq!(o.num_clusters(), 1);
+        assert_eq!(o.cluster_sizes(), vec![4]);
+        assert_eq!(Partition::one_cluster(0).num_clusters(), 0);
+    }
+
+    #[test]
+    fn members_cover_everyone_once() {
+        let p = Partition::from_assignment(&[1, 0, 1, 2, 0]);
+        let members = p.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(members[0], vec![UserId(0), UserId(2)]);
+        assert_eq!(p.cluster_of(UserId(3)), 2);
+    }
+
+    #[test]
+    fn largest_share() {
+        let p = Partition::from_assignment(&[0, 0, 0, 1]);
+        assert!((p.largest_cluster_share() - 0.75).abs() < 1e-12);
+        assert_eq!(Partition::from_assignment(&[]).largest_cluster_share(), 0.0);
+    }
+
+    #[test]
+    fn sparse_labels_handled() {
+        let p = Partition::from_assignment(&[1000, 0, 1000]);
+        assert_eq!(p.num_clusters(), 2);
+        assert_eq!(p.assignment(), &[0, 1, 0]);
+    }
+}

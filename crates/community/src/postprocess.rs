@@ -1,0 +1,161 @@
+//! Clustering post-processing heuristics — the paper's §7 future-work
+//! item "post-processing heuristics to clean up the clustering by, for
+//! example, pruning low-quality clusters".
+//!
+//! Small clusters are a liability for the private framework: the noise
+//! scale is `1/(|c|·ε)`, so a 3-user cluster injects ~40× the noise of
+//! a 120-user one. [`merge_small_clusters`] absorbs every cluster below
+//! a minimum size into the neighboring cluster it shares the most
+//! social edges with (falling back to the largest cluster for
+//! disconnected ones), trading a little approximation error for much
+//! less perturbation error on the affected users.
+
+use crate::partition::Partition;
+use socialrec_graph::{SocialGraph, UserId};
+
+/// Merge every cluster smaller than `min_size` into its most-connected
+/// neighboring cluster.
+///
+/// Deterministic: clusters are processed smallest-first (ties by id),
+/// and edge-count ties prefer the lower cluster id. Guarantees that no
+/// cluster shrinks; if *all* clusters are below `min_size` the largest
+/// one is kept as the merge target of last resort.
+pub fn merge_small_clusters(
+    g: &SocialGraph,
+    partition: &Partition,
+    min_size: usize,
+) -> Partition {
+    assert_eq!(g.num_users(), partition.num_users(), "partition must cover the graph");
+    let k = partition.num_clusters();
+    if k <= 1 {
+        return partition.clone();
+    }
+
+    // Mutable cluster labels + sizes.
+    let mut label: Vec<u32> = partition.assignment().to_vec();
+    let mut sizes = partition.cluster_sizes();
+
+    // Process clusters smallest-first so chains of merges settle.
+    let mut order: Vec<u32> = (0..k as u32).collect();
+    order.sort_by_key(|&c| (sizes[c as usize], c));
+
+    // The global fallback target: the largest cluster.
+    let largest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(idx, &s)| (s, std::cmp::Reverse(idx)))
+        .map(|(idx, _)| idx as u32)
+        .expect("at least one cluster");
+
+    for &c in &order {
+        let c = c as usize;
+        if sizes[c] == 0 || sizes[c] >= min_size {
+            continue;
+        }
+        // Count edges from members of c to every other cluster.
+        let mut edge_to = vec![0usize; sizes.len()];
+        for u in 0..label.len() {
+            if label[u] as usize != c {
+                continue;
+            }
+            for &v in g.neighbors(UserId(u as u32)) {
+                let cv = label[v.index()] as usize;
+                if cv != c {
+                    edge_to[cv] += 1;
+                }
+            }
+        }
+        let target = edge_to
+            .iter()
+            .enumerate()
+            .filter(|&(t, &e)| e > 0 && t != c && sizes[t] > 0)
+            .max_by_key(|&(t, &e)| (e, std::cmp::Reverse(t)))
+            .map(|(t, _)| t)
+            .unwrap_or_else(|| if largest as usize != c { largest as usize } else { c });
+        if target == c {
+            continue; // isolated and already the largest: keep.
+        }
+        for l in label.iter_mut() {
+            if *l as usize == c {
+                *l = target as u32;
+            }
+        }
+        sizes[target] += sizes[c];
+        sizes[c] = 0;
+    }
+
+    Partition::from_assignment(&label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::social::social_graph_from_edges;
+
+    #[test]
+    fn merges_tiny_cluster_into_most_connected() {
+        // Clusters: {0,1,2}, {3,4,5}, {6} — 6 linked to cluster 0 twice.
+        let g = social_graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 0), (6, 1), (6, 3)],
+        )
+        .unwrap();
+        let p = Partition::from_assignment(&[0, 0, 0, 1, 1, 1, 2]);
+        let merged = merge_small_clusters(&g, &p, 2);
+        assert_eq!(merged.num_clusters(), 2);
+        assert_eq!(merged.cluster_of(UserId(6)), merged.cluster_of(UserId(0)));
+    }
+
+    #[test]
+    fn disconnected_small_cluster_joins_largest() {
+        let g = social_graph_from_edges(5, &[(0, 1), (1, 2)]).unwrap();
+        let p = Partition::from_assignment(&[0, 0, 0, 1, 1]);
+        // Cluster {3,4} has no edges to anyone; min_size 3 forces merge.
+        let merged = merge_small_clusters(&g, &p, 3);
+        assert_eq!(merged.num_clusters(), 1);
+    }
+
+    #[test]
+    fn large_clusters_untouched() {
+        let g = social_graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+        let p = Partition::from_assignment(&[0, 0, 1, 1, 2, 2]);
+        let merged = merge_small_clusters(&g, &p, 2);
+        assert_eq!(merged, p);
+    }
+
+    #[test]
+    fn chain_of_merges_settles() {
+        // Three singletons in a path + one big cluster.
+        let g = social_graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (4, 6), (3, 4)],
+        )
+        .unwrap();
+        let p = Partition::from_assignment(&[0, 1, 2, 3, 4, 4, 4]);
+        let merged = merge_small_clusters(&g, &p, 2);
+        // No remaining cluster under size 2.
+        assert!(merged.cluster_sizes().iter().all(|&s| s >= 2), "{:?}", merged.cluster_sizes());
+        // Everyone still has exactly one cluster.
+        assert_eq!(merged.num_users(), 7);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = social_graph_from_edges(
+            8,
+            &[(0, 1), (1, 2), (3, 4), (5, 0), (6, 3), (7, 5)],
+        )
+        .unwrap();
+        let p = Partition::from_assignment(&[0, 0, 0, 1, 1, 2, 3, 4]);
+        let a = merge_small_clusters(&g, &p, 2);
+        let b = merge_small_clusters(&g, &p, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_cluster_is_noop() {
+        let g = social_graph_from_edges(3, &[(0, 1)]).unwrap();
+        let p = Partition::one_cluster(3);
+        assert_eq!(merge_small_clusters(&g, &p, 10), p);
+    }
+}

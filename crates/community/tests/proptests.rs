@@ -1,0 +1,96 @@
+//! Property-based tests for community detection.
+
+use proptest::prelude::*;
+use socialrec_community::{modularity, ClusteringStrategy, Louvain, Partition, RandomStrategy};
+use socialrec_graph::social::social_graph_from_edges;
+use socialrec_graph::UserId;
+
+fn social_inputs() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..60)
+            .prop_map(|pairs| pairs.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>());
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn partition_relabel_is_dense_and_stable(raw in proptest::collection::vec(0u32..10, 1..50)) {
+        let p = Partition::from_assignment(&raw);
+        prop_assert_eq!(p.num_users(), raw.len());
+        // Dense labels.
+        let mx = p.assignment().iter().copied().max().unwrap() as usize;
+        prop_assert_eq!(p.num_clusters(), mx + 1);
+        // Same-label pairs preserved exactly.
+        for i in 0..raw.len() {
+            for j in 0..raw.len() {
+                prop_assert_eq!(
+                    raw[i] == raw[j],
+                    p.assignment()[i] == p.assignment()[j]
+                );
+            }
+        }
+        // Sizes sum to user count, all non-empty.
+        let sizes = p.cluster_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), raw.len());
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn modularity_bounded((n, edges) in social_inputs(), seed in 0u64..100) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let p = RandomStrategy { num_clusters: 4, seed }.cluster(&g);
+        let q = modularity(&g, &p);
+        // Q is in [-1, 1] by construction.
+        prop_assert!((-1.0..=1.0).contains(&q), "Q = {q}");
+    }
+
+    #[test]
+    fn louvain_partition_is_valid((n, edges) in social_inputs(), seed in 0u64..20) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let res = Louvain { seed, ..Default::default() }.run(&g);
+        prop_assert_eq!(res.partition.num_users(), n);
+        // Every user has a cluster in range.
+        for u in 0..n {
+            let c = res.partition.cluster_of(UserId(u as u32));
+            prop_assert!((c as usize) < res.partition.num_clusters());
+        }
+        // Reported Q matches recomputation.
+        let q = modularity(&g, &res.partition);
+        prop_assert!((res.modularity - q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn louvain_at_least_as_good_as_singletons((n, edges) in social_inputs(), seed in 0u64..20) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let res = Louvain { seed, ..Default::default() }.run(&g);
+        let q_singleton = modularity(&g, &Partition::singletons(n));
+        prop_assert!(
+            res.modularity >= q_singleton - 1e-9,
+            "louvain {} below singleton start {}",
+            res.modularity,
+            q_singleton
+        );
+    }
+
+    #[test]
+    fn louvain_never_merges_components((n, edges) in social_inputs(), seed in 0u64..10) {
+        use socialrec_graph::traversal::connected_components;
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let res = Louvain { seed, ..Default::default() }.run(&g);
+        let cc = connected_components(&g);
+        // Nodes in the same cluster must be in the same component —
+        // merging disconnected nodes can never increase modularity, and
+        // the implementation only ever moves nodes toward neighbors.
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let same_cluster = res.partition.cluster_of(UserId(u as u32))
+                    == res.partition.cluster_of(UserId(v as u32));
+                if same_cluster && g.degree(UserId(u as u32)) > 0 && g.degree(UserId(v as u32)) > 0
+                {
+                    prop_assert_eq!(cc.component[u], cc.component[v]);
+                }
+            }
+        }
+    }
+}

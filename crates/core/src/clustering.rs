@@ -1,0 +1,121 @@
+//! Measure-aware clustering — the paper's §7 future-work idea of
+//! "optimizing [the clustering] more for the specific similarity
+//! measure being used".
+//!
+//! Instead of clustering the raw social graph, cluster the *similarity
+//! graph*: nodes are users, edge weights are `sim(u, v)`. Louvain then
+//! groups users that the chosen measure itself considers mutually
+//! similar, which directly targets the approximation-error term of
+//! Eq. (6). Like every strategy here, the similarity graph is derived
+//! from the public social graph only, so privacy is unaffected.
+
+use socialrec_community::{Louvain, Partition};
+use socialrec_graph::UserId;
+use socialrec_similarity::SimilarityMatrix;
+
+/// Cluster users by running Louvain on the similarity-weighted graph.
+///
+/// `min_similarity` drops edges below a threshold (0.0 keeps all),
+/// which both sparsifies the graph and removes noise-level
+/// similarities.
+pub fn cluster_by_similarity(
+    sim: &SimilarityMatrix,
+    louvain: Louvain,
+    min_similarity: f64,
+) -> Partition {
+    let n = sim.num_users();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    for u in 0..n as u32 {
+        let (users, scores) = sim.row(UserId(u));
+        for (&v, &s) in users.iter().zip(scores) {
+            // Each symmetric pair appears in both rows; keep u < v.
+            if u < v.0 && s >= min_similarity {
+                edges.push((u, v.0, s));
+            }
+        }
+    }
+    louvain.run_weighted_edges(n, &edges).partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    #[test]
+    fn similarity_clustering_separates_cliques() {
+        // Two 4-cliques joined by a bridge: CN-similarity edges are
+        // dense inside each clique.
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+                edges.push((a + 4, b + 4));
+            }
+        }
+        edges.push((3, 4));
+        let g = social_graph_from_edges(8, &edges).unwrap();
+        let sim = SimilarityMatrix::build(&g, &Measure::CommonNeighbors);
+        let p = cluster_by_similarity(&sim, Louvain::default(), 0.0);
+        assert_eq!(p.num_users(), 8);
+        assert!(p.num_clusters() >= 2);
+        // Clique members stay together.
+        for u in 1..4 {
+            assert_eq!(p.cluster_of(UserId(0)), p.cluster_of(UserId(u)));
+        }
+        for u in 5..8 {
+            assert_eq!(p.cluster_of(UserId(4)), p.cluster_of(UserId(u)));
+        }
+        assert_ne!(p.cluster_of(UserId(0)), p.cluster_of(UserId(4)));
+    }
+
+    #[test]
+    fn threshold_prunes_weak_edges() {
+        let g = social_graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let sim = SimilarityMatrix::build(&g, &Measure::Katz { max_length: 3, alpha: 0.05 });
+        // With a huge threshold, no edges survive: singletons.
+        let p = cluster_by_similarity(&sim, Louvain::default(), 1e9);
+        assert_eq!(p.num_clusters(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = social_graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let sim = SimilarityMatrix::build(&g, &Measure::AdamicAdar);
+        let a = cluster_by_similarity(&sim, Louvain { seed: 5, ..Default::default() }, 0.0);
+        let b = cluster_by_similarity(&sim, Louvain { seed: 5, ..Default::default() }, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn usable_by_the_framework() {
+        use crate::private::ClusterFramework;
+        use crate::{RecommenderInputs, TopNRecommender};
+        use socialrec_dp::Epsilon;
+        use socialrec_graph::preference::preference_graph_from_edges;
+
+        let g = social_graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let prefs =
+            preference_graph_from_edges(6, 3, &[(0, 0), (1, 0), (3, 1), (4, 1)]).unwrap();
+        let sim = SimilarityMatrix::build(&g, &Measure::CommonNeighbors);
+        let partition = cluster_by_similarity(&sim, Louvain::default(), 0.0);
+        let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+        let fw = ClusterFramework::new(&partition, Epsilon::Finite(1.0));
+        let lists = fw.recommend(&inputs, &[UserId(0), UserId(5)], 2, 0);
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0].items.len(), 2);
+    }
+}

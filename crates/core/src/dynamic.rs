@@ -1,0 +1,319 @@
+//! Dynamic graphs — the paper's primary future-work item (§7): "a main
+//! focus for future work will be extending our framework to provide
+//! differential privacy guarantees when recommendations are made over
+//! dynamic graphs".
+//!
+//! The subtlety the paper flags: Theorem 4's parallel composition works
+//! *within* one snapshot because the per-(cluster, item) averages touch
+//! disjoint preference edges. Across snapshots the same preference edge
+//! persists, so repeated releases about it compose **sequentially**
+//! (Theorem 2) and the budget must be split over time.
+//!
+//! [`DynamicRecommender`] manages a total budget `ε_total` across a
+//! stream of snapshots with a pluggable [`BudgetSchedule`]:
+//!
+//! * [`BudgetSchedule::Uniform`] — `ε_total / T` per release for a
+//!   planned horizon of `T` releases;
+//! * [`BudgetSchedule::Decay`] — geometric decay `ε_t ∝ r^t`, which
+//!   never exhausts: early snapshots (when a recommender is fresh and
+//!   most consulted) get the most budget, and releases can continue
+//!   indefinitely with ever-coarser answers.
+//!
+//! Every release is recorded in a [`PrivacyAccountant`]; the recommender
+//! refuses to exceed the total budget.
+
+use crate::private::{ClusterFramework, NoiseModel};
+use crate::{RecommenderInputs, TopN, TopNRecommender};
+use socialrec_community::Partition;
+use socialrec_dp::{Epsilon, PrivacyAccountant};
+use socialrec_graph::UserId;
+
+/// How the total budget is split across snapshot releases.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BudgetSchedule {
+    /// Equal shares for a planned number of releases; the recommender
+    /// refuses further releases once the plan is used up.
+    Uniform {
+        /// The planned number of releases `T`.
+        releases: usize,
+    },
+    /// Geometric decay: release `t` (0-based) gets
+    /// `ε_total · (1 - ratio) · ratio^t`. Never exhausts the budget.
+    Decay {
+        /// Decay ratio in `(0, 1)`; e.g. 0.5 halves the budget each
+        /// release.
+        ratio: f64,
+    },
+}
+
+impl BudgetSchedule {
+    /// The ε allotted to the `t`-th release (0-based), or `None` when
+    /// the schedule has nothing left to give.
+    pub fn epsilon_for(&self, t: usize, total: Epsilon) -> Option<Epsilon> {
+        match total {
+            Epsilon::Infinite => Some(Epsilon::Infinite),
+            Epsilon::Finite(e) => match *self {
+                BudgetSchedule::Uniform { releases } => {
+                    if t < releases {
+                        Epsilon::new(e / releases as f64)
+                    } else {
+                        None
+                    }
+                }
+                BudgetSchedule::Decay { ratio } => {
+                    assert!((0.0..1.0).contains(&ratio) && ratio > 0.0, "ratio must be in (0,1)");
+                    Epsilon::new(e * (1.0 - ratio) * ratio.powi(t as i32))
+                }
+            },
+        }
+    }
+}
+
+/// One graph snapshot at some time step.
+pub struct Snapshot<'a> {
+    /// The (public) clustering of the snapshot's social graph.
+    pub partition: &'a Partition,
+    /// The snapshot's inputs (preferences + similarity).
+    pub inputs: RecommenderInputs<'a>,
+}
+
+/// A private recommender over a stream of graph snapshots.
+///
+/// Each call to [`release`](DynamicRecommender::release) produces
+/// recommendations for the *current* snapshot under the schedule's
+/// per-release ε and debits the accountant (sequential composition
+/// across releases — the conservative assumption that every preference
+/// edge may persist across snapshots).
+pub struct DynamicRecommender {
+    total: Epsilon,
+    schedule: BudgetSchedule,
+    noise: NoiseModel,
+    accountant: PrivacyAccountant,
+    releases_done: usize,
+}
+
+/// The outcome of one snapshot release.
+#[derive(Debug)]
+pub struct Release {
+    /// Per-user recommendation lists.
+    pub lists: Vec<TopN>,
+    /// The ε spent on this release.
+    pub epsilon_spent: Epsilon,
+    /// Total ε consumed so far across all releases.
+    pub epsilon_total_spent: f64,
+}
+
+impl DynamicRecommender {
+    /// A recommender with a total budget and a schedule.
+    pub fn new(total: Epsilon, schedule: BudgetSchedule) -> Self {
+        DynamicRecommender {
+            total,
+            schedule,
+            noise: NoiseModel::Laplace,
+            accountant: PrivacyAccountant::new(),
+            releases_done: 0,
+        }
+    }
+
+    /// Select the noise distribution (default Laplace).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Number of releases made so far.
+    pub fn releases_done(&self) -> usize {
+        self.releases_done
+    }
+
+    /// Budget remaining (`ε_total - spent`); infinite budgets report
+    /// `f64::INFINITY`.
+    pub fn remaining_budget(&self) -> f64 {
+        match self.total {
+            Epsilon::Infinite => f64::INFINITY,
+            Epsilon::Finite(e) => (e - self.accountant.total_epsilon()).max(0.0),
+        }
+    }
+
+    /// The ε the *next* release would spend, if the schedule allows one.
+    pub fn next_epsilon(&self) -> Option<Epsilon> {
+        self.schedule.epsilon_for(self.releases_done, self.total)
+    }
+
+    /// Release recommendations for the current snapshot.
+    ///
+    /// Returns an error when the schedule is exhausted (uniform plans
+    /// only). The per-release ε is spent *sequentially* in the
+    /// accountant: across snapshots the same preference edges are
+    /// re-examined, so Theorem 2 applies.
+    pub fn release(
+        &mut self,
+        snapshot: &Snapshot<'_>,
+        users: &[UserId],
+        n: usize,
+        seed: u64,
+    ) -> Result<Release, String> {
+        let eps = self
+            .next_epsilon()
+            .ok_or_else(|| format!("budget schedule exhausted after {} releases", self.releases_done))?;
+        let fw = ClusterFramework::new(snapshot.partition, eps).with_noise(self.noise);
+        let lists = fw.recommend(&snapshot.inputs, users, n, seed);
+        self.accountant.spend_sequential(eps);
+        self.releases_done += 1;
+        debug_assert!(self.accountant.within(self.total) || self.total.is_infinite() || {
+            // Geometric tails sum to < total by construction; uniform
+            // plans are exact. Allow floating-point dust.
+            self.accountant.total_epsilon() <= self.total.value() + 1e-9
+        });
+        Ok(Release {
+            lists,
+            epsilon_spent: eps,
+            epsilon_total_spent: self.accountant.total_epsilon(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_community::{ClusteringStrategy, LouvainStrategy};
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    fn snapshot_fixture() -> (
+        socialrec_graph::SocialGraph,
+        socialrec_graph::PreferenceGraph,
+    ) {
+        let s = social_graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (3, 1), (4, 1)]).unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn uniform_schedule_splits_evenly_and_exhausts() {
+        let sched = BudgetSchedule::Uniform { releases: 4 };
+        let total = Epsilon::Finite(1.0);
+        for t in 0..4 {
+            assert_eq!(sched.epsilon_for(t, total), Some(Epsilon::Finite(0.25)));
+        }
+        assert_eq!(sched.epsilon_for(4, total), None);
+        assert_eq!(sched.epsilon_for(0, Epsilon::Infinite), Some(Epsilon::Infinite));
+    }
+
+    #[test]
+    fn decay_schedule_sums_below_total() {
+        let sched = BudgetSchedule::Decay { ratio: 0.5 };
+        let total = Epsilon::Finite(2.0);
+        let sum: f64 =
+            (0..50).map(|t| sched.epsilon_for(t, total).unwrap().value()).sum();
+        assert!(sum <= 2.0 + 1e-9, "decay overspends: {sum}");
+        assert!(sum > 1.99, "decay should approach the total: {sum}");
+        // Strictly decreasing.
+        let e0 = sched.epsilon_for(0, total).unwrap().value();
+        let e1 = sched.epsilon_for(1, total).unwrap().value();
+        assert!(e0 > e1);
+    }
+
+    #[test]
+    fn releases_debit_the_budget_and_stop() {
+        let (s, p) = snapshot_fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = LouvainStrategy::default().cluster(&s);
+        let snap = Snapshot {
+            partition: &partition,
+            inputs: RecommenderInputs { prefs: &p, sim: &sim },
+        };
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let mut dynrec = DynamicRecommender::new(
+            Epsilon::Finite(1.0),
+            BudgetSchedule::Uniform { releases: 2 },
+        );
+        let r1 = dynrec.release(&snap, &users, 2, 0).unwrap();
+        assert_eq!(r1.epsilon_spent, Epsilon::Finite(0.5));
+        assert!((r1.epsilon_total_spent - 0.5).abs() < 1e-12);
+        assert!((dynrec.remaining_budget() - 0.5).abs() < 1e-12);
+        let r2 = dynrec.release(&snap, &users, 2, 1).unwrap();
+        assert!((r2.epsilon_total_spent - 1.0).abs() < 1e-12);
+        // Third release refused.
+        let err = dynrec.release(&snap, &users, 2, 2).unwrap_err();
+        assert!(err.contains("exhausted"), "{err}");
+        assert_eq!(dynrec.releases_done(), 2);
+    }
+
+    #[test]
+    fn decay_never_exhausts_but_gets_noisier() {
+        let (s, p) = snapshot_fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = LouvainStrategy::default().cluster(&s);
+        let snap = Snapshot {
+            partition: &partition,
+            inputs: RecommenderInputs { prefs: &p, sim: &sim },
+        };
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let mut dynrec = DynamicRecommender::new(
+            Epsilon::Finite(1.0),
+            BudgetSchedule::Decay { ratio: 0.5 },
+        );
+        let mut last_eps = f64::INFINITY;
+        for t in 0..10 {
+            let r = dynrec.release(&snap, &users, 2, t).unwrap();
+            let e = r.epsilon_spent.value();
+            assert!(e < last_eps, "per-release eps must shrink");
+            last_eps = e;
+        }
+        assert!(dynrec.remaining_budget() > 0.0, "decay leaves tail budget");
+        assert!(dynrec.remaining_budget() < 0.01, "but approaches zero");
+    }
+
+    #[test]
+    fn snapshots_can_change_between_releases() {
+        // The framework re-clusters per snapshot: simulate edge churn by
+        // toggling a preference edge between releases.
+        let (s, p1) = snapshot_fixture();
+        let p2 = p1.toggled_edge(UserId(0), socialrec_graph::ItemId(3));
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = LouvainStrategy::default().cluster(&s);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let mut dynrec = DynamicRecommender::new(
+            Epsilon::Finite(2.0),
+            BudgetSchedule::Uniform { releases: 2 },
+        );
+        let snap1 = Snapshot {
+            partition: &partition,
+            inputs: RecommenderInputs { prefs: &p1, sim: &sim },
+        };
+        let r1 = dynrec.release(&snap1, &users, 2, 0).unwrap();
+        let snap2 = Snapshot {
+            partition: &partition,
+            inputs: RecommenderInputs { prefs: &p2, sim: &sim },
+        };
+        let r2 = dynrec.release(&snap2, &users, 2, 0).unwrap();
+        assert_eq!(r1.lists.len(), r2.lists.len());
+    }
+
+    #[test]
+    fn infinite_budget_never_exhausts() {
+        let sched = BudgetSchedule::Uniform { releases: 3 };
+        let mut dynrec = DynamicRecommender::new(Epsilon::Infinite, sched);
+        assert_eq!(dynrec.next_epsilon(), Some(Epsilon::Infinite));
+        assert_eq!(dynrec.remaining_budget(), f64::INFINITY);
+        // releases_done advances but the per-release eps stays infinite.
+        let (s, p) = snapshot_fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = LouvainStrategy::default().cluster(&s);
+        let snap = Snapshot {
+            partition: &partition,
+            inputs: RecommenderInputs { prefs: &p, sim: &sim },
+        };
+        let users = [UserId(0)];
+        for t in 0..3 {
+            dynrec.release(&snap, &users, 1, t).unwrap();
+        }
+        assert_eq!(dynrec.releases_done(), 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! The non-private top-N social recommender (paper Definitions 3–4).
+//!
+//! `μ_u^i = Σ_{v ∈ sim(u)} sim(u, v) · w(v, i)` — accumulated sparsely:
+//! for each similar user `v`, walk `v`'s (typically short) item list.
+
+use crate::{RecommenderInputs, TopN, TopNRecommender};
+use rayon::prelude::*;
+use socialrec_graph::UserId;
+
+/// The exact (noise-free) recommender; also the source of the *ideal*
+/// utilities that NDCG scores every private mechanism against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactRecommender;
+
+impl ExactRecommender {
+    /// Plain constructor (the type is stateless; inputs are passed per
+    /// call, mirroring the private mechanisms).
+    pub fn new(_inputs: &RecommenderInputs<'_>) -> Self {
+        ExactRecommender
+    }
+
+    /// Dense utility vector `μ_u` over all items for one user, written
+    /// into `out` (resized/cleared as needed).
+    pub fn utilities_into(&self, inputs: &RecommenderInputs<'_>, u: UserId, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(inputs.num_items(), 0.0);
+        let (users, scores) = inputs.sim.row(u);
+        for (&v, &s) in users.iter().zip(scores) {
+            for &i in inputs.prefs.items_of(v) {
+                out[i.index()] += s;
+            }
+        }
+    }
+
+    /// Dense utility vector as a fresh allocation.
+    pub fn utilities(&self, inputs: &RecommenderInputs<'_>, u: UserId) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.utilities_into(inputs, u, &mut out);
+        out
+    }
+
+    /// Dense utilities for many users, in parallel.
+    pub fn utilities_all(&self, inputs: &RecommenderInputs<'_>, users: &[UserId]) -> Vec<Vec<f64>> {
+        users
+            .par_iter()
+            .map_init(Vec::new, |scratch, &u| {
+                self.utilities_into(inputs, u, scratch);
+                scratch.clone()
+            })
+            .collect()
+    }
+}
+
+impl TopNRecommender for ExactRecommender {
+    fn name(&self) -> String {
+        "exact".to_string()
+    }
+
+    fn recommend(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        users: &[UserId],
+        n: usize,
+        _seed: u64,
+    ) -> Vec<TopN> {
+        users
+            .par_iter()
+            .map_init(Vec::new, |scratch, &u| {
+                self.utilities_into(inputs, u, scratch);
+                TopN { user: u, items: crate::topn::top_n_items(scratch, n) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_graph::ItemId;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    /// Square social graph 0-1-2-3-0; CN gives sim(0,2)=sim(1,3)=2.
+    fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
+        let s = social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let p = preference_graph_from_edges(4, 3, &[(2, 0), (2, 1), (3, 1), (1, 2)]).unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn utilities_hand_checked() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let rec = ExactRecommender::new(&inputs);
+        // User 0 is similar only to user 2 (sim 2). User 2 likes items
+        // 0 and 1.
+        let u0 = rec.utilities(&inputs, UserId(0));
+        assert_eq!(u0, vec![2.0, 2.0, 0.0]);
+        // User 1 similar to 3 (sim 2); 3 likes item 1.
+        let u1 = rec.utilities(&inputs, UserId(1));
+        assert_eq!(u1, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn recommend_ranks_by_utility() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let lists = ExactRecommender.recommend(&inputs, &[UserId(0)], 2, 0);
+        assert_eq!(lists.len(), 1);
+        assert_eq!(lists[0].user, UserId(0));
+        // Ties (items 0 and 1, both utility 2) break by item id.
+        assert_eq!(lists[0].items, vec![(ItemId(0), 2.0), (ItemId(1), 2.0)]);
+    }
+
+    #[test]
+    fn user_with_no_similar_users_gets_zeros() {
+        let s = social_graph_from_edges(3, &[(0, 1)]).unwrap();
+        let p = preference_graph_from_edges(3, 2, &[(0, 0)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let u2 = ExactRecommender.utilities(&inputs, UserId(2));
+        assert_eq!(u2, vec![0.0, 0.0]);
+        // Top-N still returns a deterministic (zero-utility) list.
+        let lists = ExactRecommender.recommend(&inputs, &[UserId(2)], 2, 0);
+        assert_eq!(lists[0].items, vec![(ItemId(0), 0.0), (ItemId(1), 0.0)]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..4).map(UserId).collect();
+        let all = ExactRecommender.utilities_all(&inputs, &users);
+        for (k, &u) in users.iter().enumerate() {
+            assert_eq!(all[k], ExactRecommender.utilities(&inputs, u));
+        }
+    }
+
+    #[test]
+    fn seed_is_irrelevant() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let a = ExactRecommender.recommend(&inputs, &[UserId(0)], 3, 1);
+        let b = ExactRecommender.recommend(&inputs, &[UserId(0)], 3, 2);
+        assert_eq!(a, b);
+    }
+}

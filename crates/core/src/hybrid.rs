@@ -1,0 +1,271 @@
+//! Hybrid social + popularity recommendation — the future work flagged
+//! in the paper's §2.2: "although it can be beneficial to use both
+//! social and non-social data in the recommendation process, our focus
+//! is on purely social recommenders in this paper. We plan to study
+//! such hybrid recommenders in a future work."
+//!
+//! The simplest non-social signal is global item popularity. Both
+//! signals can be released privately and combined:
+//!
+//! * the social part runs the cluster framework at `λ·ε`-equivalent
+//!   budget (we split the budget, not the scores);
+//! * the popularity part releases each item's preference count with
+//!   `Lap(1/ε_pop)` — one edge touches exactly one count, so per-item
+//!   releases compose in parallel;
+//! * utilities are blended as
+//!   `μ_hybrid = (1-λ)·μ̂_social/S̄ + λ·pop̂/P̄`, where `S̄, P̄` are scale
+//!   normalisers derived from the *released* values (post-processing).
+//!
+//! Sequential composition over the two releases gives
+//! `ε_total = ε_social + ε_pop`. Setting `λ = 0` recovers the paper's
+//! framework exactly; `λ = 1` is a socially-agnostic popularity
+//! recommender (the "most popular" baseline with DP).
+
+use crate::private::{mix_seed, ClusterFramework};
+use crate::topn::top_n_items;
+use crate::{RecommenderInputs, TopN, TopNRecommender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use socialrec_community::Partition;
+use socialrec_dp::{sample_laplace, Epsilon};
+use socialrec_graph::UserId;
+
+/// The hybrid recommender: cluster framework + DP item popularity.
+#[derive(Clone, Copy)]
+pub struct HybridRecommender<'p> {
+    partition: &'p Partition,
+    epsilon_total: Epsilon,
+    /// Blend weight λ ∈ [0, 1]: 0 = purely social, 1 = purely popular.
+    pub lambda: f64,
+    /// Fraction of the budget given to the popularity release (the rest
+    /// goes to the social framework). Ignored at λ = 0 or λ = 1, where
+    /// the whole budget goes to the only signal in use.
+    pub popularity_budget_share: f64,
+}
+
+impl<'p> HybridRecommender<'p> {
+    /// Hybrid with blend `lambda` under a total budget, splitting 20% of
+    /// the budget to the popularity release by default.
+    pub fn new(partition: &'p Partition, epsilon_total: Epsilon, lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        HybridRecommender {
+            partition,
+            epsilon_total,
+            lambda,
+            popularity_budget_share: 0.2,
+        }
+    }
+
+    /// Override the budget split.
+    pub fn with_popularity_budget_share(mut self, share: f64) -> Self {
+        assert!((0.0..1.0).contains(&share) && share > 0.0, "share must be in (0, 1)");
+        self.popularity_budget_share = share;
+        self
+    }
+
+    /// The `(ε_social, ε_popularity)` split actually used.
+    pub fn budget_split(&self) -> (Epsilon, Epsilon) {
+        match self.epsilon_total {
+            Epsilon::Infinite => (Epsilon::Infinite, Epsilon::Infinite),
+            Epsilon::Finite(e) => {
+                if self.lambda == 0.0 {
+                    // All social; popularity unused (and not released).
+                    (Epsilon::Finite(e), Epsilon::Finite(e))
+                } else if self.lambda == 1.0 {
+                    (Epsilon::Finite(e), Epsilon::Finite(e))
+                } else {
+                    let pop = e * self.popularity_budget_share;
+                    (Epsilon::Finite(e - pop), Epsilon::Finite(pop))
+                }
+            }
+        }
+    }
+
+    /// DP release of the per-item preference counts at `eps`.
+    ///
+    /// Each preference edge contributes to exactly one item count
+    /// (sensitivity 1, parallel composition across items).
+    fn noisy_popularity(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        eps: Epsilon,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut pop: Vec<f64> = (0..inputs.num_items() as u32)
+            .map(|i| inputs.prefs.item_degree(socialrec_graph::ItemId(i)) as f64)
+            .collect();
+        if let Some(scale) = eps.laplace_scale(1.0) {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0x9090));
+            for x in pop.iter_mut() {
+                *x += sample_laplace(&mut rng, scale);
+            }
+        }
+        pop
+    }
+}
+
+impl TopNRecommender for HybridRecommender<'_> {
+    fn name(&self) -> String {
+        format!("hybrid(eps={},lambda={})", self.epsilon_total, self.lambda)
+    }
+
+    fn recommend(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        users: &[UserId],
+        n: usize,
+        seed: u64,
+    ) -> Vec<TopN> {
+        let (eps_social, eps_pop) = self.budget_split();
+
+        // Popularity prior (skipped entirely at λ = 0: no budget spent).
+        let popularity = if self.lambda > 0.0 {
+            let pop = self.noisy_popularity(inputs, eps_pop, seed);
+            // Normalize by the released maximum (post-processing).
+            let max = pop.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+            Some(pop.into_iter().map(|x| x / max).collect::<Vec<f64>>())
+        } else {
+            None
+        };
+
+        if self.lambda >= 1.0 {
+            // Purely popular: identical list for everyone.
+            let pop = popularity.expect("lambda=1 releases popularity");
+            let items = top_n_items(&pop, n);
+            return users.iter().map(|&u| TopN { user: u, items: items.clone() }).collect();
+        }
+
+        let fw = ClusterFramework::new(self.partition, eps_social);
+        let averages = fw.noisy_cluster_averages(inputs, mix_seed(seed, 0x50C1));
+        users
+            .par_iter()
+            .map_init(
+                || (Vec::new(), Vec::new()),
+                |(sim_scratch, out), &u| {
+                    fw.utility_estimates_into(inputs, &averages, u, sim_scratch, out);
+                    // Normalize the social part by its own released max so
+                    // the two signals blend on comparable scales.
+                    let max = out.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+                    if let Some(pop) = &popularity {
+                        for (x, &p) in out.iter_mut().zip(pop) {
+                            *x = (1.0 - self.lambda) * (*x / max) + self.lambda * p;
+                        }
+                    }
+                    TopN { user: u, items: top_n_items(out, n) }
+                },
+            )
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactRecommender;
+    use crate::per_user_ndcg;
+    use socialrec_community::{ClusteringStrategy, LouvainStrategy};
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_graph::ItemId;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
+        let s = social_graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        // Item 3 is globally popular; items 0/1 are community-specific.
+        let p = preference_graph_from_edges(
+            6,
+            4,
+            &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (0, 3), (2, 3), (3, 3), (5, 3)],
+        )
+        .unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn lambda_zero_matches_framework() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = LouvainStrategy::default().cluster(&s);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        // At lambda = 0 the ranking equals the plain framework's (the
+        // per-user normalisation is monotone).
+        let hybrid = HybridRecommender::new(&partition, Epsilon::Infinite, 0.0);
+        let fw = ClusterFramework::new(&partition, Epsilon::Infinite);
+        let a = hybrid.recommend(&inputs, &users, 3, 5);
+        let b = fw.recommend(&inputs, &users, 3, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.item_ids(), y.item_ids());
+        }
+    }
+
+    #[test]
+    fn lambda_one_is_popularity_ranking() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = LouvainStrategy::default().cluster(&s);
+        let hybrid = HybridRecommender::new(&partition, Epsilon::Infinite, 1.0);
+        let lists = hybrid.recommend(&inputs, &[UserId(0), UserId(5)], 1, 0);
+        // Everyone gets the most popular item (3, with 4 edges).
+        assert_eq!(lists[0].items[0].0, ItemId(3));
+        assert_eq!(lists[1].items[0].0, ItemId(3));
+        assert_eq!(lists[0].items, lists[1].items);
+    }
+
+    #[test]
+    fn budget_split_accounting() {
+        let partition = Partition::one_cluster(6);
+        let h = HybridRecommender::new(&partition, Epsilon::Finite(1.0), 0.5)
+            .with_popularity_budget_share(0.25);
+        let (es, ep) = h.budget_split();
+        assert_eq!(ep, Epsilon::Finite(0.25));
+        assert_eq!(es, Epsilon::Finite(0.75));
+        // Total is preserved.
+        assert!((es.value() + ep.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = LouvainStrategy::default().cluster(&s);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let h = HybridRecommender::new(&partition, Epsilon::Finite(0.5), 0.3);
+        assert_eq!(h.recommend(&inputs, &users, 2, 4), h.recommend(&inputs, &users, 2, 4));
+        assert_ne!(h.recommend(&inputs, &users, 2, 4), h.recommend(&inputs, &users, 2, 5));
+    }
+
+    #[test]
+    fn blending_can_help_low_degree_users() {
+        // A user with no similar users gets zero social signal; any
+        // positive lambda gives them the popularity ranking instead of
+        // an arbitrary zero-utility order.
+        let s = social_graph_from_edges(4, &[(0, 1)]).unwrap();
+        let p =
+            preference_graph_from_edges(4, 3, &[(0, 2), (1, 2), (3, 2), (0, 0)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::one_cluster(4);
+        let isolated = UserId(2);
+        let h = HybridRecommender::new(&partition, Epsilon::Infinite, 0.5);
+        let lists = h.recommend(&inputs, &[isolated], 1, 0);
+        assert_eq!(lists[0].items[0].0, ItemId(2), "popular item should surface");
+        // NDCG against the (zero) ideal stays defined.
+        let ideal = ExactRecommender.utilities(&inputs, isolated);
+        assert_eq!(per_user_ndcg(&ideal, &lists[0].item_ids(), 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be")]
+    fn bad_lambda_rejected() {
+        let partition = Partition::one_cluster(2);
+        let _ = HybridRecommender::new(&partition, Epsilon::Finite(1.0), 1.5);
+    }
+}

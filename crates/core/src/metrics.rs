@@ -1,0 +1,194 @@
+//! Recommendation accuracy metrics — NDCG@N exactly as the paper's
+//! Equation (2), plus precision/recall for context (§2.4 explains why
+//! the paper prefers NDCG).
+
+use crate::topn::top_n_items;
+use socialrec_graph::ItemId;
+
+/// The positional discount of Eq. (2): `max(1, log2(p) + 1)` with
+/// 1-based position `p`. For `p ≥ 1` this is simply `log2(p) + 1`.
+#[inline]
+fn discount(position_1based: usize) -> f64 {
+    (position_1based as f64).log2() + 1.0
+}
+
+/// `DCG(X, u) = Σ_{i∈X} μ_u^i / max(1, log2 p(i) + 1)` where `p(i)` is
+/// `i`'s 1-based index in `X` and `μ` are the *ideal* (exact) utilities.
+pub fn dcg(list: &[ItemId], ideal_utilities: &[f64]) -> f64 {
+    list.iter()
+        .enumerate()
+        .map(|(idx, &i)| ideal_utilities[i.index()] / discount(idx + 1))
+        .sum()
+}
+
+/// NDCG@N for one user: the DCG of the private list over the DCG of the
+/// exact top-N list, both valued by ideal utilities.
+///
+/// When the ideal DCG is zero (the user has no positive-utility items at
+/// all) no ranking can be wrong, and the ratio is defined as 1.
+///
+/// # Examples
+///
+/// ```
+/// use socialrec_core::per_user_ndcg;
+/// use socialrec_graph::ItemId;
+///
+/// let ideal_utilities = [3.0, 1.0, 2.0];
+/// // A perfectly ranked list scores 1.0.
+/// assert_eq!(per_user_ndcg(&ideal_utilities, &[ItemId(0), ItemId(2)], 2), 1.0);
+/// // Recommending the weakest item first scores less.
+/// assert!(per_user_ndcg(&ideal_utilities, &[ItemId(1), ItemId(0)], 2) < 1.0);
+/// ```
+pub fn per_user_ndcg(ideal_utilities: &[f64], private_list: &[ItemId], n: usize) -> f64 {
+    let ideal: Vec<ItemId> =
+        top_n_items(ideal_utilities, n).into_iter().map(|(i, _)| i).collect();
+    let denom = dcg(&ideal, ideal_utilities);
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    let truncated = &private_list[..private_list.len().min(n)];
+    (dcg(truncated, ideal_utilities) / denom).clamp(0.0, 1.0)
+}
+
+/// Mean NDCG@N over users (Eq. 2): each element pairs one user's ideal
+/// utilities with that user's private list.
+pub fn mean_ndcg<'a>(
+    per_user: impl Iterator<Item = (&'a [f64], &'a [ItemId])>,
+    n: usize,
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (ideal, list) in per_user {
+        total += per_user_ndcg(ideal, list, n);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Precision@N and Recall@N of a private list against the exact top-N,
+/// treating the exact top-N *with positive utility* as the relevant set.
+pub fn precision_recall_at_n(
+    ideal_utilities: &[f64],
+    private_list: &[ItemId],
+    n: usize,
+) -> (f64, f64) {
+    let relevant: Vec<ItemId> = top_n_items(ideal_utilities, n)
+        .into_iter()
+        .filter(|&(_, u)| u > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if relevant.is_empty() {
+        return (0.0, 0.0);
+    }
+    let truncated = &private_list[..private_list.len().min(n)];
+    let hits = truncated.iter().filter(|i| relevant.contains(i)).count();
+    let precision = hits as f64 / truncated.len().max(1) as f64;
+    let recall = hits as f64 / relevant.len() as f64;
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn discount_values() {
+        assert_eq!(discount(1), 1.0);
+        assert_eq!(discount(2), 2.0);
+        assert!((discount(4) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_list_scores_one() {
+        let util = [3.0, 1.0, 2.0, 0.0];
+        let list = ids(&[0, 2, 1]);
+        assert!((per_user_ndcg(&util, &list, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_utility_swap_costs_nothing() {
+        // Items 0 and 2 have equal utility: either order is perfect —
+        // the paper's motivation for NDCG over precision.
+        let util = [2.0, 1.0, 2.0];
+        assert!((per_user_ndcg(&util, &ids(&[2, 0, 1]), 3) - 1.0).abs() < 1e-12);
+        assert!((per_user_ndcg(&util, &ids(&[0, 2, 1]), 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_order_scores_less() {
+        let util = [3.0, 2.0, 1.0];
+        let perfect = per_user_ndcg(&util, &ids(&[0, 1, 2]), 3);
+        let reversed = per_user_ndcg(&util, &ids(&[2, 1, 0]), 3);
+        assert!((perfect - 1.0).abs() < 1e-12);
+        assert!(reversed < perfect);
+        // Hand computation: DCG(rev) = 1 + 2/2 + 3/(log2(3)+1);
+        // ideal = 3 + 2/2 + 1/(log2(3)+1).
+        let d3 = 3.0f64.log2() + 1.0;
+        let expected = (1.0 + 1.0 + 3.0 / d3) / (3.0 + 1.0 + 1.0 / d3);
+        assert!((reversed - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_rank_miss_costs_more_than_tail_miss() {
+        let util = [10.0, 5.0, 4.0, 3.0, 0.0, 0.0];
+        // Replace rank-1 item vs replace rank-4 item with a zero item.
+        let miss_top = per_user_ndcg(&util, &ids(&[4, 1, 2, 3]), 4);
+        let miss_tail = per_user_ndcg(&util, &ids(&[0, 1, 2, 4]), 4);
+        assert!(miss_top < miss_tail);
+    }
+
+    #[test]
+    fn zero_ideal_gives_one() {
+        let util = [0.0, 0.0];
+        assert_eq!(per_user_ndcg(&util, &ids(&[1, 0]), 2), 1.0);
+    }
+
+    #[test]
+    fn ndcg_in_unit_interval() {
+        let util = [5.0, -1.0, 2.0, 0.0];
+        for list in [ids(&[0, 1]), ids(&[1, 3]), ids(&[3, 1])] {
+            let v = per_user_ndcg(&util, &list, 2);
+            assert!((0.0..=1.0).contains(&v), "ndcg {v} out of range");
+        }
+    }
+
+    #[test]
+    fn mean_over_users() {
+        let u1 = [1.0, 0.0];
+        let u2 = [0.0, 1.0];
+        let l1 = ids(&[0]);
+        let l2 = ids(&[0]); // wrong for u2
+        let pairs: Vec<(&[f64], &[ItemId])> =
+            vec![(&u1[..], &l1[..]), (&u2[..], &l2[..])];
+        let m = mean_ndcg(pairs.into_iter(), 1);
+        assert!((m - 0.5).abs() < 1e-12);
+        assert_eq!(mean_ndcg(std::iter::empty(), 5), 0.0);
+    }
+
+    #[test]
+    fn short_private_list_allowed() {
+        let util = [3.0, 2.0, 1.0];
+        let v = per_user_ndcg(&util, &ids(&[0]), 3);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn precision_recall_hand_checked() {
+        let util = [3.0, 2.0, 1.0, 0.0];
+        // Relevant top-3 (positive): {0,1,2}. Private hits 2 of 3.
+        let (p, r) = precision_recall_at_n(&util, &ids(&[0, 3, 2]), 3);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        // All-zero utilities: nothing relevant.
+        let (p, r) = precision_recall_at_n(&[0.0, 0.0], &ids(&[0]), 2);
+        assert_eq!((p, r), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,234 @@
+//! Low-Rank Mechanism (LRM) — adaptation of Yuan et al. (PVLDB 2012) to
+//! social recommendation, as §6.4 describes.
+//!
+//! The workload matrix `W` has one row per (eval) user with
+//! `W[u][v] = sim(u, v)`. LRM decomposes `W ≈ B·L` and, per item `i`
+//! with indicator vector `D_i`, releases `B(L·D_i + Lap(Δ_L/ε))` where
+//! `Δ_L = max_v ‖L e_v‖₁` — adding/removing the edge `(v, i)` flips one
+//! coordinate of `D_i`, moving `L·D_i` by column `v` of `L`.
+//!
+//! The paper's adaptation used the authors' Matlab solver with
+//! `r = rank(W)`; we substitute a truncated randomized SVD (documented
+//! in DESIGN.md). The paper's headline finding — similarity workloads
+//! have near-full rank, so LRM's strategy cannot beat the naïve one —
+//! is a property of the workload, not of the decomposition solver.
+
+use crate::private::mix_seed;
+use crate::topn::top_n_items;
+use crate::{RecommenderInputs, TopN, TopNRecommender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use socialrec_dp::{sample_laplace, Epsilon};
+use socialrec_graph::UserId;
+use socialrec_linalg::{randomized_svd, Matrix};
+
+/// The LRM comparator.
+#[derive(Clone, Copy, Debug)]
+pub struct LowRankMechanism {
+    epsilon: Epsilon,
+    /// Truncation rank `r` of the decomposition.
+    pub rank: usize,
+    /// Oversampling columns for the randomized range finder.
+    pub oversample: usize,
+    /// Subspace (power) iterations for the range finder.
+    pub power_iters: usize,
+}
+
+impl LowRankMechanism {
+    /// LRM at the given privacy level and truncation rank.
+    pub fn new(epsilon: Epsilon, rank: usize) -> Self {
+        assert!(rank >= 1, "rank must be at least 1");
+        LowRankMechanism { epsilon, rank, oversample: 8, power_iters: 1 }
+    }
+}
+
+impl TopNRecommender for LowRankMechanism {
+    fn name(&self) -> String {
+        format!("LRM(eps={},r={})", self.epsilon, self.rank)
+    }
+
+    fn recommend(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        users: &[UserId],
+        n: usize,
+        seed: u64,
+    ) -> Vec<TopN> {
+        let nu_all = inputs.num_users();
+        let ni = inputs.num_items();
+        let m = users.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        if ni == 0 {
+            return users.iter().map(|&u| TopN { user: u, items: Vec::new() }).collect();
+        }
+
+        // Workload W: one query row per eval user.
+        let mut w = Matrix::zeros(m, nu_all);
+        for (k, &u) in users.iter().enumerate() {
+            let (vs, ss) = inputs.sim.row(u);
+            let row = w.row_mut(k);
+            for (&v, &s) in vs.iter().zip(ss) {
+                row[v.index()] = s;
+            }
+        }
+
+        // Decompose W ≈ B·L with B = U·Σ, L = Vᵀ.
+        let r = self.rank.min(m).min(nu_all);
+        let svd = randomized_svd(&w, r, self.oversample, self.power_iters, mix_seed(seed, 1));
+        drop(w);
+        let r = svd.rank();
+        let mut b = Matrix::zeros(m, r);
+        for i in 0..m {
+            for j in 0..r {
+                b[(i, j)] = svd.u[(i, j)] * svd.singular_values[j];
+            }
+        }
+        let l = svd.vt; // r × nu_all
+
+        // Strategy sensitivity and noise scale.
+        let delta_l = l.max_column_l1();
+        let scale = self.epsilon.laplace_scale(delta_l);
+
+        // Y[k][i] = (L·D_i + noise)_k, row-major r × ni.
+        let mut y = vec![0.0f64; r * ni];
+        for i in inputs.prefs.items() {
+            for &v in inputs.prefs.users_of(i) {
+                for k in 0..r {
+                    y[k * ni + i.index()] += l[(k, v.index())];
+                }
+            }
+        }
+        if let Some(bscale) = scale {
+            // Independent noise per (k, i); seeded per row for
+            // reproducibility under parallel scheduling.
+            y.par_chunks_mut(ni).enumerate().for_each(|(k, row)| {
+                let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 2 + k as u64));
+                for x in row.iter_mut() {
+                    *x += sample_laplace(&mut rng, bscale);
+                }
+            });
+        }
+
+        // Per-user utilities: û = B_row · Y, then top-N.
+        users
+            .par_iter()
+            .enumerate()
+            .map_init(Vec::new, |out: &mut Vec<f64>, (kuser, &u)| {
+                out.clear();
+                out.resize(ni, 0.0);
+                let brow = b.row(kuser);
+                for (k, &bval) in brow.iter().enumerate() {
+                    if bval == 0.0 {
+                        continue;
+                    }
+                    let yrow = &y[k * ni..(k + 1) * ni];
+                    for (x, &yv) in out.iter_mut().zip(yrow) {
+                        *x += bval * yv;
+                    }
+                }
+                TopN { user: u, items: top_n_items(out, n) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactRecommender;
+    use crate::metrics::per_user_ndcg;
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
+        let s = social_graph_from_edges(
+            8,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (6, 0), (7, 4)],
+        )
+        .unwrap();
+        let p = preference_graph_from_edges(
+            8,
+            5,
+            &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (5, 1), (6, 2), (7, 3)],
+        )
+        .unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn full_rank_no_noise_matches_exact() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..8).map(UserId).collect();
+        let lrm = LowRankMechanism::new(Epsilon::Infinite, 8);
+        let lists = lrm.recommend(&inputs, &users, 3, 0);
+        let exact = ExactRecommender.recommend(&inputs, &users, 3, 0);
+        // With full rank and no noise, BL = W exactly and the utilities
+        // agree; rankings (with our deterministic tie-break on exact
+        // equality) can differ only on numerically-tied items, so
+        // compare NDCG instead of raw lists.
+        for (k, l) in lists.iter().enumerate() {
+            let util = ExactRecommender.utilities(&inputs, users[k]);
+            let ndcg = per_user_ndcg(&util, &l.item_ids(), 3);
+            assert!(ndcg > 0.999, "user {k}: ndcg {ndcg}");
+            assert_eq!(l.user, exact[k].user);
+        }
+    }
+
+    #[test]
+    fn low_rank_truncation_degrades_gracefully() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..8).map(UserId).collect();
+        let lists = LowRankMechanism::new(Epsilon::Infinite, 2).recommend(&inputs, &users, 3, 0);
+        assert_eq!(lists.len(), 8);
+        for l in &lists {
+            assert_eq!(l.items.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..8).map(UserId).collect();
+        let lrm = LowRankMechanism::new(Epsilon::Finite(0.5), 4);
+        assert_eq!(
+            lrm.recommend(&inputs, &users, 2, 3),
+            lrm.recommend(&inputs, &users, 2, 3)
+        );
+        assert_ne!(
+            lrm.recommend(&inputs, &users, 2, 3),
+            lrm.recommend(&inputs, &users, 2, 4)
+        );
+    }
+
+    #[test]
+    fn sensitivity_uses_strategy_columns() {
+        // The noise scale must follow Δ_L, not the raw workload
+        // sensitivity. Verified indirectly: with a rank-1 all-equal
+        // workload, Δ_L is tiny compared to max row sum.
+        let s = social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)])
+            .unwrap();
+        let p = preference_graph_from_edges(4, 2, &[(0, 0)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..4).map(UserId).collect();
+        // Just a smoke test that it runs with tiny rank.
+        let lists = LowRankMechanism::new(Epsilon::Finite(1.0), 1).recommend(&inputs, &users, 1, 0);
+        assert_eq!(lists.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must be")]
+    fn zero_rank_rejected() {
+        let _ = LowRankMechanism::new(Epsilon::Finite(1.0), 0);
+    }
+}

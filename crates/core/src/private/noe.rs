@@ -1,0 +1,159 @@
+//! Noise-on-Edges (NOE) — the second strawman of §5.1.1.
+//!
+//! Perturb every conceptual preference-edge weight (absent edges have
+//! weight 0) with `Lap(1/ε)` and feed the sanitized weights to the
+//! exact algorithm:
+//! `μ̂_u^i = Σ_{v∈sim(u)} sim(u,v) · (w(v,i) + Lap(1/ε))`.
+//!
+//! The noisy weight of cell `(v, i)` must be the *same* in every
+//! utility query that touches it — the adversary sees all outputs — so
+//! the noise comes from a counter-based deterministic stream
+//! ([`CounterLaplace`]) rather than being redrawn per query; the dense
+//! `|U| × |I|` noisy matrix is never materialised.
+//!
+//! Per-user cost is `O(|sim(u)| · |I|)`, which is why the paper (and
+//! our harness) evaluates NOE at Last.fm scale.
+
+use crate::exact::ExactRecommender;
+use crate::topn::top_n_items;
+use crate::{RecommenderInputs, TopN, TopNRecommender};
+use rayon::prelude::*;
+use socialrec_dp::{CounterLaplace, Epsilon};
+use socialrec_graph::UserId;
+
+/// The NOE baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseOnEdges {
+    epsilon: Epsilon,
+}
+
+impl NoiseOnEdges {
+    /// NOE at the given privacy level. Edge weights have sensitivity 1.
+    pub fn new(epsilon: Epsilon) -> Self {
+        NoiseOnEdges { epsilon }
+    }
+}
+
+impl TopNRecommender for NoiseOnEdges {
+    fn name(&self) -> String {
+        format!("NOE(eps={})", self.epsilon)
+    }
+
+    fn recommend(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        users: &[UserId],
+        n: usize,
+        seed: u64,
+    ) -> Vec<TopN> {
+        let noise = self.epsilon.laplace_scale(1.0).map(|b| CounterLaplace::new(seed, b));
+        users
+            .par_iter()
+            .map_init(Vec::new, |out, &u| {
+                // True signal part (sparse).
+                ExactRecommender.utilities_into(inputs, u, out);
+                // Noise part: Σ_v sim(u,v)·η(v,i) for every item —
+                // including the items v has no edge to.
+                if let Some(stream) = &noise {
+                    let (vs, ss) = inputs.sim.row(u);
+                    for (&v, &s) in vs.iter().zip(ss) {
+                        for (i, x) in out.iter_mut().enumerate() {
+                            *x += s * stream.noise(v.0, i as u32);
+                        }
+                    }
+                }
+                TopN { user: u, items: top_n_items(out, n) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
+
+    fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
+        let s = social_graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (2, 0), (3, 1)]).unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn infinite_epsilon_equals_exact() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        assert_eq!(
+            NoiseOnEdges::new(Epsilon::Infinite).recommend(&inputs, &users, 2, 4),
+            ExactRecommender.recommend(&inputs, &users, 2, 0)
+        );
+    }
+
+    #[test]
+    fn consistent_noisy_graph_across_users() {
+        // Two users with the same similarity row must see exactly the
+        // same noisy edge weights: their utility vectors must agree.
+        // Build a graph where users 0 and 1 have identical sim rows
+        // except for each other... simpler: verify algebraically by
+        // recomputing from the stream.
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let eps = Epsilon::Finite(1.0);
+        let seed = 11;
+        let lists =
+            NoiseOnEdges::new(eps).recommend(&inputs, &[UserId(0)], p.num_items(), seed);
+        // Recompute user 0's noisy utilities by hand.
+        let stream = CounterLaplace::new(seed, 1.0);
+        let m = Measure::CommonNeighbors;
+        let set = m.similarity_set_vec(&s, UserId(0));
+        for &(item, noisy_util) in &lists[0].items {
+            let mut expected = 0.0;
+            for &(v, sv) in &set {
+                let w = p.weight(v, item);
+                expected += sv * (w + stream.noise(v.0, item.0));
+            }
+            assert!(
+                (noisy_util - expected).abs() < 1e-9,
+                "mismatch at {item:?}: {noisy_util} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let noe = NoiseOnEdges::new(Epsilon::Finite(0.1));
+        assert_eq!(
+            noe.recommend(&inputs, &users, 3, 5),
+            noe.recommend(&inputs, &users, 3, 5)
+        );
+        assert_ne!(
+            noe.recommend(&inputs, &users, 3, 5),
+            noe.recommend(&inputs, &users, 3, 6)
+        );
+    }
+
+    #[test]
+    fn isolated_user_unaffected_by_noise() {
+        // A user with an empty similarity set has utility 0 + no noise
+        // terms: the list is the deterministic zero-utility ranking.
+        let s = social_graph_from_edges(3, &[(0, 1)]).unwrap();
+        let p = preference_graph_from_edges(3, 3, &[(0, 0)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let lists = NoiseOnEdges::new(Epsilon::Finite(0.1)).recommend(&inputs, &[UserId(2)], 2, 0);
+        assert!(lists[0].items.iter().all(|&(_, u)| u == 0.0));
+    }
+}

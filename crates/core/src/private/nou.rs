@@ -1,0 +1,137 @@
+//! Noise-on-Utility (NOU) — the first strawman of §5.1.1.
+//!
+//! Apply the Laplace mechanism directly to the exact utility values:
+//! `μ̂_u^i = μ_u^i + Lap(Δ_A/ε)` with global sensitivity
+//! `Δ_A = max_u Σ_v sim(v, u)` — one preference edge `(v, i)` shifts
+//! `μ_u^i` by `sim(u, v)` for *every* user `u` similar to `v`, and the
+//! per-item releases compose in parallel. The sensitivity is set by the
+//! best-connected user in the graph, so the noise typically dwarfs the
+//! signal; the paper shows NOU is no better than random guessing.
+
+use crate::exact::ExactRecommender;
+use crate::private::mix_seed;
+use crate::topn::top_n_items;
+use crate::{RecommenderInputs, TopN, TopNRecommender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use socialrec_dp::{sample_laplace, Epsilon};
+use socialrec_graph::UserId;
+
+/// The NOU baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseOnUtility {
+    epsilon: Epsilon,
+}
+
+impl NoiseOnUtility {
+    /// NOU at the given privacy level.
+    pub fn new(epsilon: Epsilon) -> Self {
+        NoiseOnUtility { epsilon }
+    }
+
+    /// The NOU global sensitivity for these inputs:
+    /// `Δ_A = max_u Σ_v sim(v, u)`.
+    pub fn sensitivity(inputs: &RecommenderInputs<'_>) -> f64 {
+        inputs.sim.max_total_similarity()
+    }
+}
+
+impl TopNRecommender for NoiseOnUtility {
+    fn name(&self) -> String {
+        format!("NOU(eps={})", self.epsilon)
+    }
+
+    fn recommend(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        users: &[UserId],
+        n: usize,
+        seed: u64,
+    ) -> Vec<TopN> {
+        let scale = self.epsilon.laplace_scale(Self::sensitivity(inputs));
+        users
+            .par_iter()
+            .map_init(Vec::new, |out, &u| {
+                ExactRecommender.utilities_into(inputs, u, out);
+                if let Some(b) = scale {
+                    let mut rng =
+                        SmallRng::seed_from_u64(mix_seed(seed, u.0 as u64));
+                    for x in out.iter_mut() {
+                        *x += sample_laplace(&mut rng, b);
+                    }
+                }
+                TopN { user: u, items: top_n_items(out, n) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
+        let s = social_graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (2, 0), (3, 1)]).unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn infinite_epsilon_equals_exact() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let nou = NoiseOnUtility::new(Epsilon::Infinite).recommend(&inputs, &users, 2, 1);
+        let exact = ExactRecommender.recommend(&inputs, &users, 2, 0);
+        assert_eq!(nou, exact);
+    }
+
+    #[test]
+    fn sensitivity_is_max_row_sum() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        assert_eq!(NoiseOnUtility::sensitivity(&inputs), sim.max_total_similarity());
+        assert!(NoiseOnUtility::sensitivity(&inputs) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let nou = NoiseOnUtility::new(Epsilon::Finite(0.5));
+        assert_eq!(
+            nou.recommend(&inputs, &users, 2, 9),
+            nou.recommend(&inputs, &users, 2, 9)
+        );
+        assert_ne!(
+            nou.recommend(&inputs, &users, 2, 9),
+            nou.recommend(&inputs, &users, 2, 10)
+        );
+    }
+
+    #[test]
+    fn noise_scale_reflects_high_degree_user() {
+        // Star graph: hub 0 with many spokes; NOU sensitivity should be
+        // large (the hub's total similarity), making noise huge.
+        let edges: Vec<(u32, u32)> = (1..20).map(|v| (0u32, v)).collect();
+        let s = social_graph_from_edges(20, &edges).unwrap();
+        let p = preference_graph_from_edges(20, 2, &[(1, 0)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        // Every spoke pair shares hub 0: spoke total similarity = 18;
+        // the max.
+        assert_eq!(NoiseOnUtility::sensitivity(&inputs), 18.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Top-N selection over dense utility vectors.
+
+use socialrec_graph::ItemId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the selection heap: orders by utility ascending, then by
+/// item id *descending*, so the heap root is the currently-worst kept
+/// item and ties evict the larger id first (final lists break utility
+/// ties by ascending item id — deterministic output).
+#[derive(PartialEq)]
+struct HeapEntry {
+    utility: f64,
+    item: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the *worst* entry at the
+        // root, so reverse the natural "better" ordering.
+        other
+            .utility
+            .partial_cmp(&self.utility)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+/// Select the `n` highest-utility items from a dense utility vector
+/// (index = item id), returning `(item, utility)` sorted by utility
+/// descending with ties broken by ascending item id.
+///
+/// Utilities may be negative (noisy mechanisms); every item competes.
+/// NaN utilities are treated as negative infinity.
+///
+/// # Examples
+///
+/// ```
+/// use socialrec_core::top_n_items;
+/// use socialrec_graph::ItemId;
+///
+/// let top = top_n_items(&[0.5, 3.0, 3.0, 1.0], 2);
+/// assert_eq!(top, vec![(ItemId(1), 3.0), (ItemId(2), 3.0)]);
+/// ```
+pub fn top_n_items(utilities: &[f64], n: usize) -> Vec<(ItemId, f64)> {
+    if n == 0 || utilities.is_empty() {
+        return Vec::new();
+    }
+    let n = n.min(utilities.len());
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n + 1);
+    for (idx, &u) in utilities.iter().enumerate() {
+        let u = if u.is_nan() { f64::NEG_INFINITY } else { u };
+        if heap.len() < n {
+            heap.push(HeapEntry { utility: u, item: idx as u32 });
+        } else {
+            // Compare against the current worst.
+            let worst = heap.peek().expect("heap non-empty");
+            let better = u > worst.utility
+                || (u == worst.utility && (idx as u32) < worst.item);
+            if better {
+                heap.pop();
+                heap.push(HeapEntry { utility: u, item: idx as u32 });
+            }
+        }
+    }
+    let mut out: Vec<(ItemId, f64)> =
+        heap.into_iter().map(|e| (ItemId(e.item), e.utility)).collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_highest() {
+        let u = [0.1, 5.0, 3.0, 4.0, 2.0];
+        let top = top_n_items(&u, 3);
+        assert_eq!(
+            top,
+            vec![(ItemId(1), 5.0), (ItemId(3), 4.0), (ItemId(2), 3.0)]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_item_id() {
+        let u = [1.0, 2.0, 2.0, 2.0, 0.0];
+        let top = top_n_items(&u, 2);
+        assert_eq!(top, vec![(ItemId(1), 2.0), (ItemId(2), 2.0)]);
+        let top3 = top_n_items(&u, 4);
+        assert_eq!(
+            top3,
+            vec![(ItemId(1), 2.0), (ItemId(2), 2.0), (ItemId(3), 2.0), (ItemId(0), 1.0)]
+        );
+    }
+
+    #[test]
+    fn handles_negative_and_nan() {
+        let u = [-1.0, f64::NAN, -0.5, -2.0];
+        let top = top_n_items(&u, 2);
+        assert_eq!(top, vec![(ItemId(2), -0.5), (ItemId(0), -1.0)]);
+    }
+
+    #[test]
+    fn n_larger_than_items() {
+        let u = [1.0, 2.0];
+        let top = top_n_items(&u, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, ItemId(1));
+    }
+
+    #[test]
+    fn n_zero_or_empty() {
+        assert!(top_n_items(&[1.0], 0).is_empty());
+        assert!(top_n_items(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let m = rng.gen_range(1..200);
+            let utilities: Vec<f64> =
+                (0..m).map(|_| (rng.gen::<f64>() * 10.0).round() / 2.0).collect();
+            let n = rng.gen_range(1..=m);
+            let fast = top_n_items(&utilities, n);
+            let mut full: Vec<(ItemId, f64)> = utilities
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| (ItemId(i as u32), u))
+                .collect();
+            full.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+            });
+            full.truncate(n);
+            assert_eq!(fast, full);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Statistical differential-privacy checks.
+//!
+//! For neighboring preference graphs (Definition 6: differing in one
+//! edge), the probability of any output event may differ by at most a
+//! factor `e^ε`. We empirically estimate event probabilities for the
+//! mechanisms' released quantities on a tiny graph and assert the ratio
+//! bound with sampling slack.
+
+use socialrec_community::{ClusteringStrategy, LouvainStrategy};
+use socialrec_core::private::framework::ClusterFramework;
+use socialrec_core::RecommenderInputs;
+use socialrec_dp::Epsilon;
+use socialrec_graph::preference::preference_graph_from_edges;
+use socialrec_graph::social::social_graph_from_edges;
+use socialrec_graph::{ItemId, UserId};
+use socialrec_similarity::{Measure, SimilarityMatrix};
+
+/// Empirical Pr[released average for (cluster of target, item) < t].
+fn empirical_cdf_at(
+    fw: &ClusterFramework<'_>,
+    inputs: &RecommenderInputs<'_>,
+    cluster: u32,
+    item: ItemId,
+    t: f64,
+    trials: u64,
+) -> f64 {
+    let mut hits = 0u64;
+    for seed in 0..trials {
+        let avg = fw.noisy_cluster_averages(inputs, seed);
+        if avg.get(cluster, item.0) < t {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[test]
+fn framework_release_respects_epsilon_bound() {
+    // Two triangles; the target edge is (0, item 0).
+    let social = social_graph_from_edges(
+        6,
+        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+    )
+    .unwrap();
+    let with_edge =
+        preference_graph_from_edges(6, 2, &[(0, 0), (1, 0), (3, 1)]).unwrap();
+    let without_edge = with_edge.toggled_edge(UserId(0), ItemId(0));
+    assert_eq!(without_edge.num_edges(), with_edge.num_edges() - 1);
+
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let partition = LouvainStrategy::default().cluster(&social);
+    let eps = 1.0;
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(eps));
+
+    let in_with = RecommenderInputs { prefs: &with_edge, sim: &sim };
+    let in_without = RecommenderInputs { prefs: &without_edge, sim: &sim };
+    let cluster = partition.cluster_of(UserId(0));
+
+    let trials = 6000;
+    // Check the e^ε bound at several thresholds around the true values.
+    for t in [0.1, 0.25, 1.0 / 3.0, 0.5, 0.75] {
+        let p1 = empirical_cdf_at(&fw, &in_with, cluster, ItemId(0), t, trials);
+        let p2 = empirical_cdf_at(&fw, &in_without, cluster, ItemId(0), t, trials);
+        let bound = eps.exp();
+        // Sampling slack: 25% plus an absolute floor for tiny
+        // probabilities.
+        let slack = 1.25;
+        let floor = 0.02;
+        assert!(
+            p1 <= bound * p2 * slack + floor,
+            "t={t}: Pr_with={p1} vs bound {} * Pr_without={p2}",
+            bound
+        );
+        assert!(
+            p2 <= bound * p1 * slack + floor,
+            "t={t} (reverse): Pr_without={p2} vs bound {} * Pr_with={p1}",
+            bound
+        );
+    }
+}
+
+#[test]
+fn framework_distribution_actually_depends_on_edge() {
+    // Sanity companion: at weak privacy (large ε), the two neighboring
+    // inputs must give *visibly different* distributions — otherwise
+    // the DP test above would pass vacuously.
+    let social = social_graph_from_edges(
+        6,
+        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+    )
+    .unwrap();
+    let with_edge = preference_graph_from_edges(6, 2, &[(0, 0), (1, 0)]).unwrap();
+    let without_edge = with_edge.toggled_edge(UserId(0), ItemId(0));
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let partition = LouvainStrategy::default().cluster(&social);
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(20.0));
+    let in_with = RecommenderInputs { prefs: &with_edge, sim: &sim };
+    let in_without = RecommenderInputs { prefs: &without_edge, sim: &sim };
+    let cluster = partition.cluster_of(UserId(0));
+    // True averages differ by 1/|c|; with ε=20 noise is small.
+    let size = partition.cluster_sizes()[cluster as usize] as f64;
+    let t = {
+        // midpoint between the two true averages
+        let a = empirical_mean(&fw, &in_with, cluster, 400);
+        let b = empirical_mean(&fw, &in_without, cluster, 400);
+        assert!((a - b - 1.0 / size).abs() < 0.05, "means {a} vs {b}");
+        (a + b) / 2.0
+    };
+    let p1 = empirical_cdf_at(&fw, &in_with, cluster, ItemId(0), t, 2000);
+    let p2 = empirical_cdf_at(&fw, &in_without, cluster, ItemId(0), t, 2000);
+    assert!(p2 > p1 + 0.5, "distributions should separate: {p1} vs {p2}");
+}
+
+fn empirical_mean(
+    fw: &ClusterFramework<'_>,
+    inputs: &RecommenderInputs<'_>,
+    cluster: u32,
+    trials: u64,
+) -> f64 {
+    (0..trials)
+        .map(|seed| fw.noisy_cluster_averages(inputs, seed).get(cluster, 0))
+        .sum::<f64>()
+        / trials as f64
+}
+
+#[test]
+fn post_processing_uses_no_private_data() {
+    // Module A_R must be a deterministic function of (public sim,
+    // partition, sanitized averages): feeding it averages computed from
+    // a *different* preference graph must give identical estimates.
+    let social = social_graph_from_edges(
+        6,
+        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+    )
+    .unwrap();
+    let p1 = preference_graph_from_edges(6, 2, &[(0, 0), (1, 0)]).unwrap();
+    let p2 = preference_graph_from_edges(6, 2, &[(5, 1)]).unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let partition = LouvainStrategy::default().cluster(&social);
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(1.0));
+    let in1 = RecommenderInputs { prefs: &p1, sim: &sim };
+    let in2 = RecommenderInputs { prefs: &p2, sim: &sim };
+    // Same sanitized averages, different "private" graphs behind the
+    // inputs: estimates must agree because A_R never reads prefs.
+    let avg = fw.noisy_cluster_averages(&in1, 3);
+    for u in 0..6u32 {
+        let e1 = fw.utility_estimates(&in1, &avg, UserId(u));
+        let e2 = fw.utility_estimates(&in2, &avg, UserId(u));
+        assert_eq!(e1, e2, "A_R read private data for user {u}");
+    }
+}

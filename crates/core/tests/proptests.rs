@@ -1,0 +1,119 @@
+//! Property-based tests for recommenders and metrics.
+
+use proptest::prelude::*;
+use socialrec_community::Partition;
+use socialrec_core::private::framework::ClusterFramework;
+use socialrec_core::{
+    per_user_ndcg, top_n_items, ExactRecommender, RecommenderInputs, TopNRecommender,
+};
+use socialrec_dp::Epsilon;
+use socialrec_graph::preference::preference_graph_from_edges;
+use socialrec_graph::social::social_graph_from_edges;
+use socialrec_graph::{ItemId, UserId};
+use socialrec_similarity::{Measure, SimilarityMatrix};
+
+/// A small random dataset: social graph + preference graph.
+fn dataset() -> impl Strategy<
+    Value = (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph),
+> {
+    (3usize..15, 2usize..10).prop_flat_map(|(nu, ni)| {
+        let social = proptest::collection::vec((0u32..nu as u32, 0u32..nu as u32), 0..30)
+            .prop_map(move |pairs| {
+                let edges: Vec<_> = pairs.into_iter().filter(|(a, b)| a != b).collect();
+                social_graph_from_edges(nu, &edges).unwrap()
+            });
+        let prefs = proptest::collection::vec((0u32..nu as u32, 0u32..ni as u32), 0..40)
+            .prop_map(move |edges| preference_graph_from_edges(nu, ni, &edges).unwrap());
+        (social, prefs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topn_agrees_with_full_sort(
+        utilities in proptest::collection::vec(-10.0f64..10.0, 1..100),
+        n in 1usize..20,
+    ) {
+        let fast = top_n_items(&utilities, n);
+        let mut full: Vec<(ItemId, f64)> = utilities
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (ItemId(i as u32), u))
+            .collect();
+        full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        full.truncate(n);
+        prop_assert_eq!(fast, full);
+    }
+
+    #[test]
+    fn ndcg_unit_interval_and_perfect_for_exact((s, p) in dataset(), n in 1usize..8) {
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        for u in 0..s.num_users() as u32 {
+            let util = ExactRecommender.utilities(&inputs, UserId(u));
+            let exact_list: Vec<ItemId> =
+                top_n_items(&util, n).into_iter().map(|(i, _)| i).collect();
+            let v = per_user_ndcg(&util, &exact_list, n);
+            prop_assert!((v - 1.0).abs() < 1e-12, "exact list must be perfect, got {v}");
+            // A reversed list stays within [0, 1].
+            let reversed: Vec<ItemId> = exact_list.iter().rev().copied().collect();
+            let r = per_user_ndcg(&util, &reversed, n);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn framework_estimates_unbiased_at_eps_inf((s, p) in dataset()) {
+        // With singleton clusters and no noise, the estimates equal the
+        // exact utilities for every user (AE = 0, PE = 0).
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::singletons(s.num_users());
+        let fw = ClusterFramework::new(&partition, Epsilon::Infinite);
+        let avg = fw.noisy_cluster_averages(&inputs, 0);
+        for u in 0..s.num_users() as u32 {
+            let est = fw.utility_estimates(&inputs, &avg, UserId(u));
+            let exact = ExactRecommender.utilities(&inputs, UserId(u));
+            for (a, b) in est.iter().zip(&exact) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn framework_mass_preserved_by_averaging((s, p) in dataset()) {
+        // For any clustering at ε=∞, per item:
+        // Σ_c |c| · w̄_c^i = item degree (total edge mass).
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        for k in [1usize, 2, 3] {
+            let raw: Vec<u32> =
+                (0..s.num_users()).map(|i| (i % k) as u32).collect();
+            let partition = Partition::from_assignment(&raw);
+            let fw = ClusterFramework::new(&partition, Epsilon::Infinite);
+            let avg = fw.noisy_cluster_averages(&inputs, 0);
+            let sizes = partition.cluster_sizes();
+            for i in 0..p.num_items() as u32 {
+                let mass: f64 = (0..partition.num_clusters() as u32)
+                    .map(|c| sizes[c as usize] as f64 * avg.get(c, i))
+                    .sum();
+                let degree = p.item_degree(ItemId(i)) as f64;
+                prop_assert!((mass - degree).abs() < 1e-9, "item {i}: {mass} vs {degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn recommend_is_reproducible((s, p) in dataset(), seed in 0u64..50) {
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::one_cluster(s.num_users());
+        let fw = ClusterFramework::new(&partition, Epsilon::Finite(0.5));
+        let users: Vec<UserId> = (0..s.num_users() as u32).map(UserId).collect();
+        let a = fw.recommend(&inputs, &users, 3, seed);
+        let b = fw.recommend(&inputs, &users, 3, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,38 @@
+//! Datasets for the `socialrec` experiments.
+//!
+//! The paper evaluates on two crawled datasets (Table 1):
+//!
+//! | | Last.fm | Flixster |
+//! |---|---|---|
+//! | users | 1,892 | 137,372 |
+//! | social edges | 12,717 | 1,269,076 |
+//! | avg user degree | 13.4 (σ 17.3) | 18.5 (σ 31.1) |
+//! | items | 17,632 | 48,756 |
+//! | preference edges | 92,198 | 7,527,931 |
+//! | items per user | 48.7 (σ 6.9) | 54.8 (σ 218.2) |
+//!
+//! The raw crawls are not redistributable here, so this crate provides:
+//!
+//! * [`synthetic`] — generators targeted at the Table-1 statistics,
+//!   with community-aligned preferences (the property the framework's
+//!   approximation error depends on). [`lastfm_like`] also reproduces
+//!   the component structure the paper reports (one giant component
+//!   holding ≈97.4% of users plus 19 components of 2–7 nodes).
+//! * [`loaders`] — readers for the real HetRec-2011 Last.fm and
+//!   Flixster file formats, applying the paper's §6.1 preprocessing
+//!   (weight thresholding, binarization, main-component extraction), so
+//!   anyone holding the original files can run the experiments on them.
+
+#![warn(missing_docs)]
+
+pub mod loaders;
+pub mod preprocess;
+pub mod synthetic;
+
+pub use loaders::{load_flixster, load_hetrec_lastfm};
+pub use preprocess::{build_dataset, PreprocessOptions};
+pub use synthetic::{
+    flixster_like, generate_preferences, generate_preferences_social, lastfm_like,
+    lastfm_like_scaled, Dataset,
+    PreferenceGenConfig,
+};

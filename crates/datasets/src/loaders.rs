@@ -1,0 +1,63 @@
+//! Loaders for the two real datasets the paper uses, for anyone who has
+//! the original files on disk.
+//!
+//! * HetRec-2011 Last.fm: <http://ir.ii.uam.es/hetrec2011/datasets.html>
+//!   (`user_friends.dat`, `user_artists.dat`)
+//! * Flixster (Jamali & Ester crawl): social `links.txt` plus
+//!   `ratings.txt`, whitespace-separated `user item rating` records.
+
+use crate::preprocess::{build_dataset, PreprocessOptions};
+use crate::synthetic::Dataset;
+use socialrec_graph::io::{read_hetrec_friends, read_hetrec_listens};
+use socialrec_graph::GraphError;
+use std::path::Path;
+
+/// Load and preprocess the HetRec-2011 Last.fm dataset from a directory
+/// containing `user_friends.dat` and `user_artists.dat`.
+pub fn load_hetrec_lastfm(dir: &Path) -> Result<Dataset, GraphError> {
+    let friends = read_hetrec_friends(&dir.join("user_friends.dat"))?;
+    let listens = read_hetrec_listens(&dir.join("user_artists.dat"))?;
+    build_dataset(&friends, &listens, PreprocessOptions::lastfm(), "lastfm(hetrec2011)")
+}
+
+/// Load and preprocess a Flixster-style dataset from a social links
+/// file and a ratings file.
+pub fn load_flixster(links: &Path, ratings: &Path) -> Result<Dataset, GraphError> {
+    let friends = read_hetrec_friends(links)?;
+    let rates = read_hetrec_listens(ratings)?;
+    build_dataset(&friends, &rates, PreprocessOptions::flixster(), "flixster")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn loads_hetrec_format_from_disk() {
+        let dir = std::env::temp_dir().join(format!("socialrec-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut f = std::fs::File::create(dir.join("user_friends.dat")).unwrap();
+        writeln!(f, "userID\tfriendID").unwrap();
+        writeln!(f, "2\t275").unwrap();
+        writeln!(f, "275\t300").unwrap();
+        let mut a = std::fs::File::create(dir.join("user_artists.dat")).unwrap();
+        writeln!(a, "userID\tartistID\tweight").unwrap();
+        writeln!(a, "2\t51\t13883").unwrap();
+        writeln!(a, "275\t52\t1").unwrap(); // below threshold
+        writeln!(a, "300\t51\t4").unwrap();
+
+        let ds = load_hetrec_lastfm(&dir).unwrap();
+        assert_eq!(ds.social.num_users(), 3);
+        assert_eq!(ds.social.num_edges(), 2);
+        assert_eq!(ds.prefs.num_edges(), 2);
+        assert_eq!(ds.prefs.num_items(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_clean_error() {
+        let err = load_hetrec_lastfm(Path::new("/nonexistent-socialrec")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

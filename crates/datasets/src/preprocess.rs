@@ -1,0 +1,242 @@
+//! The paper's §6.1 preprocessing pipeline, for raw crawled records.
+//!
+//! Last.fm: discard listened-to edges with weight < 2 (listening once is
+//! not a positive signal), binarize the rest. Flixster: keep the main
+//! connected component induced by users with at least one rating,
+//! discard ratings < 2 (likely dislike), binarize.
+
+use crate::synthetic::Dataset;
+use socialrec_graph::io::{IdMapper, RawRating, RawSocialEdge};
+use socialrec_graph::preference::PreferenceGraphBuilder;
+use socialrec_graph::social::SocialGraphBuilder;
+use socialrec_graph::traversal::connected_components;
+use socialrec_graph::{GraphError, ItemId, UserId};
+
+/// Options controlling [`build_dataset`].
+#[derive(Clone, Copy, Debug)]
+pub struct PreprocessOptions {
+    /// Drop ratings strictly below this weight before binarizing.
+    pub min_weight: f64,
+    /// Keep only users in the main connected component of the social
+    /// graph (after the `require_preference` filter, if set).
+    pub main_component_only: bool,
+    /// Keep only users with at least one surviving preference edge.
+    pub require_preference: bool,
+}
+
+impl PreprocessOptions {
+    /// The paper's Last.fm pipeline: threshold at 2, keep everyone.
+    pub fn lastfm() -> Self {
+        PreprocessOptions { min_weight: 2.0, main_component_only: false, require_preference: false }
+    }
+
+    /// The paper's Flixster pipeline: threshold at 2, require a rating,
+    /// keep the main component.
+    pub fn flixster() -> Self {
+        PreprocessOptions { min_weight: 2.0, main_component_only: true, require_preference: true }
+    }
+}
+
+/// Assemble a dataset from raw records, applying the paper's
+/// preprocessing. Users and items are renumbered densely; users with no
+/// social edge but a rating (or vice versa) are retained unless the
+/// options filter them.
+pub fn build_dataset(
+    social_edges: &[RawSocialEdge],
+    ratings: &[RawRating],
+    opts: PreprocessOptions,
+    name: &str,
+) -> Result<Dataset, GraphError> {
+    // Threshold + binarize ratings.
+    let kept: Vec<&RawRating> =
+        ratings.iter().filter(|r| r.weight >= opts.min_weight).collect();
+
+    // Preliminary user universe: everyone mentioned anywhere.
+    let mut users = IdMapper::new();
+    for e in social_edges {
+        users.get_or_insert(e.a);
+        users.get_or_insert(e.b);
+    }
+    for r in &kept {
+        users.get_or_insert(r.user);
+    }
+
+    // Preference filter.
+    let mut has_pref = vec![false; users.len()];
+    for r in &kept {
+        has_pref[users.get(r.user).expect("just inserted") as usize] = true;
+    }
+    let mut keep_user: Vec<bool> = if opts.require_preference {
+        has_pref.clone()
+    } else {
+        vec![true; users.len()]
+    };
+
+    // Main-component filter (on the graph induced by currently-kept
+    // users).
+    if opts.main_component_only {
+        let mut b = SocialGraphBuilder::new(users.len());
+        for e in social_edges {
+            let (a, bb) = (
+                users.get(e.a).expect("inserted"),
+                users.get(e.b).expect("inserted"),
+            );
+            if a != bb && keep_user[a as usize] && keep_user[bb as usize] {
+                b.add_edge(UserId(a), UserId(bb))?;
+            }
+        }
+        let g = b.build();
+        let cc = connected_components(&g);
+        // Largest component among kept users (isolated kept users each
+        // form their own singleton component and will be dropped).
+        let mut best = (0usize, 0u32);
+        for (cid, &sz) in cc.sizes.iter().enumerate() {
+            if sz > best.0 {
+                best = (sz, cid as u32);
+            }
+        }
+        for (idx, k) in keep_user.iter_mut().enumerate() {
+            *k = *k && cc.component[idx] == best.1;
+        }
+    }
+
+    // Final dense renumbering of kept users.
+    let mut final_id = vec![u32::MAX; users.len()];
+    let mut next = 0u32;
+    for (idx, &k) in keep_user.iter().enumerate() {
+        if k {
+            final_id[idx] = next;
+            next += 1;
+        }
+    }
+    let num_users = next as usize;
+
+    // Items: renumber densely over items that survive with a kept user.
+    let mut items = IdMapper::new();
+    let mut pref_edges: Vec<(u32, u32)> = Vec::with_capacity(kept.len());
+    for r in &kept {
+        let u = users.get(r.user).expect("inserted");
+        let fu = final_id[u as usize];
+        if fu == u32::MAX {
+            continue;
+        }
+        let i = items.get_or_insert(r.item);
+        pref_edges.push((fu, i));
+    }
+
+    let mut sb = SocialGraphBuilder::new(num_users);
+    for e in social_edges {
+        let (a, bb) = (
+            users.get(e.a).expect("inserted"),
+            users.get(e.b).expect("inserted"),
+        );
+        if a == bb {
+            continue; // drop self-loops in raw crawls
+        }
+        let (fa, fb) = (final_id[a as usize], final_id[bb as usize]);
+        if fa != u32::MAX && fb != u32::MAX {
+            sb.add_edge(UserId(fa), UserId(fb))?;
+        }
+    }
+    let social = sb.build();
+
+    let mut pb = PreferenceGraphBuilder::new(num_users, items.len());
+    for (u, i) in pref_edges {
+        pb.add_edge(UserId(u), ItemId(i))?;
+    }
+    let prefs = pb.build();
+
+    Ok(Dataset { social, prefs, name: name.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(a: u64, b: u64) -> RawSocialEdge {
+        RawSocialEdge { a, b }
+    }
+
+    fn rating(user: u64, item: u64, weight: f64) -> RawRating {
+        RawRating { user, item, weight }
+    }
+
+    #[test]
+    fn threshold_and_binarize() {
+        let social = [edge(10, 20)];
+        let ratings = [rating(10, 100, 5.0), rating(10, 101, 1.0), rating(20, 100, 2.0)];
+        let ds = build_dataset(&social, &ratings, PreprocessOptions::lastfm(), "t").unwrap();
+        assert_eq!(ds.social.num_users(), 2);
+        assert_eq!(ds.prefs.num_edges(), 2, "weight-1 rating must be dropped");
+        assert_eq!(ds.prefs.num_items(), 1, "item 101 vanishes with its only rating");
+        // Binarized.
+        for (u, i) in ds.prefs.edges() {
+            assert_eq!(ds.prefs.weight(u, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn require_preference_drops_ratingless_users() {
+        let social = [edge(1, 2), edge(2, 3)];
+        let ratings = [rating(1, 50, 3.0), rating(2, 50, 3.0)];
+        let opts = PreprocessOptions {
+            min_weight: 2.0,
+            main_component_only: false,
+            require_preference: true,
+        };
+        let ds = build_dataset(&social, &ratings, opts, "t").unwrap();
+        assert_eq!(ds.social.num_users(), 2, "user 3 has no rating");
+        assert_eq!(ds.social.num_edges(), 1);
+    }
+
+    #[test]
+    fn main_component_extraction() {
+        // Two components: {1,2,3} and {4,5}; all have ratings.
+        let social = [edge(1, 2), edge(2, 3), edge(4, 5)];
+        let ratings = [
+            rating(1, 9, 3.0),
+            rating(2, 9, 3.0),
+            rating(3, 9, 3.0),
+            rating(4, 9, 3.0),
+            rating(5, 9, 3.0),
+        ];
+        let ds = build_dataset(&social, &ratings, PreprocessOptions::flixster(), "t").unwrap();
+        assert_eq!(ds.social.num_users(), 3);
+        assert_eq!(ds.prefs.num_edges(), 3);
+    }
+
+    #[test]
+    fn flixster_pipeline_composes_filters() {
+        // User 3 has no rating: removed; that disconnects {1,2} from
+        // {4,5} if 3 was the bridge... build: 1-2, 2-3, 3-4, 4-5.
+        let social = [edge(1, 2), edge(2, 3), edge(3, 4), edge(4, 5)];
+        let ratings = [
+            rating(1, 9, 3.0),
+            rating(2, 9, 3.0),
+            rating(4, 8, 3.0),
+            rating(5, 8, 3.0),
+            rating(5, 9, 1.0), // dropped by threshold
+        ];
+        let ds = build_dataset(&social, &ratings, PreprocessOptions::flixster(), "t").unwrap();
+        // After removing 3: components {1,2} and {4,5} — tie broken by
+        // first-found (both size 2); either is acceptable, but the
+        // result must have exactly 2 users and 1 social edge.
+        assert_eq!(ds.social.num_users(), 2);
+        assert_eq!(ds.social.num_edges(), 1);
+    }
+
+    #[test]
+    fn raw_self_loops_dropped() {
+        let social = [edge(1, 1), edge(1, 2)];
+        let ratings = [rating(1, 5, 3.0)];
+        let ds = build_dataset(&social, &ratings, PreprocessOptions::lastfm(), "t").unwrap();
+        assert_eq!(ds.social.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ds = build_dataset(&[], &[], PreprocessOptions::lastfm(), "empty").unwrap();
+        assert_eq!(ds.social.num_users(), 0);
+        assert_eq!(ds.prefs.num_edges(), 0);
+    }
+}

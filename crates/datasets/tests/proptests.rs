@@ -1,0 +1,61 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+use socialrec_datasets::{generate_preferences, lastfm_like_scaled, PreferenceGenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn preferences_respect_bounds(
+        n_users in 5usize..60,
+        n_items in 5usize..200,
+        comms in 1u32..5,
+        mean in 2.0f64..15.0,
+        seed in 0u64..100,
+    ) {
+        let community: Vec<u32> = (0..n_users).map(|u| u as u32 % comms).collect();
+        let prefs = generate_preferences(
+            &community,
+            &PreferenceGenConfig {
+                num_items: n_items,
+                mean_items_per_user: mean,
+                std_items_per_user: mean / 4.0,
+                seed,
+                ..Default::default()
+            },
+        );
+        prop_assert_eq!(prefs.num_users(), n_users);
+        prop_assert_eq!(prefs.num_items(), n_items);
+        // Every user has at least one preference; no duplicates (the
+        // CSR builder dedups, so compare against the raw degree).
+        for u in prefs.users() {
+            let d = prefs.user_degree(u);
+            prop_assert!(d >= 1, "user {u:?} has no items");
+            prop_assert!(d <= n_items);
+            let items = prefs.items_of(u);
+            for w in items.windows(2) {
+                prop_assert!(w[0] < w[1], "row not strictly sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_deterministic_per_seed(seed in 0u64..30) {
+        let a = lastfm_like_scaled(0.04, seed);
+        let b = lastfm_like_scaled(0.04, seed);
+        prop_assert_eq!(a.social, b.social);
+        prop_assert_eq!(a.prefs, b.prefs);
+    }
+
+    #[test]
+    fn scaled_counts_track_scale(scale in 0.03f64..0.3) {
+        let ds = lastfm_like_scaled(scale, 1);
+        let expected_users = ((1892.0 * scale).round() as usize).max(60);
+        prop_assert_eq!(ds.social.num_users(), expected_users);
+        prop_assert_eq!(ds.social.num_users(), ds.prefs.num_users());
+        // Items-per-user target is scale-independent.
+        let per_user = ds.prefs.num_edges() as f64 / ds.prefs.num_users() as f64;
+        prop_assert!((40.0..56.0).contains(&per_user), "items/user {per_user}");
+    }
+}

@@ -1,0 +1,152 @@
+//! The privacy parameter ε.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The differential-privacy parameter ε.
+///
+/// Smaller ε means stronger privacy and more noise; the paper sweeps
+/// `{∞, 1.0, 0.6, 0.1, 0.05, 0.01}`. `Infinite` disables noise entirely
+/// and is used to measure approximation error alone.
+///
+/// # Examples
+///
+/// ```
+/// use socialrec_dp::Epsilon;
+///
+/// let eps: Epsilon = "0.1".parse().unwrap();
+/// assert_eq!(eps.laplace_scale(1.0), Some(10.0));
+/// assert_eq!("inf".parse::<Epsilon>().unwrap(), Epsilon::Infinite);
+/// assert!(Epsilon::new(-1.0).is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Epsilon {
+    /// Finite ε > 0.
+    Finite(f64),
+    /// ε = ∞: no privacy, no noise.
+    Infinite,
+}
+
+impl Epsilon {
+    /// Construct a finite ε; returns `None` unless `0 < eps < ∞`.
+    pub fn new(eps: f64) -> Option<Epsilon> {
+        if eps.is_finite() && eps > 0.0 {
+            Some(Epsilon::Finite(eps))
+        } else if eps.is_infinite() && eps > 0.0 {
+            Some(Epsilon::Infinite)
+        } else {
+            None
+        }
+    }
+
+    /// The ε value as `f64` (`f64::INFINITY` for `Infinite`).
+    pub fn value(self) -> f64 {
+        match self {
+            Epsilon::Finite(e) => e,
+            Epsilon::Infinite => f64::INFINITY,
+        }
+    }
+
+    /// Whether this setting adds no noise.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Epsilon::Infinite)
+    }
+
+    /// Laplace scale `Δ/ε` for a given sensitivity; `None` when no noise
+    /// is needed (ε = ∞ or Δ = 0).
+    pub fn laplace_scale(self, sensitivity: f64) -> Option<f64> {
+        assert!(sensitivity >= 0.0, "sensitivity must be non-negative");
+        match self {
+            Epsilon::Infinite => None,
+            Epsilon::Finite(e) => {
+                if sensitivity == 0.0 {
+                    None
+                } else {
+                    Some(sensitivity / e)
+                }
+            }
+        }
+    }
+
+    /// Split this budget evenly into `parts` sequential pieces
+    /// (Theorem 2). `∞` splits into `∞`.
+    pub fn split(self, parts: usize) -> Epsilon {
+        assert!(parts >= 1, "cannot split into zero parts");
+        match self {
+            Epsilon::Infinite => Epsilon::Infinite,
+            Epsilon::Finite(e) => Epsilon::Finite(e / parts as f64),
+        }
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Epsilon::Finite(e) => write!(f, "{e}"),
+            Epsilon::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+impl FromStr for Epsilon {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("inf")
+            || t.eq_ignore_ascii_case("infinity")
+            || t == "∞"
+        {
+            return Ok(Epsilon::Infinite);
+        }
+        let v: f64 = t.parse().map_err(|_| format!("bad epsilon: {s:?}"))?;
+        Epsilon::new(v).ok_or_else(|| format!("epsilon must be > 0, got {v}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(Epsilon::new(0.1), Some(Epsilon::Finite(0.1)));
+        assert_eq!(Epsilon::new(f64::INFINITY), Some(Epsilon::Infinite));
+        assert_eq!(Epsilon::new(0.0), None);
+        assert_eq!(Epsilon::new(-1.0), None);
+        assert_eq!(Epsilon::new(f64::NAN), None);
+        assert_eq!(Epsilon::new(f64::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn laplace_scale_rules() {
+        let e = Epsilon::Finite(0.5);
+        assert_eq!(e.laplace_scale(2.0), Some(4.0));
+        assert_eq!(e.laplace_scale(0.0), None);
+        assert_eq!(Epsilon::Infinite.laplace_scale(10.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sensitivity_panics() {
+        let _ = Epsilon::Finite(1.0).laplace_scale(-1.0);
+    }
+
+    #[test]
+    fn split_budget() {
+        assert_eq!(Epsilon::Finite(1.0).split(2), Epsilon::Finite(0.5));
+        assert_eq!(Epsilon::Infinite.split(4), Epsilon::Infinite);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("0.1".parse::<Epsilon>().unwrap(), Epsilon::Finite(0.1));
+        assert_eq!("inf".parse::<Epsilon>().unwrap(), Epsilon::Infinite);
+        assert_eq!("∞".parse::<Epsilon>().unwrap(), Epsilon::Infinite);
+        assert!("x".parse::<Epsilon>().is_err());
+        assert!("0".parse::<Epsilon>().is_err());
+        assert_eq!(Epsilon::Finite(0.6).to_string(), "0.6");
+        assert_eq!(Epsilon::Infinite.to_string(), "inf");
+    }
+}

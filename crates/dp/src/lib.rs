@@ -1,0 +1,29 @@
+//! Differential-privacy machinery for the `socialrec` workspace.
+//!
+//! Implements the pieces of §3 of Jorgensen & Yu (EDBT 2014):
+//!
+//! * [`Epsilon`] — the privacy parameter, including the explicit
+//!   `ε = ∞` (no noise) setting the paper uses to isolate approximation
+//!   error in Figures 1–3.
+//! * [`laplace`] — the Laplace mechanism (Theorem 1): noise with scale
+//!   `Δ/ε` calibrated to global sensitivity (Definition 7).
+//! * [`counter`] — a *counter-based* deterministic Laplace stream:
+//!   `noise(k) = F⁻¹(splitmix64(seed, k))`. Needed by the Noise-on-Edges
+//!   baseline, whose conceptual noisy-edge matrix is dense `|U|×|I|` and
+//!   must stay consistent across all users without being materialised.
+//! * [`accountant`] — bookkeeping for sequential (Theorem 2) and
+//!   parallel (Theorem 3) composition.
+
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod counter;
+pub mod epsilon;
+pub mod geometric;
+pub mod laplace;
+
+pub use accountant::PrivacyAccountant;
+pub use counter::CounterLaplace;
+pub use epsilon::Epsilon;
+pub use geometric::{sample_two_sided_geometric, GeometricMechanism};
+pub use laplace::{laplace_expected_abs_error, sample_laplace, LaplaceMechanism};

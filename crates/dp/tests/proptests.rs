@@ -1,0 +1,74 @@
+//! Property-based tests for the DP primitives.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use socialrec_dp::{laplace_expected_abs_error, sample_laplace, CounterLaplace, Epsilon};
+
+proptest! {
+    #[test]
+    fn epsilon_roundtrips_through_strings(e in 0.001f64..100.0) {
+        let eps = Epsilon::new(e).unwrap();
+        let parsed: Epsilon = eps.to_string().parse().unwrap();
+        prop_assert!((parsed.value() - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_scale_monotone_in_epsilon(
+        e1 in 0.01f64..10.0,
+        factor in 1.01f64..100.0,
+        sens in 0.01f64..50.0,
+    ) {
+        // Larger epsilon (weaker privacy) must never increase the scale.
+        let strong = Epsilon::Finite(e1).laplace_scale(sens).unwrap();
+        let weak = Epsilon::Finite(e1 * factor).laplace_scale(sens).unwrap();
+        prop_assert!(weak < strong);
+        // Scale is linear in sensitivity.
+        let double = Epsilon::Finite(e1).laplace_scale(sens * 2.0).unwrap();
+        prop_assert!((double - 2.0 * strong).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_error_matches_scale(e in 0.01f64..10.0, sens in 0.0f64..10.0) {
+        let err = laplace_expected_abs_error(Epsilon::Finite(e), sens);
+        prop_assert!((err - sens / e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_budget_conserves_total(e in 0.01f64..10.0, parts in 1usize..20) {
+        let whole = Epsilon::Finite(e);
+        let piece = whole.split(parts);
+        prop_assert!((piece.value() * parts as f64 - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_samples_are_finite(seed in 0u64..1000, scale in 1e-6f64..1e6) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = sample_laplace(&mut rng, scale);
+            prop_assert!(x.is_finite(), "non-finite sample at scale {scale}");
+        }
+    }
+
+    #[test]
+    fn counter_noise_deterministic_and_finite(
+        seed in 0u64..1000,
+        a in 0u32..1_000_000,
+        b in 0u32..1_000_000,
+        scale in 1e-6f64..1e6,
+    ) {
+        let s = CounterLaplace::new(seed, scale);
+        let x = s.noise(a, b);
+        prop_assert!(x.is_finite());
+        prop_assert_eq!(x, s.noise(a, b));
+    }
+
+    #[test]
+    fn counter_noise_scales_linearly(seed in 0u64..100, a in 0u32..1000, b in 0u32..1000) {
+        // The inverse-CDF construction makes noise exactly linear in the
+        // scale parameter for a fixed cell.
+        let s1 = CounterLaplace::new(seed, 1.0);
+        let s2 = CounterLaplace::new(seed, 2.0);
+        prop_assert!((s2.noise(a, b) - 2.0 * s1.noise(a, b)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal command-line argument parsing for the experiment binaries.
+//!
+//! Deliberately tiny (no external CLI crate): `--key value` pairs and
+//! boolean `--flag`s, with typed accessors and defaults.
+
+use socialrec_dp::Epsilon;
+use std::collections::{HashMap, HashSet};
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: HashSet<String>,
+}
+
+impl Args {
+    /// Parse from an explicit token list (first element NOT the program
+    /// name).
+    pub fn parse_from<I: IntoIterator<Item = String>>(tokens: I) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = HashSet::new();
+        let toks: Vec<String> = tokens.into_iter().collect();
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < toks.len() && !toks[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), toks[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Parse from the process environment.
+    pub fn parse() -> Args {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// Raw string value.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `u64` value with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get_str(key).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {s:?}"))
+        })
+    }
+
+    /// `usize` value with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_str(key).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {s:?}"))
+        })
+    }
+
+    /// `f64` value with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get_str(key).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {s:?}"))
+        })
+    }
+
+    /// Boolean flag presence.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+
+    /// Comma-separated ε list (`inf` allowed), or the given default.
+    pub fn epsilons(&self, default: &[Epsilon]) -> Vec<Epsilon> {
+        match self.get_str("epsilons") {
+            None => default.to_vec(),
+            Some(s) => s
+                .split(',')
+                .map(|t| t.parse::<Epsilon>().unwrap_or_else(|e| panic!("{e}")))
+                .collect(),
+        }
+    }
+
+    /// Comma-separated N list, or the given default.
+    pub fn ns(&self, default: &[usize]) -> Vec<usize> {
+        match self.get_str("ns") {
+            None => default.to_vec(),
+            Some(s) => s
+                .split(',')
+                .map(|t| {
+                    t.trim().parse().unwrap_or_else(|_| panic!("--ns expects integers, got {t:?}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// The paper's ε grid `{∞, 1.0, 0.6, 0.1, 0.05, 0.01}`.
+    pub fn paper_epsilons() -> Vec<Epsilon> {
+        vec![
+            Epsilon::Infinite,
+            Epsilon::Finite(1.0),
+            Epsilon::Finite(0.6),
+            Epsilon::Finite(0.1),
+            Epsilon::Finite(0.05),
+            Epsilon::Finite(0.01),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = args("--seed 7 --verbose --scale 0.5");
+        assert_eq!(a.get_u64("seed", 0), 7);
+        assert!(a.has_flag("verbose"));
+        assert!((a.get_f64("scale", 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(a.get_usize("runs", 3), 3);
+        assert!(!a.has_flag("missing"));
+    }
+
+    #[test]
+    fn epsilon_list() {
+        let a = args("--epsilons inf,1.0,0.1");
+        let e = a.epsilons(&[]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0], Epsilon::Infinite);
+        assert_eq!(e[2], Epsilon::Finite(0.1));
+        let d = args("").epsilons(&[Epsilon::Finite(2.0)]);
+        assert_eq!(d, vec![Epsilon::Finite(2.0)]);
+    }
+
+    #[test]
+    fn ns_list() {
+        let a = args("--ns 10,50,100");
+        assert_eq!(a.ns(&[5]), vec![10, 50, 100]);
+        assert_eq!(args("").ns(&[5]), vec![5]);
+    }
+
+    #[test]
+    fn paper_grid() {
+        let e = Args::paper_epsilons();
+        assert_eq!(e.len(), 6);
+        assert!(e[0].is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        args("--seed banana").get_u64("seed", 0);
+    }
+}

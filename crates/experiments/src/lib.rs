@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation (§6).
+//!
+//! Each binary prints the same rows/series the paper reports and can
+//! dump machine-readable JSON via `--out`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 (dataset summaries) + §6.2 clustering facts |
+//! | `fig1` | Fig. 1: Last.fm NDCG@{10,50,100} × ε × {AA,CN,GD,KZ} |
+//! | `fig2` | Fig. 2: Flixster (scaled) same grid |
+//! | `fig3` | Fig. 3: per-user NDCG@50 vs social degree at ε=∞ |
+//! | `fig4` | Fig. 4: NOU/NOE/GS/LRM (+ framework) on Last.fm |
+//! | `ablation` | clustering-strategy ablation (design-choice study) |
+//!
+//! Common flags: `--seed`, `--runs`, `--out <json>`, `--epsilons
+//! 1.0,0.6,0.1`, plus per-binary options (see each binary's `--help`).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod eval;
+pub mod report;
+
+pub use args::Args;
+pub use eval::{
+    build_eval_set, mean_ndcg_over_runs, sample_users, streaming_framework_ndcg, EvalSet,
+    NdcgPoint,
+};
+pub use report::{write_json, Table};

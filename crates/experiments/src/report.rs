@@ -1,0 +1,105 @@
+//! Plain-text tables and JSON result dumps.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A fixed-width text table builder for terminal reports.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:<width$}", s, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Serialize `value` as pretty JSON to `path` (if given), reporting the
+/// write on stdout.
+pub fn write_json<T: Serialize>(path: Option<&str>, value: &T) {
+    if let Some(p) = path {
+        let json = serde_json::to_string_pretty(value).expect("serializable results");
+        let mut f = std::fs::File::create(Path::new(p))
+            .unwrap_or_else(|e| panic!("cannot create {p}: {e}"));
+        f.write_all(json.as_bytes()).expect("write results");
+        println!("\nresults written to {p}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("x     "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_written() {
+        let path = std::env::temp_dir().join(format!("socialrec-json-{}", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        write_json(Some(&path_str), &vec![1, 2, 3]);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        std::fs::remove_file(&path).ok();
+    }
+}

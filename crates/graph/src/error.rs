@@ -1,0 +1,90 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced by an edge is out of the declared range.
+    NodeOutOfRange {
+        /// What kind of node ("user" or "item").
+        kind: &'static str,
+        /// The offending id.
+        id: u32,
+        /// The number of nodes declared.
+        num_nodes: usize,
+    },
+    /// A social edge connects a node to itself; the model forbids loops.
+    SelfLoop {
+        /// The node with the loop.
+        id: u32,
+    },
+    /// Underlying I/O failure while reading or writing a graph file.
+    Io(io::Error),
+    /// A line of an input file could not be parsed.
+    Parse {
+        /// Path or description of the source.
+        source_name: String,
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what failed.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { kind, id, num_nodes } => {
+                write!(f, "{kind} id {id} out of range (num nodes = {num_nodes})")
+            }
+            GraphError::SelfLoop { id } => write!(f, "self loop on node {id}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { source_name, line, message } => {
+                write!(f, "parse error in {source_name} at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange { kind: "user", id: 9, num_nodes: 5 };
+        assert!(e.to_string().contains("user id 9"));
+        let e = GraphError::SelfLoop { id: 3 };
+        assert!(e.to_string().contains("self loop"));
+        let e = GraphError::Parse {
+            source_name: "x.tsv".into(),
+            line: 2,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,356 @@
+//! Graph file I/O.
+//!
+//! * Simple TSV edge lists for both graph kinds (our native on-disk
+//!   format, used by examples and experiment snapshots).
+//! * Raw-record readers for the two public datasets the paper uses:
+//!   HetRec-2011 Last.fm (`user_friends.dat`, `user_artists.dat`) and
+//!   Flixster-style (`links.txt`, `ratings.txt`). These return raw
+//!   external-id records; dense renumbering and the paper's §6.1
+//!   preprocessing live in `socialrec-datasets`.
+
+use crate::error::GraphError;
+use crate::ids::{ItemId, UserId};
+use crate::preference::{PreferenceGraph, PreferenceGraphBuilder};
+use crate::social::{SocialGraph, SocialGraphBuilder};
+use rustc_hash::FxHashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A raw social edge with external (file) ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawSocialEdge {
+    /// First endpoint (external id).
+    pub a: u64,
+    /// Second endpoint (external id).
+    pub b: u64,
+}
+
+/// A raw weighted user→item record with external ids.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawRating {
+    /// User (external id).
+    pub user: u64,
+    /// Item (external id).
+    pub item: u64,
+    /// Raw weight (listen count, star rating, ...).
+    pub weight: f64,
+}
+
+/// Maps arbitrary external `u64` ids to dense internal indices.
+#[derive(Clone, Debug, Default)]
+pub struct IdMapper {
+    map: FxHashMap<u64, u32>,
+    reverse: Vec<u64>,
+}
+
+impl IdMapper {
+    /// Create an empty mapper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dense id for `external`, allocating the next index if unseen.
+    pub fn get_or_insert(&mut self, external: u64) -> u32 {
+        match self.map.entry(external) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.reverse.len() as u32;
+                e.insert(id);
+                self.reverse.push(external);
+                id
+            }
+        }
+    }
+
+    /// Dense id for `external` if it has been seen.
+    pub fn get(&self, external: u64) -> Option<u32> {
+        self.map.get(&external).copied()
+    }
+
+    /// External id for a dense index.
+    pub fn external(&self, dense: u32) -> Option<u64> {
+        self.reverse.get(dense as usize).copied()
+    }
+
+    /// Number of distinct ids seen.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// Whether no ids have been seen.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+}
+
+fn parse_err(source_name: &str, line: usize, message: impl Into<String>) -> GraphError {
+    GraphError::Parse { source_name: source_name.to_string(), line, message: message.into() }
+}
+
+/// Parse whitespace/tab-separated `u64` fields from a reader, skipping an
+/// optional non-numeric header line and blank/comment (`#`, `%`) lines.
+fn parse_records<R: Read, const N: usize>(
+    reader: R,
+    source_name: &str,
+) -> Result<Vec<[f64; N]>, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < N {
+            // Tolerate a single header line of column names.
+            if idx == 0 && fields.iter().any(|f| f.parse::<f64>().is_err()) {
+                continue;
+            }
+            return Err(parse_err(
+                source_name,
+                idx + 1,
+                format!("expected {N} fields, found {}", fields.len()),
+            ));
+        }
+        let mut rec = [0.0f64; N];
+        let mut ok = true;
+        for (k, f) in fields.iter().take(N).enumerate() {
+            match f.parse::<f64>() {
+                Ok(v) => rec[k] = v,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            // Tolerate a header anywhere in the first line only.
+            if idx == 0 {
+                continue;
+            }
+            return Err(parse_err(source_name, idx + 1, format!("non-numeric field in {trimmed:?}")));
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Read a social edge list (`a<tab>b` per line, optional header) from any
+/// reader.
+pub fn read_social_edges<R: Read>(reader: R, source_name: &str) -> Result<Vec<RawSocialEdge>, GraphError> {
+    Ok(parse_records::<R, 2>(reader, source_name)?
+        .into_iter()
+        .map(|[a, b]| RawSocialEdge { a: a as u64, b: b as u64 })
+        .collect())
+}
+
+/// Read weighted ratings (`user<tab>item<tab>weight`, optional header).
+pub fn read_ratings<R: Read>(reader: R, source_name: &str) -> Result<Vec<RawRating>, GraphError> {
+    Ok(parse_records::<R, 3>(reader, source_name)?
+        .into_iter()
+        .map(|[u, i, w]| RawRating { user: u as u64, item: i as u64, weight: w })
+        .collect())
+}
+
+/// Read a HetRec-2011 Last.fm style friends file (`userID\tfriendID`).
+pub fn read_hetrec_friends(path: &Path) -> Result<Vec<RawSocialEdge>, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_social_edges(f, &path.display().to_string())
+}
+
+/// Read a HetRec-2011 Last.fm style listens file
+/// (`userID\tartistID\tweight`).
+pub fn read_hetrec_listens(path: &Path) -> Result<Vec<RawRating>, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_ratings(f, &path.display().to_string())
+}
+
+/// Write a social graph as a TSV edge list (one `u\tv` line per edge,
+/// `u < v`), preceded by a `# users=N` header.
+pub fn write_social_graph<W: Write>(g: &SocialGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# users={}", g.num_users())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a social graph previously written by [`write_social_graph`].
+pub fn read_social_graph<R: Read>(reader: R, source_name: &str) -> Result<SocialGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut num_users: Option<usize> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if let Some(v) = rest.trim().strip_prefix("users=") {
+                num_users = Some(v.trim().parse().map_err(|_| {
+                    parse_err(source_name, idx + 1, "bad users= header")
+                })?);
+            }
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let a: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(source_name, idx + 1, "missing first endpoint"))?;
+        let b: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(source_name, idx + 1, "missing second endpoint"))?;
+        edges.push((a, b));
+    }
+    let n = num_users
+        .unwrap_or_else(|| edges.iter().map(|&(a, b)| a.max(b) as usize + 1).max().unwrap_or(0));
+    let mut builder = SocialGraphBuilder::new(n);
+    for (a, b) in edges {
+        builder.add_edge(UserId(a), UserId(b))?;
+    }
+    Ok(builder.build())
+}
+
+/// Write a preference graph as TSV (`u\ti` lines with a
+/// `# users=N items=M` header).
+pub fn write_preference_graph<W: Write>(g: &PreferenceGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# users={} items={}", g.num_users(), g.num_items())?;
+    for (u, i) in g.edges() {
+        writeln!(w, "{u}\t{i}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a preference graph previously written by
+/// [`write_preference_graph`].
+pub fn read_preference_graph<R: Read>(
+    reader: R,
+    source_name: &str,
+) -> Result<PreferenceGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut dims: Option<(usize, usize)> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut users = None;
+            let mut items = None;
+            for tok in rest.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("users=") {
+                    users = v.parse::<usize>().ok();
+                } else if let Some(v) = tok.strip_prefix("items=") {
+                    items = v.parse::<usize>().ok();
+                }
+            }
+            if let (Some(u), Some(i)) = (users, items) {
+                dims = Some((u, i));
+            }
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(source_name, idx + 1, "missing user"))?;
+        let i: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(source_name, idx + 1, "missing item"))?;
+        edges.push((u, i));
+    }
+    let (nu, ni) = dims.unwrap_or_else(|| {
+        (
+            edges.iter().map(|&(u, _)| u as usize + 1).max().unwrap_or(0),
+            edges.iter().map(|&(_, i)| i as usize + 1).max().unwrap_or(0),
+        )
+    });
+    let mut builder = PreferenceGraphBuilder::new(nu, ni);
+    for (u, i) in edges {
+        builder.add_edge(UserId(u), ItemId(i))?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::preference_graph_from_edges;
+    use crate::social::social_graph_from_edges;
+    use std::io::Cursor;
+
+    #[test]
+    fn social_roundtrip() {
+        let g = social_graph_from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_social_graph(&g, &mut buf).unwrap();
+        let g2 = read_social_graph(Cursor::new(buf), "mem").unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn preference_roundtrip() {
+        let g = preference_graph_from_edges(3, 4, &[(0, 0), (0, 3), (2, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_preference_graph(&g, &mut buf).unwrap();
+        let g2 = read_preference_graph(Cursor::new(buf), "mem").unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_isolated_tail_nodes() {
+        // users=5 but max edge endpoint is 2: header must win.
+        let g = social_graph_from_edges(5, &[(0, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_social_graph(&g, &mut buf).unwrap();
+        let g2 = read_social_graph(Cursor::new(buf), "mem").unwrap();
+        assert_eq!(g2.num_users(), 5);
+    }
+
+    #[test]
+    fn hetrec_style_parsing_with_header() {
+        let data = "userID\tfriendID\n2\t275\n2\t428\n275\t2\n";
+        let edges = read_social_edges(Cursor::new(data), "friends.dat").unwrap();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0], RawSocialEdge { a: 2, b: 275 });
+    }
+
+    #[test]
+    fn ratings_parsing_with_header_and_comments() {
+        let data = "userID\tartistID\tweight\n# comment\n2\t51\t13883\n2\t52\t11690\n";
+        let ratings = read_ratings(Cursor::new(data), "listens.dat").unwrap();
+        assert_eq!(ratings.len(), 2);
+        assert_eq!(ratings[0], RawRating { user: 2, item: 51, weight: 13883.0 });
+    }
+
+    #[test]
+    fn bad_line_is_an_error() {
+        let data = "1\t2\nnot_a_number\t3\n";
+        let err = read_social_edges(Cursor::new(data), "x").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn id_mapper_dense_and_stable() {
+        let mut m = IdMapper::new();
+        assert_eq!(m.get_or_insert(100), 0);
+        assert_eq!(m.get_or_insert(7), 1);
+        assert_eq!(m.get_or_insert(100), 0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(7), Some(1));
+        assert_eq!(m.get(8), None);
+        assert_eq!(m.external(0), Some(100));
+        assert_eq!(m.external(2), None);
+    }
+}

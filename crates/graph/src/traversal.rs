@@ -1,0 +1,265 @@
+//! BFS utilities and connected components over the social graph.
+//!
+//! These are the building blocks for the Graph-Distance similarity
+//! measure (BFS truncated at depth `d`), for the preprocessing step that
+//! extracts the main connected component (paper §6.1), and for the
+//! synthetic generators that must reproduce the Last.fm component
+//! structure (one giant component plus 19 tiny ones).
+
+use crate::ids::UserId;
+use crate::social::SocialGraph;
+use std::collections::VecDeque;
+
+/// Reusable BFS scratch state, so per-user traversals don't reallocate.
+///
+/// `visit_mark` uses a generation counter instead of clearing the whole
+/// array between traversals.
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    mark: Vec<u32>,
+    generation: u32,
+    queue: VecDeque<(UserId, u32)>,
+}
+
+impl BfsScratch {
+    /// Scratch sized for a graph with `num_users` users.
+    pub fn new(num_users: usize) -> Self {
+        BfsScratch { mark: vec![0; num_users], generation: 0, queue: VecDeque::new() }
+    }
+
+    fn begin(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Extremely rare wrap: reset marks so stale entries can't match.
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.generation = 1;
+        }
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, u: UserId) -> bool {
+        let m = &mut self.mark[u.index()];
+        if *m == self.generation {
+            false
+        } else {
+            *m = self.generation;
+            true
+        }
+    }
+}
+
+/// Breadth-first search from `source` up to `max_depth` hops, invoking
+/// `on_reach(user, depth)` for every user reached at depth `1..=max_depth`
+/// (the source itself is not reported).
+pub fn bfs_within<F: FnMut(UserId, u32)>(
+    g: &SocialGraph,
+    source: UserId,
+    max_depth: u32,
+    scratch: &mut BfsScratch,
+    mut on_reach: F,
+) {
+    scratch.begin();
+    scratch.visit(source);
+    scratch.queue.push_back((source, 0));
+    while let Some((u, d)) = scratch.queue.pop_front() {
+        if d == max_depth {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if scratch.visit(v) {
+                on_reach(v, d + 1);
+                scratch.queue.push_back((v, d + 1));
+            }
+        }
+    }
+}
+
+/// Length of the shortest path from `u` to `v`, if it is at most
+/// `max_depth`; `None` otherwise (or if disconnected). `u == v` gives 0.
+pub fn shortest_distance_within(
+    g: &SocialGraph,
+    u: UserId,
+    v: UserId,
+    max_depth: u32,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    let mut found = None;
+    bfs_within(g, u, max_depth, scratch, |w, d| {
+        if w == v && found.is_none() {
+            found = Some(d);
+        }
+    });
+    found
+}
+
+/// Connected components of the social graph.
+#[derive(Clone, Debug)]
+pub struct ConnectedComponents {
+    /// `component[u]` is the 0-based component index of user `u`.
+    pub component: Vec<u32>,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl ConnectedComponents {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of the largest component (ties broken by lowest id).
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(idx, &s)| (s, std::cmp::Reverse(idx)))
+            .map(|(idx, _)| idx as u32)
+    }
+
+    /// Users belonging to the given component, in ascending id order.
+    pub fn members(&self, comp: u32) -> Vec<UserId> {
+        self.component
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == comp)
+            .map(|(i, _)| UserId(i as u32))
+            .collect()
+    }
+}
+
+/// Compute connected components with iterative BFS.
+pub fn connected_components(g: &SocialGraph) -> ConnectedComponents {
+    let n = g.num_users();
+    let mut component = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if component[start] != u32::MAX {
+            continue;
+        }
+        let cid = sizes.len() as u32;
+        let mut size = 0usize;
+        component[start] = cid;
+        queue.push_back(UserId(start as u32));
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                let c = &mut component[v.index()];
+                if *c == u32::MAX {
+                    *c = cid;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    ConnectedComponents { component, sizes }
+}
+
+/// Extract the subgraph induced by `keep` (any order, deduplicated),
+/// returning the subgraph and the mapping `new id -> original id`.
+///
+/// Users are renumbered densely in ascending original-id order.
+pub fn induced_subgraph(g: &SocialGraph, keep: &[UserId]) -> (SocialGraph, Vec<UserId>) {
+    let mut sorted: Vec<UserId> = keep.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut old_to_new = vec![u32::MAX; g.num_users()];
+    for (new, &old) in sorted.iter().enumerate() {
+        old_to_new[old.index()] = new as u32;
+    }
+    let mut b = crate::social::SocialGraphBuilder::new(sorted.len());
+    for &old_u in &sorted {
+        let nu = old_to_new[old_u.index()];
+        for &old_v in g.neighbors(old_u) {
+            let nv = old_to_new[old_v.index()];
+            if nv != u32::MAX && nu < nv {
+                b.add_edge(UserId(nu), UserId(nv)).expect("mapped ids in range");
+            }
+        }
+    }
+    (b.build(), sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::social_graph_from_edges;
+
+    fn two_components() -> SocialGraph {
+        // Path 0-1-2-3 and triangle 4-5-6; 7 isolated.
+        social_graph_from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 4)]).unwrap()
+    }
+
+    #[test]
+    fn bfs_depth_limits() {
+        let g = two_components();
+        let mut scratch = BfsScratch::new(g.num_users());
+        let mut reached = Vec::new();
+        bfs_within(&g, UserId(0), 2, &mut scratch, |u, d| reached.push((u, d)));
+        reached.sort();
+        assert_eq!(reached, vec![(UserId(1), 1), (UserId(2), 2)]);
+    }
+
+    #[test]
+    fn bfs_does_not_report_source() {
+        let g = two_components();
+        let mut scratch = BfsScratch::new(g.num_users());
+        bfs_within(&g, UserId(4), 5, &mut scratch, |u, _| assert_ne!(u, UserId(4)));
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = two_components();
+        let mut scratch = BfsScratch::new(g.num_users());
+        let mut first = 0;
+        bfs_within(&g, UserId(0), 3, &mut scratch, |_, _| first += 1);
+        assert_eq!(first, 3);
+        let mut second = 0;
+        bfs_within(&g, UserId(0), 3, &mut scratch, |_, _| second += 1);
+        assert_eq!(second, 3, "stale marks leaked between traversals");
+    }
+
+    #[test]
+    fn shortest_distances() {
+        let g = two_components();
+        let mut s = BfsScratch::new(g.num_users());
+        assert_eq!(shortest_distance_within(&g, UserId(0), UserId(3), 3, &mut s), Some(3));
+        assert_eq!(shortest_distance_within(&g, UserId(0), UserId(3), 2, &mut s), None);
+        assert_eq!(shortest_distance_within(&g, UserId(0), UserId(4), 10, &mut s), None);
+        assert_eq!(shortest_distance_within(&g, UserId(5), UserId(5), 1, &mut s), Some(0));
+        assert_eq!(shortest_distance_within(&g, UserId(4), UserId(6), 3, &mut s), Some(1));
+    }
+
+    #[test]
+    fn components_found() {
+        let g = two_components();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        let mut sizes = cc.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 4]);
+        assert_eq!(cc.component[0], cc.component[3]);
+        assert_ne!(cc.component[0], cc.component[4]);
+        let largest = cc.largest().unwrap();
+        assert_eq!(cc.sizes[largest as usize], 4);
+        assert_eq!(cc.members(largest), vec![UserId(0), UserId(1), UserId(2), UserId(3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = two_components();
+        let (sub, mapping) = induced_subgraph(&g, &[UserId(4), UserId(6), UserId(5)]);
+        assert_eq!(sub.num_users(), 3);
+        assert_eq!(sub.num_edges(), 3); // triangle survives
+        assert_eq!(mapping, vec![UserId(4), UserId(5), UserId(6)]);
+        // Edge 2-3 is cut when only one endpoint is kept.
+        let (sub2, _) = induced_subgraph(&g, &[UserId(2), UserId(7)]);
+        assert_eq!(sub2.num_edges(), 0);
+        assert_eq!(sub2.num_users(), 2);
+    }
+}

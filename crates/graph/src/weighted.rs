@@ -1,0 +1,295 @@
+//! Weighted preference graphs — the paper's §7 "weighted preference
+//! edges (e.g., ratings)" extension.
+//!
+//! Weights are constrained to `[0, 1]` (normalize ratings before
+//! building). That keeps the private framework's sensitivity argument
+//! intact: adding or removing one edge changes a cluster's weight sum
+//! by at most 1, exactly as in the unweighted case, so the same
+//! `Lap(1/(|c|·ε))` noise suffices.
+
+use crate::error::GraphError;
+use crate::ids::{ItemId, UserId};
+use crate::preference::{PreferenceGraph, PreferenceGraphBuilder};
+
+/// Immutable bipartite user→item graph with edge weights in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedPreferenceGraph {
+    user_offsets: Vec<u32>,
+    user_items: Vec<ItemId>,
+    user_weights: Vec<f32>,
+    item_offsets: Vec<u32>,
+    item_users: Vec<UserId>,
+    item_weights: Vec<f32>,
+}
+
+impl WeightedPreferenceGraph {
+    /// Number of user nodes.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.user_offsets.len() - 1
+    }
+
+    /// Number of item nodes.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.item_offsets.len() - 1
+    }
+
+    /// Number of weighted edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.user_items.len()
+    }
+
+    /// `(items, weights)` of user `u`, items ascending.
+    #[inline]
+    pub fn items_of(&self, u: UserId) -> (&[ItemId], &[f32]) {
+        let a = self.user_offsets[u.index()] as usize;
+        let b = self.user_offsets[u.index() + 1] as usize;
+        (&self.user_items[a..b], &self.user_weights[a..b])
+    }
+
+    /// `(users, weights)` of item `i`, users ascending.
+    #[inline]
+    pub fn users_of(&self, i: ItemId) -> (&[UserId], &[f32]) {
+        let a = self.item_offsets[i.index()] as usize;
+        let b = self.item_offsets[i.index() + 1] as usize;
+        (&self.item_users[a..b], &self.item_weights[a..b])
+    }
+
+    /// The weight `w(u, i)` (0 if the edge is absent).
+    pub fn weight(&self, u: UserId, i: ItemId) -> f64 {
+        let (items, weights) = self.items_of(u);
+        match items.binary_search(&i) {
+            Ok(k) => weights[k] as f64,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over all weighted edges `(u, i, w)`.
+    pub fn edges(&self) -> impl Iterator<Item = (UserId, ItemId, f32)> + '_ {
+        (0..self.num_users() as u32).map(UserId).flat_map(move |u| {
+            let (items, weights) = self.items_of(u);
+            items.iter().zip(weights).map(move |(&i, &w)| (u, i, w))
+        })
+    }
+
+    /// Binarize: keep edges with weight ≥ `threshold` at weight 1 — the
+    /// reduction the paper's preprocessing applies.
+    pub fn binarize(&self, threshold: f32) -> PreferenceGraph {
+        let mut b = PreferenceGraphBuilder::new(self.num_users(), self.num_items());
+        for (u, i, w) in self.edges() {
+            if w >= threshold {
+                b.add_edge(u, i).expect("existing edge in range");
+            }
+        }
+        b.build()
+    }
+
+    /// View every weight as 1: the unweighted skeleton.
+    pub fn skeleton(&self) -> PreferenceGraph {
+        self.binarize(f32::MIN_POSITIVE)
+    }
+}
+
+/// Builder for [`WeightedPreferenceGraph`].
+///
+/// Duplicate `(u, i)` pairs keep the *last* weight added.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedPreferenceGraphBuilder {
+    num_users: usize,
+    num_items: usize,
+    edges: Vec<(UserId, ItemId, f32)>,
+}
+
+impl WeightedPreferenceGraphBuilder {
+    /// Builder over the given node counts.
+    pub fn new(num_users: usize, num_items: usize) -> Self {
+        WeightedPreferenceGraphBuilder { num_users, num_items, edges: Vec::new() }
+    }
+
+    /// Add edge `(u, i)` with `weight ∈ [0, 1]`. Zero-weight edges are
+    /// dropped (they are indistinguishable from absence in the model).
+    pub fn add_edge(&mut self, u: UserId, i: ItemId, weight: f32) -> Result<(), GraphError> {
+        if u.index() >= self.num_users {
+            return Err(GraphError::NodeOutOfRange {
+                kind: "user",
+                id: u.0,
+                num_nodes: self.num_users,
+            });
+        }
+        if i.index() >= self.num_items {
+            return Err(GraphError::NodeOutOfRange {
+                kind: "item",
+                id: i.0,
+                num_nodes: self.num_items,
+            });
+        }
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "weights must be normalized to [0, 1], got {weight}"
+        );
+        if weight > 0.0 {
+            self.edges.push((u, i, weight));
+        }
+        Ok(())
+    }
+
+    /// Add a raw rating in `[lo, hi]`, normalized linearly into `[0, 1]`.
+    pub fn add_rating(
+        &mut self,
+        u: UserId,
+        i: ItemId,
+        rating: f64,
+        lo: f64,
+        hi: f64,
+    ) -> Result<(), GraphError> {
+        assert!(hi > lo, "rating range must be non-degenerate");
+        let w = ((rating - lo) / (hi - lo)).clamp(0.0, 1.0) as f32;
+        self.add_edge(u, i, w)
+    }
+
+    /// Finalize.
+    pub fn build(mut self) -> WeightedPreferenceGraph {
+        // Stable sort by (u, i) then keep the last weight per pair.
+        self.edges.sort_by_key(|e| (e.0, e.1));
+        let mut dedup: Vec<(UserId, ItemId, f32)> = Vec::with_capacity(self.edges.len());
+        for e in self.edges {
+            match dedup.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 = e.2,
+                _ => dedup.push(e),
+            }
+        }
+
+        let nu = self.num_users;
+        let ni = self.num_items;
+        let mut user_offsets = vec![0u32; nu + 1];
+        let mut item_offsets = vec![0u32; ni + 1];
+        for &(u, i, _) in &dedup {
+            user_offsets[u.index() + 1] += 1;
+            item_offsets[i.index() + 1] += 1;
+        }
+        for k in 0..nu {
+            user_offsets[k + 1] += user_offsets[k];
+        }
+        for k in 0..ni {
+            item_offsets[k + 1] += item_offsets[k];
+        }
+        let m = dedup.len();
+        let mut user_items = vec![ItemId(0); m];
+        let mut user_weights = vec![0.0f32; m];
+        let mut item_users = vec![UserId(0); m];
+        let mut item_weights = vec![0.0f32; m];
+        let mut ucur = vec![0u32; nu];
+        let mut icur = vec![0u32; ni];
+        for &(u, i, w) in &dedup {
+            let iu = u.index();
+            let ii = i.index();
+            let up = (user_offsets[iu] + ucur[iu]) as usize;
+            user_items[up] = i;
+            user_weights[up] = w;
+            ucur[iu] += 1;
+            let ip = (item_offsets[ii] + icur[ii]) as usize;
+            item_users[ip] = u;
+            item_weights[ip] = w;
+            icur[ii] += 1;
+        }
+        WeightedPreferenceGraph {
+            user_offsets,
+            user_items,
+            user_weights,
+            item_offsets,
+            item_users,
+            item_weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedPreferenceGraph {
+        let mut b = WeightedPreferenceGraphBuilder::new(3, 3);
+        b.add_edge(UserId(0), ItemId(0), 1.0).unwrap();
+        b.add_edge(UserId(0), ItemId(1), 0.5).unwrap();
+        b.add_edge(UserId(1), ItemId(1), 0.25).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn weights_readable_both_ways() {
+        let g = sample();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight(UserId(0), ItemId(1)), 0.5);
+        assert_eq!(g.weight(UserId(2), ItemId(0)), 0.0);
+        let (users, weights) = g.users_of(ItemId(1));
+        assert_eq!(users, &[UserId(0), UserId(1)]);
+        assert_eq!(weights, &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn zero_weight_edges_dropped() {
+        let mut b = WeightedPreferenceGraphBuilder::new(1, 2);
+        b.add_edge(UserId(0), ItemId(0), 0.0).unwrap();
+        b.add_edge(UserId(0), ItemId(1), 0.3).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn duplicate_keeps_last() {
+        let mut b = WeightedPreferenceGraphBuilder::new(1, 1);
+        b.add_edge(UserId(0), ItemId(0), 0.2).unwrap();
+        b.add_edge(UserId(0), ItemId(0), 0.9).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weight(UserId(0), ItemId(0)), 0.9f32 as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn out_of_range_weight_panics() {
+        let mut b = WeightedPreferenceGraphBuilder::new(1, 1);
+        let _ = b.add_edge(UserId(0), ItemId(0), 1.5);
+    }
+
+    #[test]
+    fn rating_normalization() {
+        let mut b = WeightedPreferenceGraphBuilder::new(1, 3);
+        b.add_rating(UserId(0), ItemId(0), 5.0, 0.5, 5.0).unwrap();
+        b.add_rating(UserId(0), ItemId(1), 0.5, 0.5, 5.0).unwrap(); // -> 0, dropped
+        b.add_rating(UserId(0), ItemId(2), 2.75, 0.5, 5.0).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.weight(UserId(0), ItemId(0)), 1.0);
+        assert!((g.weight(UserId(0), ItemId(2)) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binarize_thresholds() {
+        let g = sample();
+        let bin = g.binarize(0.5);
+        assert_eq!(bin.num_edges(), 2);
+        assert!(bin.has_edge(UserId(0), ItemId(0)));
+        assert!(bin.has_edge(UserId(0), ItemId(1)));
+        assert!(!bin.has_edge(UserId(1), ItemId(1)));
+        let skel = g.skeleton();
+        assert_eq!(skel.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_iterator_complete() {
+        let g = sample();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(UserId(1), ItemId(1), 0.25)));
+    }
+
+    #[test]
+    fn out_of_range_nodes_rejected() {
+        let mut b = WeightedPreferenceGraphBuilder::new(1, 1);
+        assert!(b.add_edge(UserId(1), ItemId(0), 0.5).is_err());
+        assert!(b.add_edge(UserId(0), ItemId(1), 0.5).is_err());
+    }
+}

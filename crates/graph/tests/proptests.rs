@@ -1,0 +1,133 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use socialrec_graph::io::{
+    read_preference_graph, read_social_graph, write_preference_graph, write_social_graph,
+};
+use socialrec_graph::preference::preference_graph_from_edges;
+use socialrec_graph::social::social_graph_from_edges;
+use socialrec_graph::traversal::{connected_components, BfsScratch};
+use socialrec_graph::{ItemId, UserId};
+use std::io::Cursor;
+
+/// Strategy: a user count and a set of candidate social edges within it.
+fn social_inputs() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..80)
+            .prop_map(|pairs| pairs.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>());
+        (Just(n), edges)
+    })
+}
+
+fn preference_inputs() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
+    (1usize..30, 1usize..30).prop_flat_map(|(nu, ni)| {
+        let edges = proptest::collection::vec((0u32..nu as u32, 0u32..ni as u32), 0..80);
+        (Just(nu), Just(ni), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn social_graph_csr_invariants((n, edges) in social_inputs()) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        prop_assert_eq!(g.num_users(), n);
+        // Handshake: sum of degrees equals twice the edge count.
+        let degree_sum: usize = g.users().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        for u in g.users() {
+            let ns = g.neighbors(u);
+            // Strictly sorted, no self, symmetric.
+            for w in ns.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &v in ns {
+                prop_assert_ne!(v, u);
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+        // Edge count equals the number of distinct canonical pairs.
+        let mut canon: Vec<(u32, u32)> =
+            edges.iter().map(|&(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
+        canon.sort_unstable();
+        canon.dedup();
+        prop_assert_eq!(g.num_edges(), canon.len());
+    }
+
+    #[test]
+    fn social_graph_io_roundtrip((n, edges) in social_inputs()) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let mut buf = Vec::new();
+        write_social_graph(&g, &mut buf).unwrap();
+        let g2 = read_social_graph(Cursor::new(buf), "mem").unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn preference_graph_transpose_consistency((nu, ni, edges) in preference_inputs()) {
+        let g = preference_graph_from_edges(nu, ni, &edges).unwrap();
+        let user_sum: usize = g.users().map(|u| g.user_degree(u)).sum();
+        let item_sum: usize = g.items().map(|i| g.item_degree(i)).sum();
+        prop_assert_eq!(user_sum, g.num_edges());
+        prop_assert_eq!(item_sum, g.num_edges());
+        for (u, i) in g.edges() {
+            prop_assert!(g.users_of(i).contains(&u));
+            prop_assert_eq!(g.weight(u, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn preference_graph_io_roundtrip((nu, ni, edges) in preference_inputs()) {
+        let g = preference_graph_from_edges(nu, ni, &edges).unwrap();
+        let mut buf = Vec::new();
+        write_preference_graph(&g, &mut buf).unwrap();
+        let g2 = read_preference_graph(Cursor::new(buf), "mem").unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn toggle_edge_involutive((nu, ni, edges) in preference_inputs(), u in 0u32..30, i in 0u32..30) {
+        let g = preference_graph_from_edges(nu, ni, &edges).unwrap();
+        let u = UserId(u % nu as u32);
+        let i = ItemId(i % ni as u32);
+        let toggled = g.toggled_edge(u, i);
+        // Differ by exactly one edge, and toggling twice restores.
+        let diff = (g.num_edges() as i64 - toggled.num_edges() as i64).abs();
+        prop_assert_eq!(diff, 1);
+        prop_assert_eq!(toggled.toggled_edge(u, i), g);
+    }
+
+    #[test]
+    fn components_partition_users((n, edges) in social_inputs()) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let cc = connected_components(&g);
+        prop_assert_eq!(cc.component.len(), n);
+        prop_assert_eq!(cc.sizes.iter().sum::<usize>(), n);
+        // Every edge joins nodes of the same component.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(cc.component[u.index()], cc.component[v.index()]);
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_metric_within_bound((n, edges) in social_inputs()) {
+        use socialrec_graph::traversal::shortest_distance_within;
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let mut s = BfsScratch::new(n);
+        let mut s2 = BfsScratch::new(n);
+        for u in g.users().take(5) {
+            for v in g.users().take(5) {
+                let duv = shortest_distance_within(&g, u, v, 6, &mut s);
+                let dvu = shortest_distance_within(&g, v, u, 6, &mut s2);
+                prop_assert_eq!(duv, dvu, "distance must be symmetric");
+                if u == v {
+                    prop_assert_eq!(duv, Some(0));
+                }
+                if let Some(d) = duv {
+                    if d == 1 {
+                        prop_assert!(g.has_edge(u, v));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Minimal dense linear algebra for the Low-Rank Mechanism comparator.
+//!
+//! The LRM of Yuan et al. (PVLDB 2012) decomposes a workload matrix
+//! `W ≈ B·L` and answers the workload through the lower-sensitivity
+//! strategy `L`. The paper adapts it to social recommendation (§6.4)
+//! using a decomposition of rank ≈ rank(W). We implement the numerical
+//! substrate from scratch:
+//!
+//! * [`Matrix`] — dense row-major matrices with (rayon-) parallel
+//!   multiplication,
+//! * [`qr`] — thin QR via modified Gram–Schmidt,
+//! * [`svd`] — truncated randomized SVD (Halko-style range finder plus
+//!   a cyclic-Jacobi eigensolver on the small Gram matrix).
+
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+
+pub use matrix::Matrix;
+pub use qr::thin_qr;
+pub use svd::{randomized_svd, symmetric_jacobi_eigen, Svd};

@@ -1,0 +1,267 @@
+//! Dense row-major matrices.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a row-major flat vector.
+    ///
+    /// Panics unless `data.len() == rows·cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Standard-normal random matrix (Box–Muller), seeded.
+    pub fn gaussian(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow row `i` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                t[(j, i)] = v;
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other` (parallel over rows of `self`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, m);
+        out.data
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * m..(kk + 1) * m];
+                    for (j, &b) in b_row.iter().enumerate() {
+                        out_row[j] += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `selfᵀ · x`.
+    pub fn transpose_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, &a) in self.row(i).iter().enumerate() {
+                out[j] += a * xi;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute element-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum column L1 norm: `max_j Σ_i |A_ij|` — the LRM strategy
+    /// sensitivity.
+    pub fn max_column_l1(&self) -> f64 {
+        let mut sums = vec![0.0f64; self.cols];
+        for i in 0..self.rows {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                sums[j] += v.abs();
+            }
+        }
+        sums.into_iter().fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let m = Matrix::gaussian(4, 7, 1);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 3)], m[(3, 2)]);
+    }
+
+    #[test]
+    fn matmul_hand_checked() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::gaussian(5, 5, 2);
+        let i = Matrix::identity(5);
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-12);
+        assert!(i.matmul(&a).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn matvec_consistent_with_matmul() {
+        let a = Matrix::gaussian(4, 6, 3);
+        let x: Vec<f64> = (0..6).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let xm = Matrix::from_vec(6, 1, x.clone());
+        let via_matmul = a.matmul(&xm);
+        let via_matvec = a.matvec(&x);
+        for i in 0..4 {
+            assert!((via_matmul[(i, 0)] - via_matvec[i]).abs() < 1e-12);
+        }
+        // transpose_matvec consistency.
+        let y: Vec<f64> = (0..4).map(|i| 1.0 - i as f64).collect();
+        let t1 = a.transpose().matvec(&y);
+        let t2 = a.transpose_matvec(&y);
+        for j in 0..6 {
+            assert!((t1[j] - t2[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        let m = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(m.max_column_l1(), 6.0);
+    }
+
+    #[test]
+    fn gaussian_is_seeded_and_standardish() {
+        let a = Matrix::gaussian(50, 50, 9);
+        let b = Matrix::gaussian(50, 50, 9);
+        assert_eq!(a, b);
+        let mean: f64 = (0..50).flat_map(|i| a.row(i)).sum::<f64>() / 2500.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

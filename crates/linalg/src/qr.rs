@@ -1,0 +1,118 @@
+//! Thin QR factorization by modified Gram–Schmidt.
+
+use crate::matrix::Matrix;
+
+/// Thin QR of an `m × n` matrix (`m ≥ n` not required, but columns
+/// beyond the row count are necessarily dependent): returns `(Q, R)`
+/// with `Q` `m × n` having orthonormal (or zero, if rank deficient)
+/// columns and `R` `n × n` upper triangular, such that `A = Q·R`.
+///
+/// Columns whose residual norm falls below `tol · ‖A‖_F` are treated as
+/// dependent: their `Q` column is zero and `R[j][j] = 0`.
+pub fn thin_qr(a: &Matrix) -> (Matrix, Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    let tol = 1e-12 * a.frobenius_norm().max(1.0);
+
+    // Work column-major for locality of the column operations.
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut r = Matrix::zeros(n, n);
+
+    for j in 0..n {
+        // Orthogonalize col j against previous q's (MGS: already done
+        // progressively below); compute norm.
+        let norm = cols[j].iter().map(|v| v * v).sum::<f64>().sqrt();
+        r[(j, j)] = if norm > tol { norm } else { 0.0 };
+        if r[(j, j)] > 0.0 {
+            let inv = 1.0 / norm;
+            cols[j].iter_mut().for_each(|v| *v *= inv);
+        } else {
+            cols[j].iter_mut().for_each(|v| *v = 0.0);
+        }
+        // Project the remaining columns off q_j.
+        let (head, tail) = cols.split_at_mut(j + 1);
+        let qj = &head[j];
+        for (offset, ck) in tail.iter_mut().enumerate() {
+            let k = j + 1 + offset;
+            let dot: f64 = qj.iter().zip(ck.iter()).map(|(a, b)| a * b).sum();
+            r[(j, k)] = dot;
+            for (q, c) in qj.iter().zip(ck.iter_mut()) {
+                *c -= dot * q;
+            }
+        }
+    }
+
+    let mut q = Matrix::zeros(m, n);
+    for (j, cj) in cols.iter().enumerate() {
+        for i in 0..m {
+            q[(i, j)] = cj[i];
+        }
+    }
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(q: &Matrix, tol: f64) {
+        for j in 0..q.cols() {
+            let cj = q.col(j);
+            let njj: f64 = cj.iter().map(|v| v * v).sum();
+            if njj < 0.5 {
+                continue; // zero column from rank deficiency
+            }
+            assert!((njj - 1.0).abs() < tol, "col {j} norm² {njj}");
+            for k in (j + 1)..q.cols() {
+                let ck = q.col(k);
+                let dot: f64 = cj.iter().zip(&ck).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < tol, "cols {j},{k} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_random_matrix() {
+        let a = Matrix::gaussian(10, 6, 4);
+        let (q, r) = thin_qr(&a);
+        assert_orthonormal_cols(&q, 1e-10);
+        let qr = q.matmul(&r);
+        assert!(qr.max_abs_diff(&a) < 1e-10);
+        // R upper triangular.
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_rank_deficiency() {
+        // Third column = first + second.
+        let a = Matrix::from_fn(5, 3, |i, j| match j {
+            0 => (i + 1) as f64,
+            1 => (2 * i) as f64 + 1.0,
+            _ => (i + 1) as f64 + (2 * i) as f64 + 1.0,
+        });
+        let (q, r) = thin_qr(&a);
+        assert_eq!(r[(2, 2)], 0.0, "dependent column must have zero pivot");
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-9);
+        assert_orthonormal_cols(&q, 1e-9);
+    }
+
+    #[test]
+    fn identity_factors_trivially() {
+        let i5 = Matrix::identity(5);
+        let (q, r) = thin_qr(&i5);
+        assert!(q.max_abs_diff(&i5) < 1e-12);
+        assert!(r.max_abs_diff(&i5) < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let z = Matrix::zeros(4, 3);
+        let (q, r) = thin_qr(&z);
+        assert_eq!(q.frobenius_norm(), 0.0);
+        assert_eq!(r.frobenius_norm(), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Truncated randomized SVD (Halko, Martinsson & Tropp 2011).
+//!
+//! 1. Sketch the range: `Y = A·Ω` with Gaussian `Ω`, orthonormalise
+//!    (`Q`), optionally with power iterations for faster spectral decay.
+//! 2. Project: `B = Qᵀ·A` (small: `l × n`).
+//! 3. Exact eigendecomposition of the small Gram matrix `G = B·Bᵀ`
+//!    with a cyclic Jacobi sweep, then recover singular triples.
+
+use crate::matrix::Matrix;
+use crate::qr::thin_qr;
+
+/// A (possibly truncated) singular value decomposition `A ≈ U·Σ·Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m × r`.
+    pub u: Matrix,
+    /// Singular values, descending, length `r`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors transposed, `r × n`.
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Reconstruct `U·Σ·Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let r = self.singular_values.len();
+        let mut us = Matrix::zeros(self.u.rows(), r);
+        for i in 0..self.u.rows() {
+            for j in 0..r {
+                us[(i, j)] = self.u[(i, j)] * self.singular_values[j];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+
+    /// The number of retained singular triples.
+    pub fn rank(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// Numerical rank: singular values above `tol · σ_max`.
+    pub fn numerical_rank(&self, tol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values.iter().filter(|&&s| s > tol * smax).count()
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues descending and
+/// `eigenvectors` column `j` corresponding to eigenvalue `j`.
+pub fn symmetric_jacobi_eigen(g: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(g.rows(), g.cols(), "matrix must be square");
+    let n = g.rows();
+    let mut a = g.clone();
+    let mut v = Matrix::identity(n);
+
+    let off = |a: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += a[(i, j)] * a[(i, j)];
+                }
+            }
+        }
+        s.sqrt()
+    };
+    let scale = g.frobenius_norm().max(1e-300);
+
+    for _sweep in 0..64 {
+        if off(&a) <= 1e-13 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // A <- JᵀAJ applied to rows/cols p, q.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eig: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    order.sort_by(|&i, &j| eig[j].partial_cmp(&eig[i]).unwrap());
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| eig[i]).collect();
+    let mut vecs = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..n {
+            vecs[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    (eigenvalues, vecs)
+}
+
+/// Truncated randomized SVD of `a` keeping `rank` triples.
+///
+/// `oversample` extra sketch columns (≥ 5 recommended) and `power_iters`
+/// subspace iterations (1–2 suffice for slowly decaying spectra) control
+/// accuracy; `seed` controls the Gaussian sketch.
+pub fn randomized_svd(
+    a: &Matrix,
+    rank: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(rank >= 1, "rank must be at least 1");
+    let l = (rank + oversample).min(n).min(m);
+
+    // Range finder.
+    let omega = Matrix::gaussian(n, l, seed);
+    let mut q = {
+        let y = a.matmul(&omega);
+        thin_qr(&y).0
+    };
+    let at = a.transpose();
+    for _ in 0..power_iters {
+        let z = at.matmul(&q);
+        let qz = thin_qr(&z).0;
+        let y = a.matmul(&qz);
+        q = thin_qr(&y).0;
+    }
+
+    // Small problem: B = Qᵀ A (l × n), G = B Bᵀ (l × l).
+    let b = q.transpose().matmul(a);
+    let g = b.matmul(&b.transpose());
+    let (eig, w) = symmetric_jacobi_eigen(&g);
+
+    let keep = rank.min(l);
+    let mut singular_values = Vec::with_capacity(keep);
+    let mut u = Matrix::zeros(m, keep);
+    let mut vt = Matrix::zeros(keep, n);
+
+    // U = Q·W, v_j = Bᵀ w_j / σ_j.
+    let qw = q.matmul(&w);
+    for j in 0..keep {
+        let sigma = eig[j].max(0.0).sqrt();
+        singular_values.push(sigma);
+        for i in 0..m {
+            u[(i, j)] = qw[(i, j)];
+        }
+        if sigma > 1e-300 {
+            let wj = w.col(j);
+            let vj = b.transpose_matvec(&wj);
+            let inv = 1.0 / sigma;
+            for (k, &v) in vj.iter().enumerate() {
+                vt[(j, k)] = v * inv;
+            }
+        }
+    }
+
+    Svd { u, singular_values, vt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Low-rank test matrix: sum of `r` outer products with decaying
+    /// coefficients.
+    fn low_rank_matrix(m: usize, n: usize, r: usize, seed: u64) -> Matrix {
+        let u = Matrix::gaussian(m, r, seed);
+        let v = Matrix::gaussian(n, r, seed + 1);
+        let mut a = Matrix::zeros(m, n);
+        for k in 0..r {
+            let coef = 10.0 / (k + 1) as f64;
+            for i in 0..m {
+                for j in 0..n {
+                    a[(i, j)] += coef * u[(i, k)] * v[(j, k)];
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn jacobi_eigen_diagonal() {
+        let d = Matrix::from_fn(3, 3, |i, j| if i == j { (3 - i) as f64 } else { 0.0 });
+        let (eig, v) = symmetric_jacobi_eigen(&d);
+        assert!((eig[0] - 3.0).abs() < 1e-12);
+        assert!((eig[2] - 1.0).abs() < 1e-12);
+        // Eigenvectors are (signed) unit basis vectors.
+        assert!((v.col(0)[0].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_eigen_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let g = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (eig, v) = symmetric_jacobi_eigen(&g);
+        assert!((eig[0] - 3.0).abs() < 1e-12);
+        assert!((eig[1] - 1.0).abs() < 1e-12);
+        // Check A v = λ v for the top eigenpair.
+        let v0 = v.col(0);
+        let av = g.matvec(&v0);
+        for i in 0..2 {
+            assert!((av[i] - 3.0 * v0[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_random_symmetric() {
+        let b = Matrix::gaussian(8, 8, 7);
+        let g = b.matmul(&b.transpose()); // SPD
+        let (eig, v) = symmetric_jacobi_eigen(&g);
+        // V diag(eig) Vᵀ == G.
+        let mut vd = Matrix::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                vd[(i, j)] = v[(i, j)] * eig[j];
+            }
+        }
+        let rec = vd.matmul(&v.transpose());
+        assert!(rec.max_abs_diff(&g) < 1e-8, "diff {}", rec.max_abs_diff(&g));
+        // Descending, non-negative for SPD.
+        for w in eig.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10);
+        }
+        assert!(eig[7] > -1e-8);
+    }
+
+    #[test]
+    fn randomized_svd_recovers_low_rank() {
+        let a = low_rank_matrix(40, 30, 5, 2);
+        let svd = randomized_svd(&a, 5, 8, 2, 0);
+        let rec = svd.reconstruct();
+        let rel = rec.max_abs_diff(&a) / a.frobenius_norm();
+        assert!(rel < 1e-8, "relative error {rel}");
+        assert_eq!(svd.rank(), 5);
+        // Singular values descending.
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10);
+        }
+    }
+
+    #[test]
+    fn truncation_error_bounded_by_tail() {
+        let a = low_rank_matrix(30, 30, 8, 5);
+        let full = randomized_svd(&a, 8, 8, 2, 0);
+        let truncated = randomized_svd(&a, 4, 8, 2, 0);
+        let err = truncated.reconstruct().max_abs_diff(&a);
+        // Error should be on the order of the dropped singular values.
+        let sigma5 = full.singular_values[4];
+        assert!(err < 3.0 * sigma5 + 1e-9, "err {err} vs sigma5 {sigma5}");
+        assert!(err > 1e-12, "rank-4 cannot be exact for a rank-8 matrix");
+    }
+
+    #[test]
+    fn numerical_rank_detection() {
+        let a = low_rank_matrix(25, 25, 3, 9);
+        let svd = randomized_svd(&a, 10, 6, 2, 1);
+        assert_eq!(svd.numerical_rank(1e-8), 3);
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = low_rank_matrix(20, 15, 4, 3);
+        let svd = randomized_svd(&a, 4, 6, 2, 0);
+        let utu = svd.u.transpose().matmul(&svd.u);
+        assert!(utu.max_abs_diff(&Matrix::identity(4)) < 1e-8);
+        let vvt = svd.vt.matmul(&svd.vt.transpose());
+        assert!(vvt.max_abs_diff(&Matrix::identity(4)) < 1e-8);
+    }
+}

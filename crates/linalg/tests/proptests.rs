@@ -1,0 +1,131 @@
+//! Property-based tests for the dense linear algebra.
+
+use proptest::prelude::*;
+use socialrec_linalg::{randomized_svd, symmetric_jacobi_eigen, thin_qr, Matrix};
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..10, 2usize..10, 0u64..1000)
+        .prop_map(|(m, n, seed)| Matrix::gaussian(m, n, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_associative(seed in 0u64..500) {
+        let a = Matrix::gaussian(5, 4, seed);
+        let b = Matrix::gaussian(4, 6, seed + 1);
+        let c = Matrix::gaussian(6, 3, seed + 2);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_reverses_product(seed in 0u64..500) {
+        let a = Matrix::gaussian(4, 6, seed);
+        let b = Matrix::gaussian(6, 5, seed + 9);
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-9);
+    }
+
+    #[test]
+    fn qr_reconstructs(a in small_matrix()) {
+        let (q, r) = thin_qr(&a);
+        let qr = q.matmul(&r);
+        prop_assert!(qr.max_abs_diff(&a) < 1e-8, "diff {}", qr.max_abs_diff(&a));
+        // Q columns orthonormal (or zero).
+        let qtq = q.transpose().matmul(&q);
+        for i in 0..qtq.rows() {
+            for j in 0..qtq.cols() {
+                let expected = if i == j {
+                    let v = qtq[(i, j)];
+                    prop_assert!((v - 1.0).abs() < 1e-8 || v.abs() < 1e-8);
+                    continue;
+                } else {
+                    0.0
+                };
+                prop_assert!((qtq[(i, j)] - expected).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs_spd(seed in 0u64..500, n in 2usize..9) {
+        let b = Matrix::gaussian(n, n, seed);
+        let g = b.matmul(&b.transpose());
+        let (eig, v) = symmetric_jacobi_eigen(&g);
+        // Eigenvalues descending and non-negative (SPD).
+        for w in eig.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(eig[n - 1] > -1e-8);
+        // Reconstruction.
+        let mut vd = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                vd[(i, j)] = v[(i, j)] * eig[j];
+            }
+        }
+        let rec = vd.matmul(&v.transpose());
+        prop_assert!(rec.max_abs_diff(&g) < 1e-7 * (1.0 + g.frobenius_norm()));
+    }
+
+    #[test]
+    fn svd_full_rank_is_exact(seed in 0u64..300, m in 3usize..8, n in 3usize..8) {
+        let a = Matrix::gaussian(m, n, seed);
+        let r = m.min(n);
+        let svd = randomized_svd(&a, r, 6, 2, seed + 1);
+        let rec = svd.reconstruct();
+        prop_assert!(
+            rec.max_abs_diff(&a) < 1e-7 * (1.0 + a.frobenius_norm()),
+            "diff {}",
+            rec.max_abs_diff(&a)
+        );
+    }
+
+    #[test]
+    fn svd_truncation_error_roughly_monotone(seed in 0u64..200) {
+        // Randomized SVD is only probabilistically near-optimal, so a
+        // higher rank can occasionally reconstruct slightly worse in
+        // max-abs terms; require monotonicity of the *Frobenius* error
+        // up to a small sketching slack, and exactness at full rank.
+        let a = Matrix::gaussian(10, 8, seed);
+        let fro = |m: &Matrix| -> f64 {
+            let mut d = 0.0;
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    d += (m[(i, j)] - a[(i, j)]).powi(2);
+                }
+            }
+            d.sqrt()
+        };
+        let mut prev_err = f64::INFINITY;
+        for r in [2usize, 4, 6, 8] {
+            let svd = randomized_svd(&a, r, 8, 3, 0);
+            let err = fro(&svd.reconstruct());
+            prop_assert!(
+                err <= prev_err * 1.10 + 1e-7,
+                "rank {r}: {err} far above {prev_err}"
+            );
+            prev_err = prev_err.min(err);
+        }
+        prop_assert!(prev_err < 1e-6, "full rank must be exact, err {prev_err}");
+    }
+
+    #[test]
+    fn max_column_l1_bounds_matvec(seed in 0u64..300) {
+        // For any one-hot x, ||A x||_1 <= max column L1 norm — the LRM
+        // sensitivity argument.
+        let a = Matrix::gaussian(6, 7, seed);
+        let bound = a.max_column_l1();
+        for j in 0..7 {
+            let mut x = vec![0.0; 7];
+            x[j] = 1.0;
+            let y = a.matvec(&x);
+            let l1: f64 = y.iter().map(|v| v.abs()).sum();
+            prop_assert!(l1 <= bound + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Precomputed similarity sets for all users, in CSR form.
+//!
+//! The recommenders evaluate `sim(u)` for every user, and the NOU
+//! baseline needs the global sensitivity `max_u Σ_v sim(v, u)`; both
+//! want the whole matrix up front. Rows are computed in parallel with
+//! per-thread scratch buffers.
+
+use crate::scratch::SimScratch;
+use crate::Similarity;
+use rayon::prelude::*;
+use socialrec_graph::{SocialGraph, UserId};
+use std::io::{self, Read, Write};
+
+/// All similarity sets, row per user, CSR layout.
+///
+/// # Examples
+///
+/// ```
+/// use socialrec_similarity::{Measure, SimilarityMatrix};
+/// use socialrec_graph::social::social_graph_from_edges;
+/// use socialrec_graph::UserId;
+///
+/// // Square: opposite corners share two neighbors.
+/// let g = social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// let sim = SimilarityMatrix::build(&g, &Measure::CommonNeighbors);
+/// assert_eq!(sim.pair(UserId(0), UserId(2)), 2.0);
+/// assert_eq!(sim.pair(UserId(0), UserId(1)), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimilarityMatrix {
+    offsets: Vec<u64>,
+    neighbors: Vec<UserId>,
+    scores: Vec<f64>,
+    name: &'static str,
+}
+
+impl SimilarityMatrix {
+    /// Compute every user's similarity set in parallel.
+    pub fn build<S: Similarity + ?Sized>(g: &SocialGraph, measure: &S) -> SimilarityMatrix {
+        let n = g.num_users();
+        let rows: Vec<Vec<(UserId, f64)>> = (0..n as u32)
+            .into_par_iter()
+            .map_init(
+                || (SimScratch::new(n), Vec::new()),
+                |(scratch, out), u| {
+                    measure.similarity_set(g, UserId(u), scratch, out);
+                    std::mem::take(out)
+                },
+            )
+            .collect();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let total: usize = rows.iter().map(|r| r.len()).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        let mut scores = Vec::with_capacity(total);
+        for row in &rows {
+            for &(v, s) in row {
+                neighbors.push(v);
+                scores.push(s);
+            }
+            offsets.push(neighbors.len() as u64);
+        }
+        SimilarityMatrix { offsets, neighbors, scores, name: measure.name() }
+    }
+
+    /// Number of users (rows).
+    pub fn num_users(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored (non-zero) entries.
+    pub fn num_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Name of the measure that produced this matrix.
+    pub fn measure_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The similarity set of `u` as parallel slices `(users, scores)`,
+    /// users ascending.
+    #[inline]
+    pub fn row(&self, u: UserId) -> (&[UserId], &[f64]) {
+        let a = self.offsets[u.index()] as usize;
+        let b = self.offsets[u.index() + 1] as usize;
+        (&self.neighbors[a..b], &self.scores[a..b])
+    }
+
+    /// `sim(u, v)` by binary search in `u`'s row.
+    pub fn pair(&self, u: UserId, v: UserId) -> f64 {
+        let (users, scores) = self.row(u);
+        match users.binary_search(&v) {
+            Ok(i) => scores[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `Σ_v sim(u, v)` — the row sum.
+    pub fn total_similarity(&self, u: UserId) -> f64 {
+        self.row(u).1.iter().sum()
+    }
+
+    /// The NOU global sensitivity `Δ_A = max_u Σ_v sim(v, u)`
+    /// (§5.1.1). All four paper measures are symmetric, so the max
+    /// column sum equals the max row sum.
+    pub fn max_total_similarity(&self) -> f64 {
+        (0..self.num_users() as u32)
+            .map(|u| self.total_similarity(UserId(u)))
+            .fold(0.0, f64::max)
+    }
+
+    /// The largest single similarity value in `u`'s row
+    /// (`max_{v∈sim(u)} sim(u,v)`, used by the GS comparator).
+    pub fn max_in_row(&self, u: UserId) -> f64 {
+        self.row(u).1.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean similarity-set size across users.
+    pub fn mean_set_size(&self) -> f64 {
+        if self.num_users() == 0 {
+            0.0
+        } else {
+            self.num_entries() as f64 / self.num_users() as f64
+        }
+    }
+
+    /// Serialize to a compact little-endian binary stream (building a
+    /// large matrix can dominate a pipeline; caching it on disk lets
+    /// repeated experiments skip the computation).
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(SIM_MAGIC)?;
+        w.write_all(&(self.num_users() as u64).to_le_bytes())?;
+        w.write_all(&(self.num_entries() as u64).to_le_bytes())?;
+        let name_bytes = self.name.as_bytes();
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(name_bytes)?;
+        for &o in &self.offsets {
+            w.write_all(&o.to_le_bytes())?;
+        }
+        for &v in &self.neighbors {
+            w.write_all(&v.0.to_le_bytes())?;
+        }
+        for &x in &self.scores {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize a matrix previously written by
+    /// [`write_to`](SimilarityMatrix::write_to).
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<SimilarityMatrix> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != SIM_MAGIC {
+            return Err(bad("not a socialrec similarity-matrix file"));
+        }
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let n = u64::from_le_bytes(b8) as usize;
+        r.read_exact(&mut b8)?;
+        let entries = u64::from_le_bytes(b8) as usize;
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let name_len = u32::from_le_bytes(b4) as usize;
+        if name_len > 64 {
+            return Err(bad("implausible measure-name length"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name_string =
+            String::from_utf8(name_bytes).map_err(|_| bad("bad measure name"))?;
+        // Names are interned to the known measure set; unknown names
+        // round-trip as "??" rather than leaking allocations into the
+        // 'static field.
+        let name: &'static str = match name_string.as_str() {
+            "CN" => "CN",
+            "GD" => "GD",
+            "AA" => "AA",
+            "KZ" => "KZ",
+            "JC" => "JC",
+            "SA" => "SA",
+            "RA" => "RA",
+            "HP" => "HP",
+            "PA" => "PA",
+            _ => "??",
+        };
+        let mut offsets = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            r.read_exact(&mut b8)?;
+            offsets.push(u64::from_le_bytes(b8));
+        }
+        if offsets.first() != Some(&0) || offsets.last() != Some(&(entries as u64)) {
+            return Err(bad("corrupt offsets"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad("offsets not monotone"));
+        }
+        let mut neighbors = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            r.read_exact(&mut b4)?;
+            neighbors.push(UserId(u32::from_le_bytes(b4)));
+        }
+        let mut scores = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            r.read_exact(&mut b8)?;
+            scores.push(f64::from_le_bytes(b8));
+        }
+        Ok(SimilarityMatrix { offsets, neighbors, scores, name })
+    }
+}
+
+/// Magic header identifying the binary format (version 1).
+const SIM_MAGIC: &[u8; 8] = b"SRSIMv1\0";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdamicAdar, CommonNeighbors, GraphDistance, Katz, Measure};
+    use socialrec_graph::generate::{planted_communities, CommunityGraphConfig};
+    use socialrec_graph::social::social_graph_from_edges;
+
+    #[test]
+    fn matches_direct_computation() {
+        let g = planted_communities(&CommunityGraphConfig {
+            num_users: 120,
+            seed: 3,
+            ..Default::default()
+        })
+        .graph;
+        for m in Measure::paper_suite() {
+            let matrix = SimilarityMatrix::build(&g, &m);
+            for u in (0..120u32).step_by(17) {
+                let direct = m.similarity_set_vec(&g, UserId(u));
+                let (users, scores) = matrix.row(UserId(u));
+                assert_eq!(users.len(), direct.len(), "{} row {u}", m.name());
+                for (k, &(v, s)) in direct.iter().enumerate() {
+                    assert_eq!(users[k], v);
+                    assert!((scores[k] - s).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_holds_in_matrix() {
+        let g = social_graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 0)],
+        )
+        .unwrap();
+        for m in [
+            Box::new(CommonNeighbors) as Box<dyn Similarity>,
+            Box::new(AdamicAdar),
+            Box::new(GraphDistance::default()),
+            Box::new(Katz::default()),
+        ] {
+            let matrix = SimilarityMatrix::build(&g, m.as_ref());
+            for u in 0..7u32 {
+                for v in 0..7u32 {
+                    let a = matrix.pair(UserId(u), UserId(v));
+                    let b = matrix.pair(UserId(v), UserId(u));
+                    assert!((a - b).abs() < 1e-12, "{} asym ({u},{v})", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_is_max_row_sum() {
+        let g = social_graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
+        let matrix = SimilarityMatrix::build(&g, &CommonNeighbors);
+        let by_hand = (0..5u32)
+            .map(|u| matrix.total_similarity(UserId(u)))
+            .fold(0.0, f64::max);
+        assert_eq!(matrix.max_total_similarity(), by_hand);
+        assert!(matrix.max_total_similarity() > 0.0);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = planted_communities(&CommunityGraphConfig {
+            num_users: 80,
+            seed: 5,
+            ..Default::default()
+        })
+        .graph;
+        let m = SimilarityMatrix::build(&g, &Measure::AdamicAdar);
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        let m2 = SimilarityMatrix::read_from(&buf[..]).unwrap();
+        assert_eq!(m2.num_users(), m.num_users());
+        assert_eq!(m2.num_entries(), m.num_entries());
+        assert_eq!(m2.measure_name(), "AA");
+        for u in 0..80u32 {
+            let (ua, sa) = m.row(UserId(u));
+            let (ub, sb) = m2.row(UserId(u));
+            assert_eq!(ua, ub);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(SimilarityMatrix::read_from(&b"not a matrix"[..]).is_err());
+        // Truncated stream.
+        let g = social_graph_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let m = SimilarityMatrix::build(&g, &CommonNeighbors);
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(SimilarityMatrix::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn row_stats() {
+        let g = social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let matrix = SimilarityMatrix::build(&g, &CommonNeighbors);
+        // Square: each user similar only to the opposite corner.
+        assert_eq!(matrix.num_entries(), 4);
+        assert_eq!(matrix.mean_set_size(), 1.0);
+        assert_eq!(matrix.max_in_row(UserId(0)), 2.0);
+        assert_eq!(matrix.pair(UserId(0), UserId(2)), 2.0);
+        assert_eq!(matrix.pair(UserId(0), UserId(1)), 0.0);
+        assert_eq!(matrix.measure_name(), "CN");
+    }
+}

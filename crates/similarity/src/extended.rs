@@ -1,0 +1,322 @@
+//! Additional structural similarity measures beyond the paper's four.
+//!
+//! The paper's §7 lists "evaluate the framework for a larger variety of
+//! social similarity measures" as future work; these are the standard
+//! next candidates from the link-prediction literature the paper cites
+//! (Liben-Nowell & Kleinberg 2007; Lü & Zhou 2011). All operate solely
+//! on `G_s`, so they plug into the private framework with no change to
+//! the privacy analysis.
+//!
+//! * **Jaccard** — `|Γ(u)∩Γ(v)| / |Γ(u)∪Γ(v)|`,
+//! * **Salton (cosine)** — `|Γ(u)∩Γ(v)| / √(|Γ(u)|·|Γ(v)|)`,
+//! * **Resource Allocation** — `Σ_{x∈Γ(u)∩Γ(v)} 1/|Γ(x)|`,
+//! * **Hub-Promoted** — `|Γ(u)∩Γ(v)| / min(|Γ(u)|, |Γ(v)|)`,
+//! * **Preferential Attachment** — `|Γ(u)|·|Γ(v)|` over 2-hop pairs
+//!   (restricted to the 2-hop neighborhood to keep similarity sets
+//!   sparse, consistent with the other measures).
+
+use crate::scratch::SimScratch;
+use crate::Similarity;
+use socialrec_graph::{SocialGraph, UserId};
+
+/// Shared helper: run a CN-style co-neighbor accumulation, then rescale
+/// each count with `rescale(count, v)`.
+fn co_neighbor_rescaled<F: FnMut(f64, UserId) -> f64>(
+    g: &SocialGraph,
+    u: UserId,
+    scratch: &mut SimScratch,
+    out: &mut Vec<(UserId, f64)>,
+    mut rescale: F,
+) {
+    out.clear();
+    for &x in g.neighbors(u) {
+        for &v in g.neighbors(x) {
+            scratch.acc.add(v.0, 1.0);
+        }
+    }
+    scratch.acc.drain_sorted_into(u, out);
+    for (v, s) in out.iter_mut() {
+        *s = rescale(*s, *v);
+    }
+    out.retain(|&(_, s)| s > 0.0);
+}
+
+/// Jaccard coefficient of the neighbor sets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Jaccard;
+
+impl Similarity for Jaccard {
+    fn name(&self) -> &'static str {
+        "JC"
+    }
+
+    fn similarity_set(
+        &self,
+        g: &SocialGraph,
+        u: UserId,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        let du = g.degree(u) as f64;
+        co_neighbor_rescaled(g, u, scratch, out, |cn, v| {
+            let union = du + g.degree(v) as f64 - cn;
+            if union > 0.0 {
+                cn / union
+            } else {
+                0.0
+            }
+        });
+    }
+}
+
+/// Salton index (cosine of the binary adjacency rows).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Salton;
+
+impl Similarity for Salton {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn similarity_set(
+        &self,
+        g: &SocialGraph,
+        u: UserId,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        let du = g.degree(u) as f64;
+        co_neighbor_rescaled(g, u, scratch, out, |cn, v| {
+            let denom = (du * g.degree(v) as f64).sqrt();
+            if denom > 0.0 {
+                cn / denom
+            } else {
+                0.0
+            }
+        });
+    }
+}
+
+/// Resource Allocation: like Adamic/Adar with `1/deg` instead of
+/// `1/log deg` — punishes popular intermediaries harder.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResourceAllocation;
+
+impl Similarity for ResourceAllocation {
+    fn name(&self) -> &'static str {
+        "RA"
+    }
+
+    fn similarity_set(
+        &self,
+        g: &SocialGraph,
+        u: UserId,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        out.clear();
+        for &x in g.neighbors(u) {
+            let deg = g.degree(x);
+            if deg == 0 {
+                continue;
+            }
+            let w = 1.0 / deg as f64;
+            for &v in g.neighbors(x) {
+                scratch.acc.add(v.0, w);
+            }
+        }
+        scratch.acc.drain_sorted_into(u, out);
+    }
+}
+
+/// Hub-Promoted index: `CN / min(deg(u), deg(v))`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HubPromoted;
+
+impl Similarity for HubPromoted {
+    fn name(&self) -> &'static str {
+        "HP"
+    }
+
+    fn similarity_set(
+        &self,
+        g: &SocialGraph,
+        u: UserId,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        let du = g.degree(u) as f64;
+        co_neighbor_rescaled(g, u, scratch, out, |cn, v| {
+            let m = du.min(g.degree(v) as f64);
+            if m > 0.0 {
+                cn / m
+            } else {
+                0.0
+            }
+        });
+    }
+}
+
+/// Preferential Attachment over the 2-hop neighborhood:
+/// `deg(u)·deg(v)` for `v` within two hops of `u`.
+///
+/// The classic PA score is defined for *all* pairs; restricting to the
+/// 2-hop neighborhood keeps `sim(u)` sparse (and the recommender
+/// social), mirroring the paper's `d ≤ 2` convention for GD.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreferentialAttachment;
+
+impl Similarity for PreferentialAttachment {
+    fn name(&self) -> &'static str {
+        "PA"
+    }
+
+    fn similarity_set(
+        &self,
+        g: &SocialGraph,
+        u: UserId,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        out.clear();
+        let du = g.degree(u) as f64;
+        if du == 0.0 {
+            return;
+        }
+        // Mark the 2-hop neighborhood with a CN-style sweep plus the
+        // direct neighbors, then score by degree product.
+        for &x in g.neighbors(u) {
+            scratch.acc.add(x.0, 1.0);
+            for &v in g.neighbors(x) {
+                scratch.acc.add(v.0, 1.0);
+            }
+        }
+        scratch.acc.drain_sorted_into(u, out);
+        for (v, s) in out.iter_mut() {
+            *s = du * g.degree(*v) as f64;
+        }
+        out.retain(|&(_, s)| s > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common_neighbors::CommonNeighbors;
+    use socialrec_graph::social::social_graph_from_edges;
+
+    fn diamond() -> SocialGraph {
+        // 0-1, 0-2, 1-3, 2-3: opposite corners share two neighbors.
+        social_graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn jaccard_hand_checked() {
+        let g = diamond();
+        // Γ(0) = {1,2}, Γ(3) = {1,2}: intersection 2, union 2 -> 1.0.
+        assert!((Jaccard.pair(&g, UserId(0), UserId(3)) - 1.0).abs() < 1e-12);
+        // Adjacent corners share nothing.
+        assert_eq!(Jaccard.pair(&g, UserId(0), UserId(1)), 0.0);
+    }
+
+    #[test]
+    fn salton_hand_checked() {
+        let g = diamond();
+        // CN = 2, degrees 2 and 2: 2/sqrt(4) = 1.
+        assert!((Salton.pair(&g, UserId(0), UserId(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_allocation_hand_checked() {
+        let g = diamond();
+        // Common neighbors 1 and 2, each degree 2: 1/2 + 1/2 = 1.
+        assert!((ResourceAllocation.pair(&g, UserId(0), UserId(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hub_promoted_hand_checked() {
+        let g = social_graph_from_edges(5, &[(0, 1), (0, 2), (3, 1), (3, 2), (3, 4)]).unwrap();
+        // CN(0,3) = 2; deg(0)=2, deg(3)=3 -> 2/min(2,3) = 1.
+        assert!((HubPromoted.pair(&g, UserId(0), UserId(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preferential_attachment_hand_checked() {
+        let g = diamond();
+        // Within two hops: PA(0,1) = 2*2 = 4, PA(0,3) = 4.
+        assert_eq!(PreferentialAttachment.pair(&g, UserId(0), UserId(1)), 4.0);
+        assert_eq!(PreferentialAttachment.pair(&g, UserId(0), UserId(3)), 4.0);
+        // Disconnected nodes are not scored.
+        let g2 = social_graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(PreferentialAttachment.pair(&g2, UserId(0), UserId(2)), 0.0);
+    }
+
+    #[test]
+    fn all_extended_symmetric_and_selfless() {
+        let g = social_graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 0)],
+        )
+        .unwrap();
+        let measures: Vec<Box<dyn Similarity>> = vec![
+            Box::new(Jaccard),
+            Box::new(Salton),
+            Box::new(ResourceAllocation),
+            Box::new(HubPromoted),
+            Box::new(PreferentialAttachment),
+        ];
+        for m in &measures {
+            for u in 0..7u32 {
+                let set = m.similarity_set_vec(&g, UserId(u));
+                for &(v, s) in &set {
+                    assert!(s > 0.0, "{} nonpositive", m.name());
+                    assert_ne!(v, UserId(u), "{} self-sim", m.name());
+                    let back = m.pair(&g, v, UserId(u));
+                    assert!((back - s).abs() < 1e-12, "{} asym ({u},{v:?})", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_measures_bounded_by_one() {
+        let g = social_graph_from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 2), (7, 0)],
+        )
+        .unwrap();
+        for m in [
+            Box::new(Jaccard) as Box<dyn Similarity>,
+            Box::new(Salton),
+            Box::new(HubPromoted),
+        ] {
+            for u in 0..8u32 {
+                for (_, s) in m.similarity_set_vec(&g, UserId(u)) {
+                    assert!(s <= 1.0 + 1e-12, "{} exceeds 1: {s}", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ra_support_matches_cn() {
+        let g = social_graph_from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 2), (7, 0)],
+        )
+        .unwrap();
+        for u in 0..8u32 {
+            let ra: Vec<UserId> = ResourceAllocation
+                .similarity_set_vec(&g, UserId(u))
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect();
+            let cn: Vec<UserId> = CommonNeighbors
+                .similarity_set_vec(&g, UserId(u))
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect();
+            assert_eq!(ra, cn, "support mismatch for user {u}");
+        }
+    }
+}

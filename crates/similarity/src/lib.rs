@@ -1,0 +1,82 @@
+//! Structural social-similarity measures (paper §2.2).
+//!
+//! The recommenders in the paper's model are driven by a *social
+//! similarity measure* `sim(u, v)` computed purely from the structure of
+//! the public social graph. Four concrete measures are studied:
+//!
+//! * **Common Neighbors** — `|Γ(u) ∩ Γ(v)|`,
+//! * **Graph Distance** — `1/d` for shortest-path length `d ≤ d_max`
+//!   (paper uses `d_max = 2`),
+//! * **Adamic/Adar** — `Σ_{x ∈ Γ(u)∩Γ(v)} 1/log|Γ(x)|`,
+//! * **Katz** — `Σ_{l=1..k} α^l · |paths^l_{uv}|` (walk counting,
+//!   truncated; paper uses `k = 3`, `α = 0.05`).
+//!
+//! All four are *symmetric* and return sparse "similarity sets"
+//! `sim(u) = {v : sim(u, v) > 0}`. Computation is per-user into reusable
+//! dense scratch buffers (no hashing in the hot loop), and
+//! [`SimilarityMatrix`] precomputes all rows in parallel for the
+//! recommenders.
+
+#![warn(missing_docs)]
+
+pub mod adamic_adar;
+pub mod cache;
+pub mod common_neighbors;
+pub mod extended;
+pub mod graph_distance;
+pub mod katz;
+pub mod measure;
+pub mod scratch;
+
+pub use adamic_adar::AdamicAdar;
+pub use extended::{
+    HubPromoted, Jaccard, PreferentialAttachment, ResourceAllocation, Salton,
+};
+pub use cache::SimilarityMatrix;
+pub use common_neighbors::CommonNeighbors;
+pub use graph_distance::GraphDistance;
+pub use katz::Katz;
+pub use measure::{parse_measure, Measure};
+pub use scratch::SimScratch;
+
+use socialrec_graph::{SocialGraph, UserId};
+
+/// A structural similarity measure over the social graph.
+///
+/// Implementations must be symmetric (`sim(u,v) = sim(v,u)`), return
+/// only strictly positive scores, never include `u` itself, and must
+/// depend on nothing but `G_s` — that last property is what lets the
+/// private framework use them without spending privacy budget.
+pub trait Similarity: Send + Sync {
+    /// Short name for reports ("CN", "GD", "AA", "KZ", ...).
+    fn name(&self) -> &'static str;
+
+    /// Compute the similarity set of `u`: all `(v, sim(u, v))` with
+    /// positive similarity, sorted by ascending `v`, appended to `out`
+    /// (which is cleared first).
+    fn similarity_set(
+        &self,
+        g: &SocialGraph,
+        u: UserId,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    );
+
+    /// Convenience: similarity set as a fresh vector.
+    fn similarity_set_vec(&self, g: &SocialGraph, u: UserId) -> Vec<(UserId, f64)> {
+        let mut scratch = SimScratch::new(g.num_users());
+        let mut out = Vec::new();
+        self.similarity_set(g, u, &mut scratch, &mut out);
+        out
+    }
+
+    /// Convenience: `sim(u, v)` via the similarity set (O(set) lookup;
+    /// fine for tests, use [`SimilarityMatrix`] in hot paths).
+    fn pair(&self, g: &SocialGraph, u: UserId, v: UserId) -> f64 {
+        self.similarity_set_vec(g, u)
+            .iter()
+            .find(|(w, _)| *w == v)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    }
+}

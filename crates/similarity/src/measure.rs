@@ -1,0 +1,158 @@
+//! Value-level measure selection for configs and experiment harnesses.
+
+use crate::adamic_adar::AdamicAdar;
+use crate::common_neighbors::CommonNeighbors;
+use crate::extended::{
+    HubPromoted, Jaccard, PreferentialAttachment, ResourceAllocation, Salton,
+};
+use crate::graph_distance::GraphDistance;
+use crate::katz::Katz;
+use crate::scratch::SimScratch;
+use crate::Similarity;
+use socialrec_graph::{SocialGraph, UserId};
+use std::str::FromStr;
+
+/// One of the paper's four measures, with its parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Measure {
+    /// Common Neighbors.
+    CommonNeighbors,
+    /// Graph Distance with a maximum distance (paper: 2).
+    GraphDistance {
+        /// Shortest-path cutoff `d`.
+        max_distance: u32,
+    },
+    /// Adamic/Adar.
+    AdamicAdar,
+    /// Katz with a maximum walk length and damping (paper: 3, 0.05).
+    Katz {
+        /// Walk-length cutoff `k`.
+        max_length: u32,
+        /// Damping factor `α`.
+        alpha: f64,
+    },
+}
+
+impl Measure {
+    /// The four measures with the paper's parameters (§6.2): CN, GD
+    /// (d=2), AA, KZ (k=3, α=0.05).
+    pub fn paper_suite() -> [Measure; 4] {
+        [
+            Measure::AdamicAdar,
+            Measure::CommonNeighbors,
+            Measure::GraphDistance { max_distance: 2 },
+            Measure::Katz { max_length: 3, alpha: 0.05 },
+        ]
+    }
+}
+
+impl Similarity for Measure {
+    fn name(&self) -> &'static str {
+        match self {
+            Measure::CommonNeighbors => "CN",
+            Measure::GraphDistance { .. } => "GD",
+            Measure::AdamicAdar => "AA",
+            Measure::Katz { .. } => "KZ",
+        }
+    }
+
+    fn similarity_set(
+        &self,
+        g: &SocialGraph,
+        u: UserId,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        match *self {
+            Measure::CommonNeighbors => CommonNeighbors.similarity_set(g, u, scratch, out),
+            Measure::GraphDistance { max_distance } => {
+                GraphDistance { max_distance }.similarity_set(g, u, scratch, out)
+            }
+            Measure::AdamicAdar => AdamicAdar.similarity_set(g, u, scratch, out),
+            Measure::Katz { max_length, alpha } => {
+                Katz { max_length, alpha }.similarity_set(g, u, scratch, out)
+            }
+        }
+    }
+}
+
+/// Parse any supported measure name — the paper's four (`CN`, `GD`,
+/// `AA`, `KZ`, with paper-default parameters) plus the extended set
+/// (`JC` Jaccard, `SA` Salton, `RA` Resource Allocation, `HP`
+/// Hub-Promoted, `PA` Preferential Attachment) — into a boxed measure.
+pub fn parse_measure(name: &str) -> Result<Box<dyn Similarity>, String> {
+    if let Ok(m) = name.parse::<Measure>() {
+        return Ok(Box::new(m));
+    }
+    match name.trim().to_ascii_uppercase().as_str() {
+        "JC" | "JACCARD" => Ok(Box::new(Jaccard)),
+        "SA" | "SALTON" => Ok(Box::new(Salton)),
+        "RA" => Ok(Box::new(ResourceAllocation)),
+        "HP" => Ok(Box::new(HubPromoted)),
+        "PA" => Ok(Box::new(PreferentialAttachment)),
+        other => Err(format!(
+            "unknown measure {other:?} (expected CN, GD, AA, KZ, JC, SA, RA, HP or PA)"
+        )),
+    }
+}
+
+impl FromStr for Measure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "CN" => Ok(Measure::CommonNeighbors),
+            "GD" => Ok(Measure::GraphDistance { max_distance: 2 }),
+            "AA" => Ok(Measure::AdamicAdar),
+            "KZ" => Ok(Measure::Katz { max_length: 3, alpha: 0.05 }),
+            other => Err(format!("unknown measure {other:?} (expected CN, GD, AA or KZ)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::social::social_graph_from_edges;
+
+    #[test]
+    fn dispatch_matches_concrete() {
+        let g = social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let m = Measure::CommonNeighbors;
+        assert_eq!(
+            m.similarity_set_vec(&g, UserId(0)),
+            CommonNeighbors.similarity_set_vec(&g, UserId(0))
+        );
+        let m = Measure::Katz { max_length: 3, alpha: 0.05 };
+        assert_eq!(
+            m.similarity_set_vec(&g, UserId(1)),
+            Katz::default().similarity_set_vec(&g, UserId(1))
+        );
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!("cn".parse::<Measure>().unwrap(), Measure::CommonNeighbors);
+        assert_eq!("GD".parse::<Measure>().unwrap(), Measure::GraphDistance { max_distance: 2 });
+        assert_eq!("aa".parse::<Measure>().unwrap(), Measure::AdamicAdar);
+        assert!(matches!("kz".parse::<Measure>().unwrap(), Measure::Katz { .. }));
+        assert!("xx".parse::<Measure>().is_err());
+    }
+
+    #[test]
+    fn parse_measure_covers_all_names() {
+        for name in ["CN", "gd", "AA", "kz", "JC", "jaccard", "SA", "ra", "HP", "pa"] {
+            let m = parse_measure(name).unwrap();
+            assert!(!m.name().is_empty());
+        }
+        assert!(parse_measure("nope").is_err());
+    }
+
+    #[test]
+    fn suite_has_paper_defaults() {
+        let suite = Measure::paper_suite();
+        assert_eq!(suite.len(), 4);
+        assert!(suite.contains(&Measure::GraphDistance { max_distance: 2 }));
+        assert!(suite.contains(&Measure::Katz { max_length: 3, alpha: 0.05 }));
+    }
+}

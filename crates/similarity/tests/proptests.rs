@@ -1,0 +1,98 @@
+//! Property-based tests shared by all four similarity measures.
+
+use proptest::prelude::*;
+use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
+use socialrec_graph::social::social_graph_from_edges;
+use socialrec_graph::UserId;
+
+fn social_inputs() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..40)
+            .prop_map(|pairs| pairs.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>());
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_measures_symmetric_positive_selfless((n, edges) in social_inputs()) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        for m in Measure::paper_suite() {
+            let matrix = SimilarityMatrix::build(&g, &m);
+            for u in 0..n as u32 {
+                let (users, scores) = matrix.row(UserId(u));
+                // Sorted, positive, no self.
+                for w in users.windows(2) {
+                    prop_assert!(w[0] < w[1], "{} row {u} unsorted", m.name());
+                }
+                for (&v, &s) in users.iter().zip(scores) {
+                    prop_assert!(s > 0.0, "{} nonpositive score", m.name());
+                    prop_assert_ne!(v, UserId(u), "{} self-similarity", m.name());
+                    // Symmetry.
+                    let back = matrix.pair(v, UserId(u));
+                    prop_assert!((back - s).abs() < 1e-9, "{} asym", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_agrees_with_direct((n, edges) in social_inputs()) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        for m in Measure::paper_suite() {
+            let matrix = SimilarityMatrix::build(&g, &m);
+            for u in 0..n as u32 {
+                let direct = m.similarity_set_vec(&g, UserId(u));
+                let (users, scores) = matrix.row(UserId(u));
+                prop_assert_eq!(users.len(), direct.len());
+                for (k, &(v, s)) in direct.iter().enumerate() {
+                    prop_assert_eq!(users[k], v);
+                    prop_assert!((scores[k] - s).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cn_bounded_by_min_degree((n, edges) in social_inputs()) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let matrix = SimilarityMatrix::build(&g, &Measure::CommonNeighbors);
+        for u in 0..n as u32 {
+            let (users, scores) = matrix.row(UserId(u));
+            for (&v, &s) in users.iter().zip(scores) {
+                let bound = g.degree(UserId(u)).min(g.degree(v)) as f64;
+                prop_assert!(s <= bound + 1e-12, "CN({u},{v})={s} exceeds {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn gd_values_are_reciprocal_distances((n, edges) in social_inputs()) {
+        use socialrec_graph::traversal::{shortest_distance_within, BfsScratch};
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let matrix = SimilarityMatrix::build(&g, &Measure::GraphDistance { max_distance: 2 });
+        let mut scratch = BfsScratch::new(n);
+        for u in 0..n as u32 {
+            let (users, scores) = matrix.row(UserId(u));
+            for (&v, &s) in users.iter().zip(scores) {
+                let d = shortest_distance_within(&g, UserId(u), v, 2, &mut scratch)
+                    .expect("positive similarity implies reachable within cutoff");
+                prop_assert!((s - 1.0 / d as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn katz_monotone_in_alpha((n, edges) in social_inputs()) {
+        let g = social_graph_from_edges(n, &edges).unwrap();
+        let lo = SimilarityMatrix::build(&g, &Measure::Katz { max_length: 3, alpha: 0.02 });
+        let hi = SimilarityMatrix::build(&g, &Measure::Katz { max_length: 3, alpha: 0.05 });
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let a = lo.pair(UserId(u), UserId(v));
+                let b = hi.pair(UserId(u), UserId(v));
+                prop_assert!(b >= a - 1e-12, "katz not monotone in alpha at ({u},{v})");
+            }
+        }
+    }
+}

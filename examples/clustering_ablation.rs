@@ -1,0 +1,81 @@
+//! Mini-ablation: how much does the *choice of clustering* matter?
+//!
+//! The framework is ε-DP for any clustering computed from the public
+//! social graph (paper Theorem 4) — but accuracy varies wildly. This
+//! example pits the paper's Louvain clustering against random-k,
+//! k-means on adjacency rows, singletons (≙ Noise-on-Edges) and a
+//! single giant cluster, across privacy levels — exposing the
+//! resolution/noise trade-off that makes community structure the right
+//! *default* rather than a universal optimum.
+//!
+//! ```text
+//! cargo run --release --example clustering_ablation
+//! ```
+
+use socialrec::prelude::*;
+
+fn main() {
+    let ds = socialrec::datasets::lastfm_like_scaled(0.25, 3);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let users: Vec<UserId> = (0..ds.social.num_users() as u32).map(UserId).collect();
+    let n = 20;
+    let epsilons = [Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.1)];
+
+    let ideal: Vec<Vec<f64>> =
+        users.iter().map(|&u| ExactRecommender.utilities(&inputs, u)).collect();
+
+    let louvain = LouvainStrategy::default().cluster(&ds.social);
+    let k = louvain.num_clusters();
+
+    let candidates: Vec<(&str, Partition)> = vec![
+        ("louvain (paper)", louvain),
+        ("random-k", RandomStrategy { num_clusters: k, seed: 1 }.cluster(&ds.social)),
+        ("kmeans-adjacency", KMeansStrategy { k, max_iters: 20, seed: 1 }.cluster(&ds.social)),
+        ("singleton (=NOE)", SingletonStrategy.cluster(&ds.social)),
+        ("one-cluster", OneClusterStrategy.cluster(&ds.social)),
+    ];
+
+    println!("clustering ablation, NDCG@{n}, {} users\n", users.len());
+    println!(
+        "{:<18}{:>10}{:>12}{:>10}{:>10}{:>10}",
+        "strategy", "clusters", "modularity", "eps=inf", "eps=1.0", "eps=0.1"
+    );
+    for (name, partition) in &candidates {
+        let q = socialrec::community::modularity(&ds.social, partition);
+        let mut cells = Vec::new();
+        for eps in epsilons {
+            let fw = ClusterFramework::new(partition, eps);
+            let mut acc = 0.0;
+            let runs = 3;
+            for seed in 0..runs {
+                let lists = fw.recommend(&inputs, &users, n, seed);
+                acc += lists
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| per_user_ndcg(&ideal[i], &l.item_ids(), n))
+                    .sum::<f64>()
+                    / users.len() as f64;
+            }
+            cells.push(acc / runs as f64);
+        }
+        println!(
+            "{:<18}{:>10}{:>12.3}{:>10.3}{:>10.3}{:>10.3}",
+            name,
+            partition.num_clusters(),
+            q,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    println!(
+        "\nreading the table: at eps >= 1.0 community structure wins clearly —\n\
+         random clusters pay approximation error for nothing, singletons pay\n\
+         full noise. At very strong privacy the trade-off inverts toward\n\
+         coarser clusterings (less noise beats finer resolution): community\n\
+         detection is the right default, with cluster-size post-processing\n\
+         (merge_small_clusters) as the strong-privacy tuning knob."
+    );
+}

@@ -1,0 +1,83 @@
+//! Dynamic graphs (the paper's §7 headline future-work item): serving
+//! private recommendations over an *evolving* dataset under one total
+//! privacy budget.
+//!
+//! Across snapshots the same preference edge persists, so releases
+//! compose sequentially and the total ε must be split over time. This
+//! example contrasts the two budget schedules on a drifting dataset:
+//! uniform (plan for T releases) vs geometric decay (serve forever,
+//! ever coarser).
+//!
+//! ```text
+//! cargo run --release --example dynamic_stream
+//! ```
+
+use socialrec::core::{BudgetSchedule, DynamicRecommender, Snapshot};
+use socialrec::prelude::*;
+
+fn main() {
+    let ds = socialrec::datasets::lastfm_like_scaled(0.15, 21);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let clusters = LouvainStrategy::default().cluster(&ds.social);
+    let users: Vec<UserId> = (0..ds.social.num_users() as u32).map(UserId).collect();
+    let n = 10;
+    let total = Epsilon::Finite(1.0);
+
+    // Simulate preference drift: each snapshot toggles a few edges.
+    let snapshots: Vec<PreferenceGraph> = {
+        let mut out = vec![ds.prefs.clone()];
+        for t in 1..6u32 {
+            let prev = out.last().unwrap();
+            let mut next = prev.clone();
+            for k in 0..5u32 {
+                let u = UserId((t * 37 + k * 11) % ds.prefs.num_users() as u32);
+                let i = ItemId((t * 13 + k * 7) % ds.prefs.num_items() as u32);
+                next = next.toggled_edge(u, i);
+            }
+            out.push(next);
+        }
+        out
+    };
+
+    for (label, schedule) in [
+        ("uniform over 6 releases", BudgetSchedule::Uniform { releases: 6 }),
+        ("geometric decay (ratio 0.5)", BudgetSchedule::Decay { ratio: 0.5 }),
+    ] {
+        println!("\nschedule: {label}, total eps = {total}");
+        println!("{:<6}{:>12}{:>14}{:>12}", "t", "eps spent", "total spent", "NDCG@10");
+        let mut dynrec = DynamicRecommender::new(total, schedule);
+        for (t, prefs) in snapshots.iter().enumerate() {
+            let inputs = RecommenderInputs { prefs, sim: &sim };
+            let snap = Snapshot { partition: &clusters, inputs };
+            let release = match dynrec.release(&snap, &users, n, t as u64) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("{t:<6}{e}");
+                    continue;
+                }
+            };
+            // Score against the snapshot's own exact recommender.
+            let ndcg: f64 = users
+                .iter()
+                .enumerate()
+                .map(|(k, &u)| {
+                    let ideal = ExactRecommender.utilities(&inputs, u);
+                    per_user_ndcg(&ideal, &release.lists[k].item_ids(), n)
+                })
+                .sum::<f64>()
+                / users.len() as f64;
+            println!(
+                "{t:<6}{:>12.4}{:>14.4}{:>12.3}",
+                release.epsilon_spent.value(),
+                release.epsilon_total_spent,
+                ndcg
+            );
+        }
+    }
+
+    println!(
+        "\nthe trade-off the paper anticipates: a fixed horizon gives steady\n\
+         quality then stops; decay serves indefinitely but early releases\n\
+         are the only sharp ones."
+    );
+}

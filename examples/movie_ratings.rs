@@ -1,0 +1,66 @@
+//! Weighted preferences (the paper's §7 extension): private
+//! recommendations from *star ratings* instead of binary signals.
+//!
+//! Ratings are normalized to `[0, 1]`, which keeps the framework's
+//! sensitivity at `1/|c|` — the privacy analysis is unchanged while the
+//! utilities become rating-aware.
+//!
+//! ```text
+//! cargo run --release --example movie_ratings
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use socialrec::core::{WeightedClusterFramework, WeightedExactRecommender, WeightedInputs};
+use socialrec::graph::weighted::WeightedPreferenceGraphBuilder;
+use socialrec::prelude::*;
+
+fn main() {
+    // Start from a binary synthetic dataset and overlay ratings: each
+    // existing preference edge gets a 0.5-5.0 star rating, biased high
+    // (people mostly rate what they like).
+    let ds = socialrec::datasets::lastfm_like_scaled(0.12, 13);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut wb =
+        WeightedPreferenceGraphBuilder::new(ds.prefs.num_users(), ds.prefs.num_items());
+    for (u, i) in ds.prefs.edges() {
+        let stars = [3.0, 3.5, 4.0, 4.5, 5.0][rng.gen_range(0..5)];
+        wb.add_rating(u, i, stars, 0.5, 5.0).unwrap();
+    }
+    let ratings = wb.build();
+    println!(
+        "{} users rated {} movies ({} ratings, normalized to [0,1])",
+        ratings.num_users(),
+        ratings.num_items(),
+        ratings.num_edges()
+    );
+
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::AdamicAdar);
+    let clusters = LouvainStrategy::default().cluster(&ds.social);
+    let inputs = WeightedInputs { prefs: &ratings, sim: &sim };
+
+    let users: Vec<UserId> = (0..ratings.num_users() as u32).map(UserId).collect();
+    let n = 10;
+    let exact = WeightedExactRecommender;
+
+    println!("\n{:<10}{:>12}", "epsilon", "NDCG@10");
+    for eps in [Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.1)] {
+        let fw = WeightedClusterFramework::new(&clusters, eps);
+        let lists = fw.recommend(&inputs, &users, n, 7);
+        let mean: f64 = users
+            .iter()
+            .enumerate()
+            .map(|(k, &u)| {
+                let ideal = exact.utilities(&inputs, u);
+                per_user_ndcg(&ideal, &lists[k].item_ids(), n)
+            })
+            .sum::<f64>()
+            / users.len() as f64;
+        println!("{:<10}{:>12.3}", eps.to_string(), mean);
+    }
+
+    println!(
+        "\nratings flow through the same Laplace release (weights in [0,1] keep\n\
+         sensitivity at 1/|c|), so privacy is identical to the unweighted case."
+    );
+}

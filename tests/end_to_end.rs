@@ -1,0 +1,162 @@
+//! End-to-end integration tests across the whole workspace: dataset
+//! generation → clustering → similarity → private recommendation →
+//! evaluation.
+
+use socialrec::prelude::*;
+
+fn small_dataset() -> Dataset {
+    socialrec::datasets::lastfm_like_scaled(0.08, 5)
+}
+
+#[test]
+fn full_pipeline_produces_valid_lists() {
+    let ds = small_dataset();
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let clusters = LouvainStrategy { restarts: 3, seed: 1, refine: true }.cluster(&ds.social);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let users: Vec<UserId> = (0..ds.social.num_users() as u32).map(UserId).collect();
+
+    let fw = ClusterFramework::new(&clusters, Epsilon::Finite(0.5));
+    let lists = fw.recommend(&inputs, &users, 10, 3);
+    assert_eq!(lists.len(), users.len());
+    for (k, l) in lists.iter().enumerate() {
+        assert_eq!(l.user, users[k]);
+        assert_eq!(l.items.len(), 10);
+        // Ranked by estimated utility, unique items.
+        for w in l.items.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let mut ids = l.item_ids();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "duplicate item recommended");
+        // All items in range.
+        assert!(ids.iter().all(|i| i.index() < ds.prefs.num_items()));
+    }
+}
+
+#[test]
+fn mechanism_accuracy_ordering_at_strong_privacy() {
+    // The paper's headline: framework >> NOE >= NOU at eps = 0.1.
+    let ds = small_dataset();
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let clusters = LouvainStrategy { restarts: 3, seed: 1, refine: true }.cluster(&ds.social);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let users: Vec<UserId> = (0..ds.social.num_users() as u32).map(UserId).collect();
+    let n = 10;
+    let ideal: Vec<Vec<f64>> =
+        users.iter().map(|&u| ExactRecommender.utilities(&inputs, u)).collect();
+
+    let eps = Epsilon::Finite(0.1);
+    let score = |mech: &dyn TopNRecommender| -> f64 {
+        let runs = 3;
+        let mut acc = 0.0;
+        for seed in 0..runs {
+            let lists = mech.recommend(&inputs, &users, n, seed);
+            acc += lists
+                .iter()
+                .enumerate()
+                .map(|(k, l)| per_user_ndcg(&ideal[k], &l.item_ids(), n))
+                .sum::<f64>()
+                / users.len() as f64;
+        }
+        acc / runs as f64
+    };
+
+    let fw = score(&ClusterFramework::new(&clusters, eps));
+    let noe = score(&NoiseOnEdges::new(eps));
+    let nou = score(&NoiseOnUtility::new(eps));
+    assert!(fw > 2.0 * noe, "framework {fw} should dominate NOE {noe}");
+    assert!(fw > 2.0 * nou, "framework {fw} should dominate NOU {nou}");
+    assert!(fw > 0.3, "framework {fw} unexpectedly weak");
+    assert!(nou < 0.2, "NOU {nou} should be near-random at eps=0.1");
+}
+
+#[test]
+fn all_mechanisms_degenerate_sensibly_at_eps_inf() {
+    let ds = small_dataset();
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::AdamicAdar);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let users: Vec<UserId> = (0..20).map(UserId).collect();
+    let n = 5;
+    let exact = ExactRecommender.recommend(&inputs, &users, n, 0);
+
+    // NOU and NOE with eps = inf are exactly the exact recommender.
+    assert_eq!(NoiseOnUtility::new(Epsilon::Infinite).recommend(&inputs, &users, n, 1), exact);
+    assert_eq!(NoiseOnEdges::new(Epsilon::Infinite).recommend(&inputs, &users, n, 1), exact);
+
+    // The framework with singleton clusters and eps = inf too.
+    let singles = SingletonStrategy.cluster(&ds.social);
+    let fw = ClusterFramework::new(&singles, Epsilon::Infinite);
+    let lists = fw.recommend(&inputs, &users, n, 1);
+    for (a, b) in lists.iter().zip(&exact) {
+        let ideal = ExactRecommender.utilities(&inputs, a.user);
+        let ndcg = per_user_ndcg(&ideal, &a.item_ids(), n);
+        assert!(ndcg > 0.999, "user {:?}: {ndcg}", b.user);
+    }
+}
+
+#[test]
+fn seeds_reproduce_and_differ() {
+    let ds = small_dataset();
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let clusters = LouvainStrategy { restarts: 2, seed: 0, refine: true }.cluster(&ds.social);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let users: Vec<UserId> = (0..30).map(UserId).collect();
+    let fw = ClusterFramework::new(&clusters, Epsilon::Finite(0.2));
+    let a = fw.recommend(&inputs, &users, 8, 99);
+    let b = fw.recommend(&inputs, &users, 8, 99);
+    let c = fw.recommend(&inputs, &users, 8, 100);
+    assert_eq!(a, b, "same seed must reproduce");
+    assert_ne!(a, c, "different seed must differ");
+}
+
+#[test]
+fn comparators_run_end_to_end() {
+    let ds = socialrec::datasets::lastfm_like_scaled(0.05, 9);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let users: Vec<UserId> = (0..40).map(UserId).collect();
+    let n = 5;
+    for mech in [
+        Box::new(GroupAndSmooth::new(Epsilon::Finite(1.0)).with_group_sizes(vec![64, 1024]))
+            as Box<dyn TopNRecommender>,
+        Box::new(LowRankMechanism::new(Epsilon::Finite(1.0), 16)),
+    ] {
+        let lists = mech.recommend(&inputs, &users, n, 2);
+        assert_eq!(lists.len(), users.len(), "{} wrong list count", mech.name());
+        assert!(lists.iter().all(|l| l.items.len() == n), "{} wrong list size", mech.name());
+    }
+}
+
+#[test]
+fn dataset_roundtrips_through_files() {
+    use socialrec::graph::io::{
+        read_preference_graph, read_social_graph, write_preference_graph, write_social_graph,
+    };
+    let ds = socialrec::datasets::lastfm_like_scaled(0.05, 2);
+    let mut sbuf = Vec::new();
+    write_social_graph(&ds.social, &mut sbuf).unwrap();
+    let social = read_social_graph(std::io::Cursor::new(sbuf), "mem").unwrap();
+    assert_eq!(social, ds.social);
+    let mut pbuf = Vec::new();
+    write_preference_graph(&ds.prefs, &mut pbuf).unwrap();
+    let prefs = read_preference_graph(std::io::Cursor::new(pbuf), "mem").unwrap();
+    assert_eq!(prefs, ds.prefs);
+}
+
+#[test]
+fn privacy_accountant_models_the_framework() {
+    use socialrec::dp::PrivacyAccountant;
+    // The framework releases one noisy average per (cluster, item), all
+    // on disjoint edge sets: parallel composition keeps the budget at eps.
+    let eps = Epsilon::Finite(0.5);
+    let mut acct = PrivacyAccountant::new();
+    let clusters = 35;
+    let items = 100;
+    for _ in 0..clusters * items {
+        acct.spend_parallel(eps);
+    }
+    assert!(acct.within(eps));
+    assert!((acct.total_epsilon() - 0.5).abs() < 1e-12);
+}
