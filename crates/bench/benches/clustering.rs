@@ -29,9 +29,7 @@ fn bench_clustering(c: &mut Criterion) {
     });
 
     let partition = Louvain::default().run(&ds.social).partition;
-    g.bench_function("modularity", |b| {
-        b.iter(|| black_box(modularity(&ds.social, &partition)))
-    });
+    g.bench_function("modularity", |b| b.iter(|| black_box(modularity(&ds.social, &partition))));
     g.finish();
 }
 

@@ -14,21 +14,14 @@ fn bench_eval(c: &mut Criterion) {
     let utilities: Vec<f64> = (0..17_632).map(|_| rng.gen::<f64>() * 100.0).collect();
 
     let mut g = c.benchmark_group("eval");
-    g.bench_function("topn_50_of_17632", |b| {
-        b.iter(|| black_box(top_n_items(&utilities, 50)))
-    });
+    g.bench_function("topn_50_of_17632", |b| b.iter(|| black_box(top_n_items(&utilities, 50))));
 
-    let list: Vec<ItemId> =
-        top_n_items(&utilities, 50).into_iter().map(|(i, _)| i).collect();
-    g.bench_function("ndcg_at_50", |b| {
-        b.iter(|| black_box(per_user_ndcg(&utilities, &list, 50)))
-    });
+    let list: Vec<ItemId> = top_n_items(&utilities, 50).into_iter().map(|(i, _)| i).collect();
+    g.bench_function("ndcg_at_50", |b| b.iter(|| black_box(per_user_ndcg(&utilities, &list, 50))));
     g.finish();
 
     let mut g = c.benchmark_group("dp_primitives");
-    g.bench_function("laplace_sample", |b| {
-        b.iter(|| black_box(sample_laplace(&mut rng, 1.0)))
-    });
+    g.bench_function("laplace_sample", |b| b.iter(|| black_box(sample_laplace(&mut rng, 1.0))));
     let stream = CounterLaplace::new(7, 1.0);
     g.bench_function("counter_laplace", |b| {
         let mut k = 0u32;

@@ -74,23 +74,16 @@ fn bench_extensions(c: &mut Criterion) {
     g.bench_function("attack_leakage_50_trials", |b| {
         let attack = SybilAttack::mount(&ds.social, UserId(3));
         let prefs = attack.extend_preferences(&ds.prefs);
-        let target = *ds
-            .prefs
-            .items_of(UserId(3))
-            .first()
-            .unwrap_or(&ItemId(0));
+        let target = *ds.prefs.items_of(UserId(3)).first().unwrap_or(&ItemId(0));
         let prefs = if prefs.has_edge(UserId(3), target) {
             prefs
         } else {
             prefs.toggled_edge(UserId(3), target)
         };
         let asim = SimilarityMatrix::build(&attack.social, &Measure::CommonNeighbors);
-        let apart = LouvainStrategy { restarts: 2, seed: 0, refine: true }
-            .cluster(&attack.social);
+        let apart = LouvainStrategy { restarts: 2, seed: 0, refine: true }.cluster(&attack.social);
         let fw = ClusterFramework::new(&apart, eps);
-        b.iter(|| {
-            black_box(estimate_leakage(&fw, &attack, &asim, &prefs, target, 50))
-        })
+        b.iter(|| black_box(estimate_leakage(&fw, &attack, &asim, &prefs, target, 50)))
     });
     g.finish();
 }

@@ -15,9 +15,7 @@ fn bench_generators(c: &mut Criterion) {
     g.bench_function("lastfm_like_scale_0.25", |b| {
         b.iter(|| black_box(lastfm_like_scaled(0.25, 7)))
     });
-    g.bench_function("flixster_like_scale_0.02", |b| {
-        b.iter(|| black_box(flixster_like(0.02, 7)))
-    });
+    g.bench_function("flixster_like_scale_0.02", |b| b.iter(|| black_box(flixster_like(0.02, 7))));
     g.bench_function("planted_communities_2k", |b| {
         let cfg = CommunityGraphConfig {
             num_users: 2000,

@@ -21,10 +21,8 @@ pub fn run(args: &Args) -> Result<(), String> {
     if item.index() >= prefs.num_items() {
         return Err("missing or out-of-range --item <item>".to_string());
     }
-    let epsilon: Epsilon = args
-        .get_str("epsilon")
-        .ok_or("missing --epsilon".to_string())?
-        .parse()?;
+    let epsilon: Epsilon =
+        args.get_str("epsilon").ok_or("missing --epsilon".to_string())?.parse()?;
     let trials = args.get_u64("trials", 2000);
     let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
     let seed = args.get_u64("seed", 0);
@@ -39,11 +37,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         eprintln!("note: target edge was absent; analysing the hypothetical world with it");
     }
     let sim = SimilarityMatrix::build(&attack.social, measure.as_ref());
-    println!(
-        "sybil {} isolates the victim: {}",
-        attack.sybil,
-        attack.is_isolating(&sim)
-    );
+    println!("sybil {} isolates the victim: {}", attack.sybil, attack.is_isolating(&sim));
 
     // Exact recommender: the deterministic leak.
     let exact = estimate_leakage(&ExactRecommender, &attack, &sim, &prefs_ext, item, 1);
@@ -53,8 +47,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     );
 
     // Private framework.
-    let partition =
-        LouvainStrategy { restarts: 5, seed, refine: true }.cluster(&attack.social);
+    let partition = LouvainStrategy { restarts: 5, seed, refine: true }.cluster(&attack.social);
     let fw = ClusterFramework::new(&partition, epsilon);
     let est = estimate_leakage(&fw, &attack, &sim, &prefs_ext, item, trials);
     println!(
@@ -79,11 +72,9 @@ mod tests {
     fn attack_command_runs() {
         let dir = std::env::temp_dir().join(format!("socialrec-atk-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(6, 8, &[(0, 0), (1, 0), (5, 7)]).unwrap();
         let f = std::fs::File::create(dir.join("social.tsv")).unwrap();
         write_social_graph(&s, f).unwrap();
@@ -109,12 +100,10 @@ mod tests {
         let f = std::fs::File::create(dir.join("prefs.tsv")).unwrap();
         write_preference_graph(&p, f).unwrap();
         let base = format!("--social {d}/social.tsv --prefs {d}/prefs.tsv", d = dir.display());
-        let err = run(&Args::parse_from(base.split_whitespace().map(String::from)))
-            .unwrap_err();
+        let err = run(&Args::parse_from(base.split_whitespace().map(String::from))).unwrap_err();
         assert!(err.contains("--victim"));
         let spec = format!("{base} --victim 0");
-        let err =
-            run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap_err();
+        let err = run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap_err();
         assert!(err.contains("--item"));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -13,8 +13,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let refine = !args.has_flag("no-refine");
     let min_size = args.get_usize("min-size", 0);
 
-    let res =
-        Louvain { seed, refine, ..Default::default() }.run_best_of(&social, restarts.max(1));
+    let res = Louvain { seed, refine, ..Default::default() }.run_best_of(&social, restarts.max(1));
     let mut partition = res.partition;
     if min_size > 1 {
         partition = merge_small_clusters(&social, &partition, min_size);
@@ -46,11 +45,9 @@ mod tests {
     fn clusters_and_writes() {
         let dir = std::env::temp_dir().join(format!("socialrec-clu-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let f = std::fs::File::create(dir.join("social.tsv")).unwrap();
         write_social_graph(&s, f).unwrap();
         let spec = format!(

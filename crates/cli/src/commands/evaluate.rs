@@ -15,11 +15,7 @@ use socialrec_similarity::{parse_measure, SimilarityMatrix};
 pub fn run(args: &Args) -> Result<(), String> {
     let (social, prefs) = load_dataset(args)?;
     let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
-    let epsilons = args.epsilons(&[
-        Epsilon::Infinite,
-        Epsilon::Finite(1.0),
-        Epsilon::Finite(0.1),
-    ]);
+    let epsilons = args.epsilons(&[Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.1)]);
     let n = args.get_usize("n", 50);
     let runs = args.get_usize("runs", 3);
     let seed = args.get_u64("seed", 0);
@@ -63,11 +59,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             "framework" => Box::new(ClusterFramework::new(&partition, eps)),
             "nou" => Box::new(NoiseOnUtility::new(eps)),
             "noe" => Box::new(NoiseOnEdges::new(eps)),
-            other => {
-                return Err(format!(
-                    "unknown --mechanism {other:?} (framework, nou or noe)"
-                ))
-            }
+            other => return Err(format!("unknown --mechanism {other:?} (framework, nou or noe)")),
         };
         let p = &mean_ndcg_over_runs(mech.as_ref(), &inputs, &eval, &[n], runs, seed)[0];
         t.row(vec![eps.to_string(), format!("{:.3}", p.mean), format!("{:.3}", p.std)]);
@@ -87,11 +79,9 @@ mod tests {
     fn evaluates_on_files() {
         let dir = std::env::temp_dir().join(format!("socialrec-eval-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (3, 1)]).unwrap();
         let f = std::fs::File::create(dir.join("social.tsv")).unwrap();
         write_social_graph(&s, f).unwrap();

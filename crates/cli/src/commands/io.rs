@@ -9,16 +9,14 @@ use std::path::Path;
 
 /// Load `--social` and `--prefs` files into graphs.
 pub fn load_dataset(args: &Args) -> Result<(SocialGraph, PreferenceGraph), String> {
-    let social_path =
-        args.get_str("social").ok_or("missing --social <file>".to_string())?;
+    let social_path = args.get_str("social").ok_or("missing --social <file>".to_string())?;
     let prefs_path = args.get_str("prefs").ok_or("missing --prefs <file>".to_string())?;
-    let social_file = std::fs::File::open(social_path)
-        .map_err(|e| format!("cannot open {social_path}: {e}"))?;
+    let social_file =
+        std::fs::File::open(social_path).map_err(|e| format!("cannot open {social_path}: {e}"))?;
     let social = read_social_graph(social_file, social_path).map_err(|e| e.to_string())?;
-    let prefs_file = std::fs::File::open(prefs_path)
-        .map_err(|e| format!("cannot open {prefs_path}: {e}"))?;
-    let prefs =
-        read_preference_graph(prefs_file, prefs_path).map_err(|e| e.to_string())?;
+    let prefs_file =
+        std::fs::File::open(prefs_path).map_err(|e| format!("cannot open {prefs_path}: {e}"))?;
+    let prefs = read_preference_graph(prefs_file, prefs_path).map_err(|e| e.to_string())?;
     if social.num_users() != prefs.num_users() {
         return Err(format!(
             "user-count mismatch: social has {}, prefs has {}",
@@ -31,10 +29,9 @@ pub fn load_dataset(args: &Args) -> Result<(SocialGraph, PreferenceGraph), Strin
 
 /// Load just the social graph.
 pub fn load_social(args: &Args) -> Result<SocialGraph, String> {
-    let social_path =
-        args.get_str("social").ok_or("missing --social <file>".to_string())?;
-    let f = std::fs::File::open(social_path)
-        .map_err(|e| format!("cannot open {social_path}: {e}"))?;
+    let social_path = args.get_str("social").ok_or("missing --social <file>".to_string())?;
+    let f =
+        std::fs::File::open(social_path).map_err(|e| format!("cannot open {social_path}: {e}"))?;
     read_social_graph(f, social_path).map_err(|e| e.to_string())
 }
 
@@ -82,16 +79,12 @@ pub fn read_partition(path: &Path, num_users: usize) -> Result<Partition, String
 /// Parse `--users 0,3,5` (or `all`) into a user list.
 pub fn parse_users(args: &Args, num_users: usize) -> Result<Vec<socialrec_graph::UserId>, String> {
     match args.get_str("users") {
-        None | Some("all") => {
-            Ok((0..num_users as u32).map(socialrec_graph::UserId).collect())
-        }
+        None | Some("all") => Ok((0..num_users as u32).map(socialrec_graph::UserId).collect()),
         Some(list) => list
             .split(',')
             .map(|t| {
-                let id: u32 = t
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad user id {t:?} in --users"))?;
+                let id: u32 =
+                    t.trim().parse().map_err(|_| format!("bad user id {t:?} in --users"))?;
                 if (id as usize) < num_users {
                     Ok(socialrec_graph::UserId(id))
                 } else {
@@ -123,8 +116,7 @@ mod tests {
 
     #[test]
     fn partition_missing_user_detected() {
-        let path =
-            std::env::temp_dir().join(format!("socialrec-part-bad-{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("socialrec-part-bad-{}", std::process::id()));
         std::fs::write(&path, "0\t0\n2\t1\n").unwrap();
         let err = read_partition(&path, 3).unwrap_err();
         assert!(err.contains("misses user 1"), "{err}");

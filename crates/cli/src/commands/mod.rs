@@ -6,6 +6,7 @@ pub mod cluster;
 pub mod evaluate;
 pub mod generate;
 pub mod recommend;
+pub mod serve_bench;
 pub mod stats;
 
 mod io;
@@ -38,6 +39,9 @@ COMMANDS
   attack     Sybil-attack leakage estimate (paper §2.3)
                --social FILE  --prefs FILE  --victim U  --item I
                --epsilon E  [--trials 2000] [--measure CN]
+  serve-bench  Batch serving engine vs naive per-query throughput
+               [--scale 0.15] [--seed 7] [--epsilon 0.5] [--n 10]
+               [--batches 3] [--naive-queries 200] [--measure CN]
   help       This message
 
 MEASURES: CN, GD, AA, KZ (paper) and JC, SA, RA, HP, PA (extended).

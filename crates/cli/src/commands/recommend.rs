@@ -38,8 +38,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let fw = ClusterFramework::new(&partition, epsilon);
     let lists = fw.recommend(&inputs, &users, n, seed);
     for l in &lists {
-        let items: Vec<String> =
-            l.items.iter().map(|&(i, s)| format!("{i}:{s:.3}")).collect();
+        let items: Vec<String> = l.items.iter().map(|&(i, s)| format!("{i}:{s:.3}")).collect();
         println!("{}\t{}", l.user, items.join(" "));
     }
     Ok(())
@@ -54,11 +53,9 @@ mod tests {
 
     fn write_fixture(dir: &std::path::Path) {
         std::fs::create_dir_all(dir).unwrap();
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (3, 1)]).unwrap();
         let f = std::fs::File::create(dir.join("social.tsv")).unwrap();
         write_social_graph(&s, f).unwrap();
@@ -82,10 +79,8 @@ mod tests {
     fn requires_epsilon() {
         let dir = std::env::temp_dir().join(format!("socialrec-rec2-{}", std::process::id()));
         write_fixture(&dir);
-        let spec =
-            format!("--social {d}/social.tsv --prefs {d}/prefs.tsv", d = dir.display());
-        let err =
-            run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap_err();
+        let spec = format!("--social {d}/social.tsv --prefs {d}/prefs.tsv", d = dir.display());
+        let err = run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap_err();
         assert!(err.contains("--epsilon"));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -30,6 +30,7 @@ fn main() {
         "recommend" => commands::recommend::run(&args),
         "evaluate" => commands::evaluate::run(&args),
         "attack" => commands::attack::run(&args),
+        "serve-bench" => commands::serve_bench::run(&args),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

@@ -137,8 +137,7 @@ impl KMeansStrategy {
                     let inv = 1.0 / counts[c] as f64;
                     centroids[c].iter_mut().for_each(|x| *x *= inv);
                 }
-                centroid_norms[c] =
-                    centroids[c].iter().map(|x| x * x).sum::<f64>().sqrt();
+                centroid_norms[c] = centroids[c].iter().map(|x| x * x).sum::<f64>().sqrt();
                 // Re-seed empty clusters with a random user's row.
                 if counts[c] == 0 {
                     let u = UserId(rng.gen_range(0..n as u32));

@@ -178,11 +178,7 @@ impl Louvain {
     /// clustering for the similarity measure in use.
     ///
     /// Duplicate edges accumulate; self loops are ignored.
-    pub fn run_weighted_edges(
-        &self,
-        num_nodes: usize,
-        edges: &[(u32, u32, f64)],
-    ) -> LouvainResult {
+    pub fn run_weighted_edges(&self, num_nodes: usize, edges: &[(u32, u32, f64)]) -> LouvainResult {
         self.run_core(WeightedGraph::from_weighted_edges(num_nodes, edges))
     }
 
@@ -293,8 +289,8 @@ mod tests {
     #[test]
     fn separate_components_get_separate_clusters() {
         // Two disjoint triangles.
-        let g = social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
-            .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
         let res = Louvain::default().run(&g);
         assert_eq!(res.partition.num_clusters(), 2);
     }

@@ -36,9 +36,7 @@ pub fn modularity(g: &SocialGraph, partition: &Partition) -> f64 {
             }
         }
     }
-    (0..k)
-        .map(|c| internal[c] / m - (degree_sum[c] / (2.0 * m)).powi(2))
-        .sum()
+    (0..k).map(|c| internal[c] / m - (degree_sum[c] / (2.0 * m)).powi(2)).sum()
 }
 
 #[cfg(test)]
@@ -49,11 +47,9 @@ mod tests {
     #[test]
     fn two_cliques_bridge_hand_value() {
         // Two triangles joined by one edge; the natural split.
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = Partition::from_assignment(&[0, 0, 0, 1, 1, 1]);
         // m=7; each side: internal 3, degree sum 7.
         let expected = 2.0 * (3.0 / 7.0 - (7.0f64 / 14.0).powi(2));
@@ -76,11 +72,9 @@ mod tests {
 
     #[test]
     fn good_split_beats_bad_split() {
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let good = Partition::from_assignment(&[0, 0, 0, 1, 1, 1]);
         let bad = Partition::from_assignment(&[0, 1, 0, 1, 0, 1]);
         assert!(modularity(&g, &good) > modularity(&g, &bad));

@@ -39,19 +39,13 @@ impl Partition {
 
     /// The singleton partition: every user its own cluster.
     pub fn singletons(num_users: usize) -> Partition {
-        Partition {
-            assignment: (0..num_users as u32).collect(),
-            num_clusters: num_users,
-        }
+        Partition { assignment: (0..num_users as u32).collect(), num_clusters: num_users }
     }
 
     /// The trivial partition: all users in one cluster (empty input gives
     /// zero clusters).
     pub fn one_cluster(num_users: usize) -> Partition {
-        Partition {
-            assignment: vec![0; num_users],
-            num_clusters: usize::from(num_users > 0),
-        }
+        Partition { assignment: vec![0; num_users], num_clusters: usize::from(num_users > 0) }
     }
 
     /// Number of users covered.

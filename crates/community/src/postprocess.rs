@@ -20,11 +20,7 @@ use socialrec_graph::{SocialGraph, UserId};
 /// and edge-count ties prefer the lower cluster id. Guarantees that no
 /// cluster shrinks; if *all* clusters are below `min_size` the largest
 /// one is kept as the merge target of last resort.
-pub fn merge_small_clusters(
-    g: &SocialGraph,
-    partition: &Partition,
-    min_size: usize,
-) -> Partition {
+pub fn merge_small_clusters(g: &SocialGraph, partition: &Partition, min_size: usize) -> Partition {
     assert_eq!(g.num_users(), partition.num_users(), "partition must cover the graph");
     let k = partition.num_clusters();
     if k <= 1 {
@@ -95,11 +91,9 @@ mod tests {
     #[test]
     fn merges_tiny_cluster_into_most_connected() {
         // Clusters: {0,1,2}, {3,4,5}, {6} — 6 linked to cluster 0 twice.
-        let g = social_graph_from_edges(
-            7,
-            &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 0), (6, 1), (6, 3)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 0), (6, 1), (6, 3)])
+                .unwrap();
         let p = Partition::from_assignment(&[0, 0, 0, 1, 1, 1, 2]);
         let merged = merge_small_clusters(&g, &p, 2);
         assert_eq!(merged.num_clusters(), 2);
@@ -126,11 +120,9 @@ mod tests {
     #[test]
     fn chain_of_merges_settles() {
         // Three singletons in a path + one big cluster.
-        let g = social_graph_from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (4, 6), (3, 4)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (4, 6), (3, 4)])
+                .unwrap();
         let p = Partition::from_assignment(&[0, 1, 2, 3, 4, 4, 4]);
         let merged = merge_small_clusters(&g, &p, 2);
         // No remaining cluster under size 2.
@@ -141,11 +133,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let g = social_graph_from_edges(
-            8,
-            &[(0, 1), (1, 2), (3, 4), (5, 0), (6, 3), (7, 5)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(8, &[(0, 1), (1, 2), (3, 4), (5, 0), (6, 3), (7, 5)]).unwrap();
         let p = Partition::from_assignment(&[0, 0, 0, 1, 1, 2, 3, 4]);
         let a = merge_small_clusters(&g, &p, 2);
         let b = merge_small_clusters(&g, &p, 2);

@@ -109,8 +109,7 @@ impl ClusteringStrategy for RandomStrategy {
         assert!(self.num_clusters >= 1, "need at least one cluster");
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let k = self.num_clusters.min(g.num_users().max(1)) as u32;
-        let raw: Vec<u32> =
-            (0..g.num_users()).map(|_| rng.gen_range(0..k)).collect();
+        let raw: Vec<u32> = (0..g.num_users()).map(|_| rng.gen_range(0..k)).collect();
         Partition::from_assignment(&raw)
     }
 }

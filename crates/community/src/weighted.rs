@@ -103,9 +103,7 @@ impl WeightedGraph {
         }
         let weights = vec![1.0; neighbors.len()];
         let self_loop = vec![0.0; n];
-        let degree: Vec<f64> = (0..n)
-            .map(|u| (offsets[u + 1] - offsets[u]) as f64)
-            .collect();
+        let degree: Vec<f64> = (0..n).map(|u| (offsets[u + 1] - offsets[u]) as f64).collect();
         let two_m: f64 = degree.iter().sum();
         WeightedGraph { offsets, neighbors, weights, self_loop, degree, two_m }
     }
@@ -192,9 +190,7 @@ impl WeightedGraph {
             }
         }
         let m2 = self.two_m;
-        (0..num_comms)
-            .map(|c| internal[c] / m2 - (total[c] / m2).powi(2))
-            .sum()
+        (0..num_comms).map(|c| internal[c] / m2 - (total[c] / m2).powi(2)).sum()
     }
 }
 

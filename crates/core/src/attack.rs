@@ -155,11 +155,9 @@ mod tests {
     use socialrec_similarity::Measure;
 
     fn base() -> (SocialGraph, PreferenceGraph) {
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(6, 8, &[(0, 0), (1, 0), (2, 1), (5, 7)]).unwrap();
         (s, p)
     }
@@ -231,17 +229,11 @@ mod tests {
 
     #[test]
     fn leakage_ratio_edge_cases() {
-        let zero = LeakageEstimate {
-            hit_rate_with_edge: 0.0,
-            hit_rate_without_edge: 0.0,
-            trials: 10,
-        };
+        let zero =
+            LeakageEstimate { hit_rate_with_edge: 0.0, hit_rate_without_edge: 0.0, trials: 10 };
         assert_eq!(zero.ratio(), 1.0);
-        let leak = LeakageEstimate {
-            hit_rate_with_edge: 0.5,
-            hit_rate_without_edge: 0.0,
-            trials: 10,
-        };
+        let leak =
+            LeakageEstimate { hit_rate_with_edge: 0.5, hit_rate_without_edge: 0.0, trials: 10 };
         assert!(leak.ratio().is_infinite());
     }
 }

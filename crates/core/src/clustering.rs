@@ -72,11 +72,9 @@ mod tests {
 
     #[test]
     fn threshold_prunes_weak_edges() {
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let sim = SimilarityMatrix::build(&g, &Measure::Katz { max_length: 3, alpha: 0.05 });
         // With a huge threshold, no edges survive: singletons.
         let p = cluster_by_similarity(&sim, Louvain::default(), 1e9);
@@ -85,11 +83,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let sim = SimilarityMatrix::build(&g, &Measure::AdamicAdar);
         let a = cluster_by_similarity(&sim, Louvain { seed: 5, ..Default::default() }, 0.0);
         let b = cluster_by_similarity(&sim, Louvain { seed: 5, ..Default::default() }, 0.0);
@@ -103,13 +99,10 @@ mod tests {
         use socialrec_dp::Epsilon;
         use socialrec_graph::preference::preference_graph_from_edges;
 
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
-        let prefs =
-            preference_graph_from_edges(6, 3, &[(0, 0), (1, 0), (3, 1), (4, 1)]).unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        let prefs = preference_graph_from_edges(6, 3, &[(0, 0), (1, 0), (3, 1), (4, 1)]).unwrap();
         let sim = SimilarityMatrix::build(&g, &Measure::CommonNeighbors);
         let partition = cluster_by_similarity(&sim, Louvain::default(), 0.0);
         let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };

@@ -153,18 +153,20 @@ impl DynamicRecommender {
         n: usize,
         seed: u64,
     ) -> Result<Release, String> {
-        let eps = self
-            .next_epsilon()
-            .ok_or_else(|| format!("budget schedule exhausted after {} releases", self.releases_done))?;
+        let eps = self.next_epsilon().ok_or_else(|| {
+            format!("budget schedule exhausted after {} releases", self.releases_done)
+        })?;
         let fw = ClusterFramework::new(snapshot.partition, eps).with_noise(self.noise);
         let lists = fw.recommend(&snapshot.inputs, users, n, seed);
         self.accountant.spend_sequential(eps);
         self.releases_done += 1;
-        debug_assert!(self.accountant.within(self.total) || self.total.is_infinite() || {
-            // Geometric tails sum to < total by construction; uniform
-            // plans are exact. Allow floating-point dust.
-            self.accountant.total_epsilon() <= self.total.value() + 1e-9
-        });
+        debug_assert!(
+            self.accountant.within(self.total) || self.total.is_infinite() || {
+                // Geometric tails sum to < total by construction; uniform
+                // plans are exact. Allow floating-point dust.
+                self.accountant.total_epsilon() <= self.total.value() + 1e-9
+            }
+        );
         Ok(Release {
             lists,
             epsilon_spent: eps,
@@ -181,15 +183,10 @@ mod tests {
     use socialrec_graph::social::social_graph_from_edges;
     use socialrec_similarity::{Measure, SimilarityMatrix};
 
-    fn snapshot_fixture() -> (
-        socialrec_graph::SocialGraph,
-        socialrec_graph::PreferenceGraph,
-    ) {
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+    fn snapshot_fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (3, 1), (4, 1)]).unwrap();
         (s, p)
     }
@@ -209,8 +206,7 @@ mod tests {
     fn decay_schedule_sums_below_total() {
         let sched = BudgetSchedule::Decay { ratio: 0.5 };
         let total = Epsilon::Finite(2.0);
-        let sum: f64 =
-            (0..50).map(|t| sched.epsilon_for(t, total).unwrap().value()).sum();
+        let sum: f64 = (0..50).map(|t| sched.epsilon_for(t, total).unwrap().value()).sum();
         assert!(sum <= 2.0 + 1e-9, "decay overspends: {sum}");
         assert!(sum > 1.99, "decay should approach the total: {sum}");
         // Strictly decreasing.
@@ -224,15 +220,11 @@ mod tests {
         let (s, p) = snapshot_fixture();
         let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
         let partition = LouvainStrategy::default().cluster(&s);
-        let snap = Snapshot {
-            partition: &partition,
-            inputs: RecommenderInputs { prefs: &p, sim: &sim },
-        };
+        let snap =
+            Snapshot { partition: &partition, inputs: RecommenderInputs { prefs: &p, sim: &sim } };
         let users: Vec<UserId> = (0..6).map(UserId).collect();
-        let mut dynrec = DynamicRecommender::new(
-            Epsilon::Finite(1.0),
-            BudgetSchedule::Uniform { releases: 2 },
-        );
+        let mut dynrec =
+            DynamicRecommender::new(Epsilon::Finite(1.0), BudgetSchedule::Uniform { releases: 2 });
         let r1 = dynrec.release(&snap, &users, 2, 0).unwrap();
         assert_eq!(r1.epsilon_spent, Epsilon::Finite(0.5));
         assert!((r1.epsilon_total_spent - 0.5).abs() < 1e-12);
@@ -250,15 +242,11 @@ mod tests {
         let (s, p) = snapshot_fixture();
         let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
         let partition = LouvainStrategy::default().cluster(&s);
-        let snap = Snapshot {
-            partition: &partition,
-            inputs: RecommenderInputs { prefs: &p, sim: &sim },
-        };
+        let snap =
+            Snapshot { partition: &partition, inputs: RecommenderInputs { prefs: &p, sim: &sim } };
         let users: Vec<UserId> = (0..6).map(UserId).collect();
-        let mut dynrec = DynamicRecommender::new(
-            Epsilon::Finite(1.0),
-            BudgetSchedule::Decay { ratio: 0.5 },
-        );
+        let mut dynrec =
+            DynamicRecommender::new(Epsilon::Finite(1.0), BudgetSchedule::Decay { ratio: 0.5 });
         let mut last_eps = f64::INFINITY;
         for t in 0..10 {
             let r = dynrec.release(&snap, &users, 2, t).unwrap();
@@ -279,19 +267,13 @@ mod tests {
         let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
         let partition = LouvainStrategy::default().cluster(&s);
         let users: Vec<UserId> = (0..6).map(UserId).collect();
-        let mut dynrec = DynamicRecommender::new(
-            Epsilon::Finite(2.0),
-            BudgetSchedule::Uniform { releases: 2 },
-        );
-        let snap1 = Snapshot {
-            partition: &partition,
-            inputs: RecommenderInputs { prefs: &p1, sim: &sim },
-        };
+        let mut dynrec =
+            DynamicRecommender::new(Epsilon::Finite(2.0), BudgetSchedule::Uniform { releases: 2 });
+        let snap1 =
+            Snapshot { partition: &partition, inputs: RecommenderInputs { prefs: &p1, sim: &sim } };
         let r1 = dynrec.release(&snap1, &users, 2, 0).unwrap();
-        let snap2 = Snapshot {
-            partition: &partition,
-            inputs: RecommenderInputs { prefs: &p2, sim: &sim },
-        };
+        let snap2 =
+            Snapshot { partition: &partition, inputs: RecommenderInputs { prefs: &p2, sim: &sim } };
         let r2 = dynrec.release(&snap2, &users, 2, 0).unwrap();
         assert_eq!(r1.lists.len(), r2.lists.len());
     }
@@ -306,10 +288,8 @@ mod tests {
         let (s, p) = snapshot_fixture();
         let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
         let partition = LouvainStrategy::default().cluster(&s);
-        let snap = Snapshot {
-            partition: &partition,
-            inputs: RecommenderInputs { prefs: &p, sim: &sim },
-        };
+        let snap =
+            Snapshot { partition: &partition, inputs: RecommenderInputs { prefs: &p, sim: &sim } };
         let users = [UserId(0)];
         for t in 0..3 {
             dynrec.release(&snap, &users, 1, t).unwrap();

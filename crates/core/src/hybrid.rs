@@ -49,12 +49,7 @@ impl<'p> HybridRecommender<'p> {
     /// the budget to the popularity release by default.
     pub fn new(partition: &'p Partition, epsilon_total: Epsilon, lambda: f64) -> Self {
         assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
-        HybridRecommender {
-            partition,
-            epsilon_total,
-            lambda,
-            popularity_budget_share: 0.2,
-        }
+        HybridRecommender { partition, epsilon_total, lambda, popularity_budget_share: 0.2 }
     }
 
     /// Override the budget split.
@@ -171,11 +166,9 @@ mod tests {
     use socialrec_similarity::{Measure, SimilarityMatrix};
 
     fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         // Item 3 is globally popular; items 0/1 are community-specific.
         let p = preference_graph_from_edges(
             6,
@@ -248,8 +241,7 @@ mod tests {
         // positive lambda gives them the popularity ranking instead of
         // an arbitrary zero-utility order.
         let s = social_graph_from_edges(4, &[(0, 1)]).unwrap();
-        let p =
-            preference_graph_from_edges(4, 3, &[(0, 2), (1, 2), (3, 2), (0, 0)]).unwrap();
+        let p = preference_graph_from_edges(4, 3, &[(0, 2), (1, 2), (3, 2), (0, 0)]).unwrap();
         let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let partition = Partition::one_cluster(4);

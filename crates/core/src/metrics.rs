@@ -15,10 +15,7 @@ fn discount(position_1based: usize) -> f64 {
 /// `DCG(X, u) = Σ_{i∈X} μ_u^i / max(1, log2 p(i) + 1)` where `p(i)` is
 /// `i`'s 1-based index in `X` and `μ` are the *ideal* (exact) utilities.
 pub fn dcg(list: &[ItemId], ideal_utilities: &[f64]) -> f64 {
-    list.iter()
-        .enumerate()
-        .map(|(idx, &i)| ideal_utilities[i.index()] / discount(idx + 1))
-        .sum()
+    list.iter().enumerate().map(|(idx, &i)| ideal_utilities[i.index()] / discount(idx + 1)).sum()
 }
 
 /// NDCG@N for one user: the DCG of the private list over the DCG of the
@@ -40,8 +37,7 @@ pub fn dcg(list: &[ItemId], ideal_utilities: &[f64]) -> f64 {
 /// assert!(per_user_ndcg(&ideal_utilities, &[ItemId(1), ItemId(0)], 2) < 1.0);
 /// ```
 pub fn per_user_ndcg(ideal_utilities: &[f64], private_list: &[ItemId], n: usize) -> f64 {
-    let ideal: Vec<ItemId> =
-        top_n_items(ideal_utilities, n).into_iter().map(|(i, _)| i).collect();
+    let ideal: Vec<ItemId> = top_n_items(ideal_utilities, n).into_iter().map(|(i, _)| i).collect();
     let denom = dcg(&ideal, ideal_utilities);
     if denom <= 0.0 {
         return 1.0;
@@ -52,10 +48,7 @@ pub fn per_user_ndcg(ideal_utilities: &[f64], private_list: &[ItemId], n: usize)
 
 /// Mean NDCG@N over users (Eq. 2): each element pairs one user's ideal
 /// utilities with that user's private list.
-pub fn mean_ndcg<'a>(
-    per_user: impl Iterator<Item = (&'a [f64], &'a [ItemId])>,
-    n: usize,
-) -> f64 {
+pub fn mean_ndcg<'a>(per_user: impl Iterator<Item = (&'a [f64], &'a [ItemId])>, n: usize) -> f64 {
     let mut total = 0.0;
     let mut count = 0usize;
     for (ideal, list) in per_user {
@@ -71,12 +64,22 @@ pub fn mean_ndcg<'a>(
 
 /// Precision@N and Recall@N of a private list against the exact top-N,
 /// treating the exact top-N *with positive utility* as the relevant set.
+///
+/// Membership checks run against the *sorted* relevant set via binary
+/// search, so the cost is `O(n log n)` instead of the `O(n²)` of a
+/// linear `contains` per recommended item.
+///
+/// Convention for short private lists: precision divides by the number
+/// of items actually recommended (`min(len, n)`), not by `n` — a list
+/// shorter than N is not penalized for the positions it never filled,
+/// only recall suffers. An empty private list therefore scores
+/// `(0.0, 0.0)`.
 pub fn precision_recall_at_n(
     ideal_utilities: &[f64],
     private_list: &[ItemId],
     n: usize,
 ) -> (f64, f64) {
-    let relevant: Vec<ItemId> = top_n_items(ideal_utilities, n)
+    let mut relevant: Vec<ItemId> = top_n_items(ideal_utilities, n)
         .into_iter()
         .filter(|&(_, u)| u > 0.0)
         .map(|(i, _)| i)
@@ -84,8 +87,9 @@ pub fn precision_recall_at_n(
     if relevant.is_empty() {
         return (0.0, 0.0);
     }
+    relevant.sort_unstable();
     let truncated = &private_list[..private_list.len().min(n)];
-    let hits = truncated.iter().filter(|i| relevant.contains(i)).count();
+    let hits = truncated.iter().filter(|i| relevant.binary_search(i).is_ok()).count();
     let precision = hits as f64 / truncated.len().max(1) as f64;
     let recall = hits as f64 / relevant.len() as f64;
     (precision, recall)
@@ -166,8 +170,7 @@ mod tests {
         let u2 = [0.0, 1.0];
         let l1 = ids(&[0]);
         let l2 = ids(&[0]); // wrong for u2
-        let pairs: Vec<(&[f64], &[ItemId])> =
-            vec![(&u1[..], &l1[..]), (&u2[..], &l2[..])];
+        let pairs: Vec<(&[f64], &[ItemId])> = vec![(&u1[..], &l1[..]), (&u2[..], &l2[..])];
         let m = mean_ndcg(pairs.into_iter(), 1);
         assert!((m - 0.5).abs() < 1e-12);
         assert_eq!(mean_ndcg(std::iter::empty(), 5), 0.0);
@@ -190,5 +193,25 @@ mod tests {
         // All-zero utilities: nothing relevant.
         let (p, r) = precision_recall_at_n(&[0.0, 0.0], &ids(&[0]), 2);
         assert_eq!((p, r), (0.0, 0.0));
+    }
+
+    #[test]
+    fn short_private_list_precision_convention() {
+        let util = [3.0, 2.0, 1.0, 0.0];
+        // One relevant item recommended out of a 1-long list: precision
+        // divides by the actual list length, so it is 1.0, while recall
+        // is 1/3 against the three relevant items.
+        let (p, r) = precision_recall_at_n(&util, &ids(&[0]), 3);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+        // An empty list scores zero on both.
+        let (p, r) = precision_recall_at_n(&util, &[], 3);
+        assert_eq!((p, r), (0.0, 0.0));
+        // Large relevant set exercises the binary-search path.
+        let big: Vec<f64> = (0..500).map(|i| 500.0 - i as f64).collect();
+        let list: Vec<ItemId> = (0..100).map(ItemId).collect();
+        let (p, r) = precision_recall_at_n(&big, &list, 100);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!((r - 1.0).abs() < 1e-12);
     }
 }

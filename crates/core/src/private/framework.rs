@@ -299,11 +299,9 @@ mod tests {
 
     fn fixture() -> (SocialGraph, PreferenceGraph) {
         // Two triangles bridged; preferences aligned per triangle.
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(
             6,
             4,
@@ -408,11 +406,16 @@ mod tests {
             let trials = 200;
             for seed in 0..trials {
                 let avg = fw.noisy_cluster_averages(&inputs, seed);
-                // item 3 average (true value small) in user 0's cluster.
+                // Item 2's average in user 0's cluster: zero raters
+                // under singletons, one (user 1) under one-cluster.
                 let c = partition.cluster_of(UserId(0));
-                acc += (avg.get(c, 2) - 1.0 / partition.cluster_sizes()
-                    [c as usize] as f64 * 0.0)
-                    .abs();
+                let raters = p
+                    .users_of(socialrec_graph::ItemId(2))
+                    .iter()
+                    .filter(|&&v| partition.cluster_of(v) == c)
+                    .count();
+                let true_avg = raters as f64 / partition.cluster_sizes()[c as usize] as f64;
+                acc += (avg.get(c, 2) - true_avg).abs();
             }
             acc / trials as f64
         };

@@ -40,10 +40,7 @@ pub struct GroupAndSmooth {
 impl GroupAndSmooth {
     /// GS at the given privacy level with the default `m` candidates.
     pub fn new(epsilon: Epsilon) -> Self {
-        GroupAndSmooth {
-            epsilon,
-            group_sizes: vec![16, 64, 256, 1024, 4096, 16384],
-        }
+        GroupAndSmooth { epsilon, group_sizes: vec![16, 64, 256, 1024, 4096, 16384] }
     }
 
     /// Override the candidate group sizes.
@@ -78,14 +75,11 @@ impl TopNRecommender for GroupAndSmooth {
 
         // True answers for all (eval user, item) cells.
         let mut true_vals = vec![0.0f64; total];
-        true_vals
-            .par_chunks_mut(ni)
-            .zip(users.par_iter())
-            .for_each(|(row, &u)| {
-                let mut tmp = Vec::new();
-                ExactRecommender.utilities_into(inputs, u, &mut tmp);
-                row.copy_from_slice(&tmp);
-            });
+        true_vals.par_chunks_mut(ni).zip(users.par_iter()).for_each(|(row, &u)| {
+            let mut tmp = Vec::new();
+            ExactRecommender.utilities_into(inputs, u, &mut tmp);
+            row.copy_from_slice(&tmp);
+        });
 
         // --- Step 1: rough estimates (uses the private edges once). ---
         let mut eval_index = vec![u32::MAX; inputs.num_users()];
@@ -119,18 +113,15 @@ impl TopNRecommender for GroupAndSmooth {
         }
         // Sanitize the rough estimates: per-user sensitivity
         // Δ_u = max_{v∈sim(u)} sim(u,v), budget ε/2.
-        rough
-            .par_chunks_mut(ni)
-            .enumerate()
-            .for_each(|(k, row)| {
-                let du = inputs.sim.max_in_row(users[k]);
-                if let Some(scale) = half.laplace_scale(du) {
-                    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0xA0A0 + k as u64));
-                    for x in row.iter_mut() {
-                        *x += sample_laplace(&mut rng, scale);
-                    }
+        rough.par_chunks_mut(ni).enumerate().for_each(|(k, row)| {
+            let du = inputs.sim.max_in_row(users[k]);
+            if let Some(scale) = half.laplace_scale(du) {
+                let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0xA0A0 + k as u64));
+                for x in row.iter_mut() {
+                    *x += sample_laplace(&mut rng, scale);
                 }
-            });
+            }
+        });
 
         // --- Step 2: one global sort by rough key. ---
         let mut order: Vec<u32> = (0..total as u32).collect();
@@ -194,11 +185,9 @@ mod tests {
     use socialrec_similarity::{Measure, SimilarityMatrix};
 
     fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(
             6,
             5,
@@ -230,10 +219,7 @@ mod tests {
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let users: Vec<UserId> = (0..6).map(UserId).collect();
         let gs = GroupAndSmooth::new(Epsilon::Finite(0.5)).with_group_sizes(vec![3, 10]);
-        assert_eq!(
-            gs.recommend(&inputs, &users, 2, 7),
-            gs.recommend(&inputs, &users, 2, 7)
-        );
+        assert_eq!(gs.recommend(&inputs, &users, 2, 7), gs.recommend(&inputs, &users, 2, 7));
     }
 
     #[test]
@@ -257,8 +243,7 @@ mod tests {
         let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let users: Vec<UserId> = (0..6).map(UserId).collect();
-        let gs =
-            GroupAndSmooth::new(Epsilon::Finite(0.1)).with_group_sizes(vec![1, 4, 16, 30]);
+        let gs = GroupAndSmooth::new(Epsilon::Finite(0.1)).with_group_sizes(vec![1, 4, 16, 30]);
         let lists = gs.recommend(&inputs, &users, 2, 3);
         assert_eq!(lists.len(), 6);
     }

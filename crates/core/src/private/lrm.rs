@@ -200,14 +200,8 @@ mod tests {
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let users: Vec<UserId> = (0..8).map(UserId).collect();
         let lrm = LowRankMechanism::new(Epsilon::Finite(0.5), 4);
-        assert_eq!(
-            lrm.recommend(&inputs, &users, 2, 3),
-            lrm.recommend(&inputs, &users, 2, 3)
-        );
-        assert_ne!(
-            lrm.recommend(&inputs, &users, 2, 3),
-            lrm.recommend(&inputs, &users, 2, 4)
-        );
+        assert_eq!(lrm.recommend(&inputs, &users, 2, 3), lrm.recommend(&inputs, &users, 2, 3));
+        assert_ne!(lrm.recommend(&inputs, &users, 2, 3), lrm.recommend(&inputs, &users, 2, 4));
     }
 
     #[test]
@@ -215,8 +209,8 @@ mod tests {
         // The noise scale must follow Δ_L, not the raw workload
         // sensitivity. Verified indirectly: with a rank-1 all-equal
         // workload, Δ_L is tiny compared to max row sum.
-        let s = social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)])
-            .unwrap();
+        let s =
+            social_graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]).unwrap();
         let p = preference_graph_from_edges(4, 2, &[(0, 0)]).unwrap();
         let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };

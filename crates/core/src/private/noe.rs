@@ -76,11 +76,9 @@ mod tests {
     use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
 
     fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (2, 0), (3, 1)]).unwrap();
         (s, p)
     }
@@ -109,8 +107,7 @@ mod tests {
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let eps = Epsilon::Finite(1.0);
         let seed = 11;
-        let lists =
-            NoiseOnEdges::new(eps).recommend(&inputs, &[UserId(0)], p.num_items(), seed);
+        let lists = NoiseOnEdges::new(eps).recommend(&inputs, &[UserId(0)], p.num_items(), seed);
         // Recompute user 0's noisy utilities by hand.
         let stream = CounterLaplace::new(seed, 1.0);
         let m = Measure::CommonNeighbors;
@@ -135,14 +132,8 @@ mod tests {
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let users: Vec<UserId> = (0..6).map(UserId).collect();
         let noe = NoiseOnEdges::new(Epsilon::Finite(0.1));
-        assert_eq!(
-            noe.recommend(&inputs, &users, 3, 5),
-            noe.recommend(&inputs, &users, 3, 5)
-        );
-        assert_ne!(
-            noe.recommend(&inputs, &users, 3, 5),
-            noe.recommend(&inputs, &users, 3, 6)
-        );
+        assert_eq!(noe.recommend(&inputs, &users, 3, 5), noe.recommend(&inputs, &users, 3, 5));
+        assert_ne!(noe.recommend(&inputs, &users, 3, 5), noe.recommend(&inputs, &users, 3, 6));
     }
 
     #[test]

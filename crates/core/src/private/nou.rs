@@ -55,8 +55,7 @@ impl TopNRecommender for NoiseOnUtility {
             .map_init(Vec::new, |out, &u| {
                 ExactRecommender.utilities_into(inputs, u, out);
                 if let Some(b) = scale {
-                    let mut rng =
-                        SmallRng::seed_from_u64(mix_seed(seed, u.0 as u64));
+                    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, u.0 as u64));
                     for x in out.iter_mut() {
                         *x += sample_laplace(&mut rng, b);
                     }
@@ -75,11 +74,9 @@ mod tests {
     use socialrec_similarity::{Measure, SimilarityMatrix};
 
     fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (2, 0), (3, 1)]).unwrap();
         (s, p)
     }
@@ -111,14 +108,8 @@ mod tests {
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let users: Vec<UserId> = (0..6).map(UserId).collect();
         let nou = NoiseOnUtility::new(Epsilon::Finite(0.5));
-        assert_eq!(
-            nou.recommend(&inputs, &users, 2, 9),
-            nou.recommend(&inputs, &users, 2, 9)
-        );
-        assert_ne!(
-            nou.recommend(&inputs, &users, 2, 9),
-            nou.recommend(&inputs, &users, 2, 10)
-        );
+        assert_eq!(nou.recommend(&inputs, &users, 2, 9), nou.recommend(&inputs, &users, 2, 9));
+        assert_ne!(nou.recommend(&inputs, &users, 2, 9), nou.recommend(&inputs, &users, 2, 10));
     }
 
     #[test]

@@ -63,8 +63,7 @@ pub fn top_n_items(utilities: &[f64], n: usize) -> Vec<(ItemId, f64)> {
         } else {
             // Compare against the current worst.
             let worst = heap.peek().expect("heap non-empty");
-            let better = u > worst.utility
-                || (u == worst.utility && (idx as u32) < worst.item);
+            let better = u > worst.utility || (u == worst.utility && (idx as u32) < worst.item);
             if better {
                 heap.pop();
                 heap.push(HeapEntry { utility: u, item: idx as u32 });
@@ -87,10 +86,7 @@ mod tests {
     fn selects_highest() {
         let u = [0.1, 5.0, 3.0, 4.0, 2.0];
         let top = top_n_items(&u, 3);
-        assert_eq!(
-            top,
-            vec![(ItemId(1), 5.0), (ItemId(3), 4.0), (ItemId(2), 3.0)]
-        );
+        assert_eq!(top, vec![(ItemId(1), 5.0), (ItemId(3), 4.0), (ItemId(2), 3.0)]);
     }
 
     #[test]
@@ -137,14 +133,9 @@ mod tests {
                 (0..m).map(|_| (rng.gen::<f64>() * 10.0).round() / 2.0).collect();
             let n = rng.gen_range(1..=m);
             let fast = top_n_items(&utilities, n);
-            let mut full: Vec<(ItemId, f64)> = utilities
-                .iter()
-                .enumerate()
-                .map(|(i, &u)| (ItemId(i as u32), u))
-                .collect();
-            full.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
-            });
+            let mut full: Vec<(ItemId, f64)> =
+                utilities.iter().enumerate().map(|(i, &u)| (ItemId(i as u32), u)).collect();
+            full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
             full.truncate(n);
             assert_eq!(fast, full);
         }

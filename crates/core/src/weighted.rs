@@ -67,12 +67,7 @@ impl WeightedExactRecommender {
     }
 
     /// Top-`n` lists for the given users.
-    pub fn recommend(
-        &self,
-        inputs: &WeightedInputs<'_>,
-        users: &[UserId],
-        n: usize,
-    ) -> Vec<TopN> {
+    pub fn recommend(&self, inputs: &WeightedInputs<'_>, users: &[UserId], n: usize) -> Vec<TopN> {
         users
             .par_iter()
             .map_init(Vec::new, |out, &u| {
@@ -183,11 +178,8 @@ mod tests {
     use socialrec_similarity::{Measure, SimilarityMatrix};
 
     fn social() -> socialrec_graph::SocialGraph {
-        social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap()
+        social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap()
     }
 
     fn weighted_prefs() -> WeightedPreferenceGraph {
@@ -220,8 +212,7 @@ mod tests {
             wb.add_edge(UserId(u), ItemId(i), 1.0).unwrap();
         }
         let wp = wb.build();
-        let bp =
-            socialrec_graph::preference::preference_graph_from_edges(6, 4, &edges).unwrap();
+        let bp = socialrec_graph::preference::preference_graph_from_edges(6, 4, &edges).unwrap();
         let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
         let wi = WeightedInputs { prefs: &wp, sim: &sim };
         let bi = RecommenderInputs { prefs: &bp, sim: &sim };
@@ -267,10 +258,7 @@ mod tests {
         let fw = WeightedClusterFramework::new(&partition, Epsilon::Finite(0.5));
         let users: Vec<UserId> = (0..6).map(UserId).collect();
         assert_eq!(fw.recommend(&inputs, &users, 2, 3), fw.recommend(&inputs, &users, 2, 3));
-        assert_ne!(
-            fw.noisy_cluster_averages(&inputs, 3),
-            fw.noisy_cluster_averages(&inputs, 4)
-        );
+        assert_ne!(fw.noisy_cluster_averages(&inputs, 3), fw.noisy_cluster_averages(&inputs, 4));
     }
 
     #[test]
@@ -296,9 +284,8 @@ mod tests {
         let cl = partition.cluster_of(UserId(0)) as usize;
         let trials = 4000;
         let cdf = |inputs: &WeightedInputs<'_>, t: f64| -> f64 {
-            (0..trials)
-                .filter(|&seed| fw.noisy_cluster_averages(inputs, seed)[cl * ni] < t)
-                .count() as f64
+            (0..trials).filter(|&seed| fw.noisy_cluster_averages(inputs, seed)[cl * ni] < t).count()
+                as f64
                 / trials as f64
         };
         for t in [0.2, 0.4] {

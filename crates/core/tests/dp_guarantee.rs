@@ -37,13 +37,10 @@ fn empirical_cdf_at(
 #[test]
 fn framework_release_respects_epsilon_bound() {
     // Two triangles; the target edge is (0, item 0).
-    let social = social_graph_from_edges(
-        6,
-        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-    )
-    .unwrap();
-    let with_edge =
-        preference_graph_from_edges(6, 2, &[(0, 0), (1, 0), (3, 1)]).unwrap();
+    let social =
+        social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
+    let with_edge = preference_graph_from_edges(6, 2, &[(0, 0), (1, 0), (3, 1)]).unwrap();
     let without_edge = with_edge.toggled_edge(UserId(0), ItemId(0));
     assert_eq!(without_edge.num_edges(), with_edge.num_edges() - 1);
 
@@ -84,11 +81,9 @@ fn framework_distribution_actually_depends_on_edge() {
     // Sanity companion: at weak privacy (large ε), the two neighboring
     // inputs must give *visibly different* distributions — otherwise
     // the DP test above would pass vacuously.
-    let social = social_graph_from_edges(
-        6,
-        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-    )
-    .unwrap();
+    let social =
+        social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
     let with_edge = preference_graph_from_edges(6, 2, &[(0, 0), (1, 0)]).unwrap();
     let without_edge = with_edge.toggled_edge(UserId(0), ItemId(0));
     let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
@@ -117,9 +112,7 @@ fn empirical_mean(
     cluster: u32,
     trials: u64,
 ) -> f64 {
-    (0..trials)
-        .map(|seed| fw.noisy_cluster_averages(inputs, seed).get(cluster, 0))
-        .sum::<f64>()
+    (0..trials).map(|seed| fw.noisy_cluster_averages(inputs, seed).get(cluster, 0)).sum::<f64>()
         / trials as f64
 }
 
@@ -128,11 +121,9 @@ fn post_processing_uses_no_private_data() {
     // Module A_R must be a deterministic function of (public sim,
     // partition, sanitized averages): feeding it averages computed from
     // a *different* preference graph must give identical estimates.
-    let social = social_graph_from_edges(
-        6,
-        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-    )
-    .unwrap();
+    let social =
+        social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
     let p1 = preference_graph_from_edges(6, 2, &[(0, 0), (1, 0)]).unwrap();
     let p2 = preference_graph_from_edges(6, 2, &[(5, 1)]).unwrap();
     let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);

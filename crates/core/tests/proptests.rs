@@ -13,15 +13,15 @@ use socialrec_graph::{ItemId, UserId};
 use socialrec_similarity::{Measure, SimilarityMatrix};
 
 /// A small random dataset: social graph + preference graph.
-fn dataset() -> impl Strategy<
-    Value = (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph),
-> {
+fn dataset(
+) -> impl Strategy<Value = (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph)> {
     (3usize..15, 2usize..10).prop_flat_map(|(nu, ni)| {
-        let social = proptest::collection::vec((0u32..nu as u32, 0u32..nu as u32), 0..30)
-            .prop_map(move |pairs| {
+        let social = proptest::collection::vec((0u32..nu as u32, 0u32..nu as u32), 0..30).prop_map(
+            move |pairs| {
                 let edges: Vec<_> = pairs.into_iter().filter(|(a, b)| a != b).collect();
                 social_graph_from_edges(nu, &edges).unwrap()
-            });
+            },
+        );
         let prefs = proptest::collection::vec((0u32..nu as u32, 0u32..ni as u32), 0..40)
             .prop_map(move |edges| preference_graph_from_edges(nu, ni, &edges).unwrap());
         (social, prefs)

@@ -33,6 +33,5 @@ pub use loaders::{load_flixster, load_hetrec_lastfm};
 pub use preprocess::{build_dataset, PreprocessOptions};
 pub use synthetic::{
     flixster_like, generate_preferences, generate_preferences_social, lastfm_like,
-    lastfm_like_scaled, Dataset,
-    PreferenceGenConfig,
+    lastfm_like_scaled, Dataset, PreferenceGenConfig,
 };

@@ -48,8 +48,7 @@ pub fn build_dataset(
     name: &str,
 ) -> Result<Dataset, GraphError> {
     // Threshold + binarize ratings.
-    let kept: Vec<&RawRating> =
-        ratings.iter().filter(|r| r.weight >= opts.min_weight).collect();
+    let kept: Vec<&RawRating> = ratings.iter().filter(|r| r.weight >= opts.min_weight).collect();
 
     // Preliminary user universe: everyone mentioned anywhere.
     let mut users = IdMapper::new();
@@ -66,21 +65,15 @@ pub fn build_dataset(
     for r in &kept {
         has_pref[users.get(r.user).expect("just inserted") as usize] = true;
     }
-    let mut keep_user: Vec<bool> = if opts.require_preference {
-        has_pref.clone()
-    } else {
-        vec![true; users.len()]
-    };
+    let mut keep_user: Vec<bool> =
+        if opts.require_preference { has_pref.clone() } else { vec![true; users.len()] };
 
     // Main-component filter (on the graph induced by currently-kept
     // users).
     if opts.main_component_only {
         let mut b = SocialGraphBuilder::new(users.len());
         for e in social_edges {
-            let (a, bb) = (
-                users.get(e.a).expect("inserted"),
-                users.get(e.b).expect("inserted"),
-            );
+            let (a, bb) = (users.get(e.a).expect("inserted"), users.get(e.b).expect("inserted"));
             if a != bb && keep_user[a as usize] && keep_user[bb as usize] {
                 b.add_edge(UserId(a), UserId(bb))?;
             }
@@ -126,10 +119,7 @@ pub fn build_dataset(
 
     let mut sb = SocialGraphBuilder::new(num_users);
     for e in social_edges {
-        let (a, bb) = (
-            users.get(e.a).expect("inserted"),
-            users.get(e.b).expect("inserted"),
-        );
+        let (a, bb) = (users.get(e.a).expect("inserted"), users.get(e.b).expect("inserted"));
         if a == bb {
             continue; // drop self-loops in raw crawls
         }

@@ -102,10 +102,7 @@ impl Sampler {
     fn sample(&self, rng: &mut SmallRng) -> u32 {
         let total = *self.cumulative.last().expect("non-empty sampler");
         let x = rng.gen_range(0.0..total);
-        let idx = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("no NaN"))
-        {
+        let idx = match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("no NaN")) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i,
         };
@@ -168,10 +165,8 @@ pub fn generate_preferences_social(
     let num_comms = community.iter().copied().max().map_or(0, |m| m as usize + 1);
 
     let genres = genre_ranges(cfg.num_items, cfg.num_genres);
-    let genre_samplers: Vec<Sampler> = genres
-        .iter()
-        .map(|&(start, len)| Sampler::zipf(start, len, cfg.zipf_exponent))
-        .collect();
+    let genre_samplers: Vec<Sampler> =
+        genres.iter().map(|&(start, len)| Sampler::zipf(start, len, cfg.zipf_exponent)).collect();
     let global = Sampler::zipf(0, cfg.num_items, cfg.zipf_exponent);
 
     // Each community is affine to a few genres with random emphasis.
@@ -187,10 +182,7 @@ pub fn generate_preferences_social(
                     chosen.push(g);
                 }
             }
-            chosen
-                .into_iter()
-                .map(|g| (g, rng.gen_range(0.5..1.5)))
-                .collect()
+            chosen.into_iter().map(|g| (g, rng.gen_range(0.5..1.5))).collect()
         })
         .collect();
 
@@ -261,9 +253,7 @@ pub fn generate_preferences_social(
                 global.sample(&mut rng)
             };
             if seen.insert(item) {
-                builder
-                    .add_edge(UserId(u as u32), ItemId(item))
-                    .expect("generated ids in range");
+                builder.add_edge(UserId(u as u32), ItemId(item)).expect("generated ids in range");
                 user_items[u].push(item);
                 placed += 1;
             }
@@ -297,8 +287,7 @@ pub fn lastfm_like_scaled(scale: f64, seed: u64) -> Dataset {
     // 19 small disconnected components of 2-7 nodes (scaled).
     let num_small = ((19.0 * scale).round() as usize).max(2);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x1A57F);
-    let small_sizes: Vec<usize> =
-        (0..num_small).map(|_| rng.gen_range(2..=7)).collect();
+    let small_sizes: Vec<usize> = (0..num_small).map(|_| rng.gen_range(2..=7)).collect();
     let small_total: usize = small_sizes.iter().sum();
     let main_users = total_users - small_total;
 
@@ -484,8 +473,7 @@ mod tests {
         let giant = cc.sizes.iter().copied().max().unwrap();
         assert!(giant as f64 / 1892.0 > 0.90, "giant component too small: {giant}");
         assert!(cc.count() >= 15, "expected many small components, got {}", cc.count());
-        let small: Vec<usize> =
-            cc.sizes.iter().copied().filter(|&s| s < 100).collect();
+        let small: Vec<usize> = cc.sizes.iter().copied().filter(|&s| s < 100).collect();
         assert!(small.iter().all(|&s| (2..=7).contains(&s)), "small comps sized 2-7");
     }
 
@@ -542,8 +530,7 @@ mod tests {
     fn preferences_are_homophilous() {
         // Users in the same community should overlap in items far more
         // than users in different communities.
-        let community: Vec<u32> =
-            (0..200).map(|u| if u < 100 { 0 } else { 1 }).collect();
+        let community: Vec<u32> = (0..200).map(|u| if u < 100 { 0 } else { 1 }).collect();
         let prefs = generate_preferences(
             &community,
             &PreferenceGenConfig {
@@ -555,8 +542,7 @@ mod tests {
             },
         );
         let overlap = |a: u32, b: u32| -> usize {
-            let sa: FxHashSet<ItemId> =
-                prefs.items_of(UserId(a)).iter().copied().collect();
+            let sa: FxHashSet<ItemId> = prefs.items_of(UserId(a)).iter().copied().collect();
             prefs.items_of(UserId(b)).iter().filter(|i| sa.contains(i)).count()
         };
         let mut same = 0usize;
@@ -565,17 +551,13 @@ mod tests {
             same += overlap(k, k + 50); // both community 0
             diff += overlap(k, k + 100); // community 0 vs 1
         }
-        assert!(
-            same as f64 > 1.5 * diff as f64,
-            "homophily too weak: same {same} vs diff {diff}"
-        );
+        assert!(same as f64 > 1.5 * diff as f64, "homophily too weak: same {same} vs diff {diff}");
     }
 
     #[test]
     fn item_popularity_skewed() {
         let ds = lastfm_like_scaled(0.1, 2);
-        let mut degrees: Vec<usize> =
-            ds.prefs.items().map(|i| ds.prefs.item_degree(i)).collect();
+        let mut degrees: Vec<usize> = ds.prefs.items().map(|i| ds.prefs.item_degree(i)).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let top_decile: usize = degrees[..degrees.len() / 10].iter().sum();
         let total: usize = degrees.iter().sum();
@@ -614,8 +596,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mean =
-            prefs.num_edges() as f64 / prefs.num_users() as f64;
+        let mean = prefs.num_edges() as f64 / prefs.num_users() as f64;
         assert!((44.0..53.0).contains(&mean), "mean items/user {mean}");
     }
 }

@@ -81,8 +81,7 @@ mod tests {
         // Crude serial-correlation check over a row.
         let xs: Vec<f64> = (0..10_000).map(|i| s.noise(5, i)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let num: f64 =
-            xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+        let num: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
         let den: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
         let rho = num / den;
         assert!(rho.abs() < 0.05, "serial correlation {rho} too high");

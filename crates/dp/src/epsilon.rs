@@ -1,6 +1,5 @@
 //! The privacy parameter ε.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -20,7 +19,7 @@ use std::str::FromStr;
 /// assert_eq!("inf".parse::<Epsilon>().unwrap(), Epsilon::Infinite);
 /// assert!(Epsilon::new(-1.0).is_none());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Epsilon {
     /// Finite ε > 0.
     Finite(f64),
@@ -29,7 +28,19 @@ pub enum Epsilon {
 }
 
 impl Epsilon {
-    /// Construct a finite ε; returns `None` unless `0 < eps < ∞`.
+    /// Construct an ε from a raw value; returns `None` unless `eps > 0`
+    /// (and is not NaN). Positive infinity maps to
+    /// [`Epsilon::Infinite`], everything else to [`Epsilon::Finite`].
+    ///
+    /// ```
+    /// use socialrec_dp::Epsilon;
+    ///
+    /// assert_eq!(Epsilon::new(f64::INFINITY), Some(Epsilon::Infinite));
+    /// assert_eq!(Epsilon::new(0.5), Some(Epsilon::Finite(0.5)));
+    /// assert!(Epsilon::new(0.0).is_none());
+    /// assert!(Epsilon::new(f64::NEG_INFINITY).is_none());
+    /// assert!(Epsilon::new(f64::NAN).is_none());
+    /// ```
     pub fn new(eps: f64) -> Option<Epsilon> {
         if eps.is_finite() && eps > 0.0 {
             Some(Epsilon::Finite(eps))
@@ -94,10 +105,7 @@ impl FromStr for Epsilon {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let t = s.trim();
-        if t.eq_ignore_ascii_case("inf")
-            || t.eq_ignore_ascii_case("infinity")
-            || t == "∞"
-        {
+        if t.eq_ignore_ascii_case("inf") || t.eq_ignore_ascii_case("infinity") || t == "∞" {
             return Ok(Epsilon::Infinite);
         }
         let v: f64 = t.parse().map_err(|_| format!("bad epsilon: {s:?}"))?;

@@ -85,8 +85,7 @@ mod tests {
             (0..n).map(|_| sample_two_sided_geometric(&mut rng, alpha)).collect();
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
         // E = 0; Var = 2α/(1-α)².
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         let expected_var = 2.0 * alpha / (1.0 - alpha) / (1.0 - alpha);
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!(

@@ -18,7 +18,6 @@
 //!     [--n 50] [--out ablation.json]
 //! ```
 
-use serde::Serialize;
 use socialrec_community::{
     ClusteringStrategy, KMeansStrategy, LouvainStrategy, OneClusterStrategy, RandomStrategy,
     SingletonStrategy,
@@ -27,11 +26,11 @@ use socialrec_core::private::ClusterFramework;
 use socialrec_core::RecommenderInputs;
 use socialrec_datasets::lastfm_like_scaled;
 use socialrec_dp::Epsilon;
+use socialrec_experiments::impl_to_json;
 use socialrec_experiments::{build_eval_set, mean_ndcg_over_runs, write_json, Args, Table};
 use socialrec_graph::UserId;
 use socialrec_similarity::{Measure, SimilarityMatrix};
 
-#[derive(Serialize)]
 struct Row {
     strategy: String,
     clusters: usize,
@@ -41,17 +40,15 @@ struct Row {
     ndcg_std: f64,
 }
 
+impl_to_json!(Row { strategy, clusters, modularity, epsilon, ndcg_mean, ndcg_std });
+
 fn main() {
     let args = Args::parse();
     let seed = args.get_u64("seed", 7);
     let runs = args.get_usize("runs", 3);
     let scale = args.get_f64("scale", 1.0);
     let n = args.get_usize("n", 50);
-    let epsilons = args.epsilons(&[
-        Epsilon::Infinite,
-        Epsilon::Finite(1.0),
-        Epsilon::Finite(0.1),
-    ]);
+    let epsilons = args.epsilons(&[Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.1)]);
 
     eprintln!("dataset: lastfm-like scale {scale} (seed {seed})");
     let ds = lastfm_like_scaled(scale, seed);
@@ -72,10 +69,7 @@ fn main() {
             LouvainStrategy { restarts: 10, seed, refine: false }.cluster(&ds.social),
         ),
         ("random-k".into(), RandomStrategy { num_clusters: k, seed }.cluster(&ds.social)),
-        (
-            "kmeans-adjacency".into(),
-            KMeansStrategy { k, max_iters: 25, seed }.cluster(&ds.social),
-        ),
+        ("kmeans-adjacency".into(), KMeansStrategy { k, max_iters: 25, seed }.cluster(&ds.social)),
         ("singleton".into(), SingletonStrategy.cluster(&ds.social)),
         ("one-cluster".into(), OneClusterStrategy.cluster(&ds.social)),
     ];

@@ -19,15 +19,15 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
-use socialrec_community::{
-    merge_small_clusters, ClusteringStrategy, Louvain, LouvainStrategy,
-};
+use socialrec_community::{merge_small_clusters, ClusteringStrategy, Louvain, LouvainStrategy};
 use socialrec_core::private::{ClusterFramework, NoiseModel};
-use socialrec_core::weighted::{WeightedClusterFramework, WeightedExactRecommender, WeightedInputs};
+use socialrec_core::weighted::{
+    WeightedClusterFramework, WeightedExactRecommender, WeightedInputs,
+};
 use socialrec_core::{cluster_by_similarity, per_user_ndcg, RecommenderInputs};
 use socialrec_datasets::lastfm_like_scaled;
 use socialrec_dp::Epsilon;
+use socialrec_experiments::impl_to_json;
 use socialrec_experiments::{build_eval_set, mean_ndcg_over_runs, write_json, Args, Table};
 use socialrec_graph::weighted::WeightedPreferenceGraphBuilder;
 use socialrec_graph::UserId;
@@ -36,7 +36,6 @@ use socialrec_similarity::{
     ResourceAllocation, Salton, Similarity, SimilarityMatrix,
 };
 
-#[derive(Serialize)]
 struct Row {
     study: String,
     variant: String,
@@ -45,14 +44,15 @@ struct Row {
     ndcg_std: f64,
 }
 
+impl_to_json!(Row { study, variant, epsilon, ndcg_mean, ndcg_std });
+
 fn main() {
     let args = Args::parse();
     let seed = args.get_u64("seed", 7);
     let runs = args.get_usize("runs", 3);
     let scale = args.get_f64("scale", 1.0);
     let n = args.get_usize("n", 50);
-    let epsilons =
-        args.epsilons(&[Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.1)]);
+    let epsilons = args.epsilons(&[Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.1)]);
 
     eprintln!("dataset: lastfm-like scale {scale} (seed {seed})");
     let ds = lastfm_like_scaled(scale, seed);
@@ -62,12 +62,12 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut table = Table::new(&["study", "variant", "eps", &format!("NDCG@{n}")]);
     let push = |rows: &mut Vec<Row>,
-                    table: &mut Table,
-                    study: &str,
-                    variant: &str,
-                    eps: Epsilon,
-                    mean: f64,
-                    std: f64| {
+                table: &mut Table,
+                study: &str,
+                variant: &str,
+                eps: Epsilon,
+                mean: f64,
+                std: f64| {
         table.row(vec![
             study.to_string(),
             variant.to_string(),
@@ -132,8 +132,7 @@ fn main() {
 
     // --- Study 3: measure-optimized clustering. ---
     eprintln!("study 3: similarity-weighted louvain");
-    let sim_partition =
-        cluster_by_similarity(&sim, Louvain { seed, ..Default::default() }, 0.0);
+    let sim_partition = cluster_by_similarity(&sim, Louvain { seed, ..Default::default() }, 0.0);
     let variant = format!("sim-louvain ({} clusters)", sim_partition.num_clusters());
     for &eps in &epsilons {
         let fw = ClusterFramework::new(&sim_partition, eps);
@@ -154,10 +153,8 @@ fn main() {
     }
     let ratings = wb.build();
     let winputs = WeightedInputs { prefs: &ratings, sim: &sim };
-    let ideal: Vec<Vec<f64>> = users
-        .iter()
-        .map(|&u| WeightedExactRecommender.utilities(&winputs, u))
-        .collect();
+    let ideal: Vec<Vec<f64>> =
+        users.iter().map(|&u| WeightedExactRecommender.utilities(&winputs, u)).collect();
     for &eps in &epsilons {
         let fw = WeightedClusterFramework::new(&base_partition, eps);
         let mut vals = Vec::with_capacity(runs);

@@ -8,23 +8,24 @@
 //!     [--ns 10,50,100] [--restarts 10] [--out fig1.json]
 //! ```
 
-use serde::Serialize;
 use socialrec_community::{ClusteringStrategy, LouvainStrategy};
 use socialrec_core::private::ClusterFramework;
 use socialrec_core::RecommenderInputs;
 use socialrec_datasets::lastfm_like_scaled;
+use socialrec_experiments::impl_to_json;
 use socialrec_experiments::{
     build_eval_set, mean_ndcg_over_runs, write_json, Args, NdcgPoint, Table,
 };
 use socialrec_graph::UserId;
 use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
 
-#[derive(Serialize)]
 struct Row {
     measure: String,
     epsilon: String,
     points: Vec<NdcgPoint>,
 }
+
+impl_to_json!(Row { measure, epsilon, points });
 
 fn main() {
     let args = Args::parse();
@@ -59,10 +60,7 @@ fn main() {
 
     let measures: Vec<Measure> = match args.get_str("measures") {
         None => Measure::paper_suite().to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(|t| t.parse().expect("valid measure name"))
-            .collect(),
+        Some(list) => list.split(',').map(|t| t.parse().expect("valid measure name")).collect(),
     };
     for measure in measures {
         eprintln!("building {} similarity matrix...", measure.name());

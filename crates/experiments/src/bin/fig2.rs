@@ -11,23 +11,24 @@
 //!     [--epsilons ...] [--ns 10,50,100] [--restarts 10] [--out fig2.json]
 //! ```
 
-use serde::Serialize;
 use socialrec_community::{ClusteringStrategy, LouvainStrategy};
 use socialrec_core::private::ClusterFramework;
 use socialrec_core::RecommenderInputs;
 use socialrec_datasets::flixster_like;
+use socialrec_experiments::impl_to_json;
 use socialrec_experiments::{
-    build_eval_set, mean_ndcg_over_runs, sample_users, streaming_framework_ndcg, write_json,
-    Args, NdcgPoint, Table,
+    build_eval_set, mean_ndcg_over_runs, sample_users, streaming_framework_ndcg, write_json, Args,
+    NdcgPoint, Table,
 };
 use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
 
-#[derive(Serialize)]
 struct Row {
     measure: String,
     epsilon: String,
     points: Vec<NdcgPoint>,
 }
+
+impl_to_json!(Row { measure, epsilon, points });
 
 fn main() {
     let args = Args::parse();
@@ -66,10 +67,7 @@ fn main() {
 
     let measures: Vec<Measure> = match args.get_str("measures") {
         None => Measure::paper_suite().to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(|t| t.parse().expect("valid measure name"))
-            .collect(),
+        Some(list) => list.split(',').map(|t| t.parse().expect("valid measure name")).collect(),
     };
     // --streaming avoids materialising the similarity matrix (needed
     // for full-scale runs that would not fit in RAM).
@@ -80,8 +78,7 @@ fn main() {
         if !streaming {
             eprintln!("building {} similarity matrix...", measure.name());
             sim = Some(SimilarityMatrix::build(&ds.social, &measure));
-            let inputs =
-                RecommenderInputs { prefs: &ds.prefs, sim: sim.as_ref().unwrap() };
+            let inputs = RecommenderInputs { prefs: &ds.prefs, sim: sim.as_ref().unwrap() };
             eval = Some(build_eval_set(&inputs, eval_users.clone()));
         } else {
             sim = None;
@@ -101,8 +98,7 @@ fn main() {
                     seed,
                 )
             } else {
-                let inputs =
-                    RecommenderInputs { prefs: &ds.prefs, sim: sim.as_ref().unwrap() };
+                let inputs = RecommenderInputs { prefs: &ds.prefs, sim: sim.as_ref().unwrap() };
                 let fw = ClusterFramework::new(&partition, eps);
                 mean_ndcg_over_runs(&fw, &inputs, eval.as_ref().unwrap(), &ns, runs, seed)
             };

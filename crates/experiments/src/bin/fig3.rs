@@ -14,24 +14,24 @@
 //!     [--n 50] [--out fig3.json]
 //! ```
 
-use serde::Serialize;
 use socialrec_community::{ClusteringStrategy, LouvainStrategy, Partition};
 use socialrec_core::private::ClusterFramework;
 use socialrec_core::{RecommenderInputs, TopNRecommender};
 use socialrec_datasets::{flixster_like, lastfm_like_scaled, Dataset};
 use socialrec_dp::Epsilon;
+use socialrec_experiments::impl_to_json;
 use socialrec_experiments::{build_eval_set, sample_users, write_json, Args, Table};
 use socialrec_graph::UserId;
 use socialrec_similarity::{Measure, SimilarityMatrix};
 
-#[derive(Serialize)]
 struct UserPoint {
     user: u32,
     degree: usize,
     ndcg: f64,
 }
 
-#[derive(Serialize)]
+impl_to_json!(UserPoint { user, degree, ndcg });
+
 struct DatasetReport {
     dataset: String,
     n: usize,
@@ -40,6 +40,8 @@ struct DatasetReport {
     bins: Vec<(usize, usize, f64, usize)>, // (deg_lo, deg_hi, mean ndcg, count)
     scatter: Vec<UserPoint>,
 }
+
+impl_to_json!(DatasetReport { dataset, n, low_degree_mean, high_degree_mean, bins, scatter });
 
 fn run_dataset(
     ds: &Dataset,
@@ -68,17 +70,12 @@ fn run_dataset(
         .users
         .iter()
         .zip(&acc)
-        .map(|(&u, &s)| UserPoint {
-            user: u.0,
-            degree: ds.social.degree(u),
-            ndcg: s / runs as f64,
-        })
+        .map(|(&u, &s)| UserPoint { user: u.0, degree: ds.social.degree(u), ndcg: s / runs as f64 })
         .collect();
 
     // Summary: the paper's degree >10 vs <=10 split.
     let split = |pred: &dyn Fn(usize) -> bool| -> f64 {
-        let vals: Vec<f64> =
-            scatter.iter().filter(|p| pred(p.degree)).map(|p| p.ndcg).collect();
+        let vals: Vec<f64> = scatter.iter().filter(|p| pred(p.degree)).map(|p| p.ndcg).collect();
         if vals.is_empty() {
             f64::NAN
         } else {
@@ -94,11 +91,8 @@ fn run_dataset(
     let max_deg = scatter.iter().map(|p| p.degree).max().unwrap_or(1);
     while lo <= max_deg {
         let hi = lo * 2;
-        let vals: Vec<f64> = scatter
-            .iter()
-            .filter(|p| p.degree >= lo && p.degree < hi)
-            .map(|p| p.ndcg)
-            .collect();
+        let vals: Vec<f64> =
+            scatter.iter().filter(|p| p.degree >= lo && p.degree < hi).map(|p| p.ndcg).collect();
         if !vals.is_empty() {
             bins.push((lo, hi - 1, vals.iter().sum::<f64>() / vals.len() as f64, vals.len()));
         }

@@ -12,20 +12,19 @@
 //! GS materialises `O(|eval users| · |I|)` values; `--gs-users` caps
 //! its evaluation subset (the other mechanisms evaluate all users).
 
-use serde::Serialize;
 use socialrec_community::{ClusteringStrategy, LouvainStrategy};
 use socialrec_core::private::{
     ClusterFramework, GroupAndSmooth, LowRankMechanism, NoiseOnEdges, NoiseOnUtility,
 };
 use socialrec_core::{RecommenderInputs, TopNRecommender};
 use socialrec_datasets::lastfm_like_scaled;
+use socialrec_experiments::impl_to_json;
 use socialrec_experiments::{
     build_eval_set, mean_ndcg_over_runs, sample_users, write_json, Args, Table,
 };
 use socialrec_graph::UserId;
 use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
 
-#[derive(Serialize)]
 struct Row {
     measure: String,
     mechanism: String,
@@ -33,6 +32,8 @@ struct Row {
     ndcg_mean: f64,
     ndcg_std: f64,
 }
+
+impl_to_json!(Row { measure, mechanism, epsilon, ndcg_mean, ndcg_std });
 
 fn main() {
     let args = Args::parse();
@@ -43,10 +44,8 @@ fn main() {
     let lrm_rank = args.get_usize("lrm-rank", 256);
     let gs_cap = args.get_usize("gs-users", 600);
     let restarts = args.get_usize("restarts", 10);
-    let epsilons = args.epsilons(&[
-        socialrec_dp::Epsilon::Finite(1.0),
-        socialrec_dp::Epsilon::Finite(0.1),
-    ]);
+    let epsilons =
+        args.epsilons(&[socialrec_dp::Epsilon::Finite(1.0), socialrec_dp::Epsilon::Finite(0.1)]);
     let measures: Vec<Measure> = match args.get_str("measures") {
         None => vec![Measure::CommonNeighbors],
         Some("all") => Measure::paper_suite().to_vec(),

@@ -6,13 +6,12 @@
 //!     [--seed 7] [--flixster-scale 0.15] [--clusters] [--out table1.json]
 //! ```
 
-use serde::Serialize;
 use socialrec_community::{modularity, Louvain};
 use socialrec_datasets::{flixster_like, lastfm_like, Dataset};
+use socialrec_experiments::impl_to_json;
 use socialrec_experiments::{write_json, Args, Table};
 use socialrec_graph::stats::DatasetStats;
 
-#[derive(Serialize)]
 struct Output {
     lastfm: DatasetStats,
     flixster: DatasetStats,
@@ -20,7 +19,8 @@ struct Output {
     clusters: Option<Vec<ClusterReport>>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(Output { lastfm, flixster, flixster_scale, clusters });
+
 struct ClusterReport {
     dataset: String,
     num_clusters: usize,
@@ -29,6 +29,15 @@ struct ClusterReport {
     std_size: f64,
     largest_share: f64,
 }
+
+impl_to_json!(ClusterReport {
+    dataset,
+    num_clusters,
+    modularity,
+    mean_size,
+    std_size,
+    largest_share
+});
 
 fn cluster_report(ds: &Dataset, restarts: usize, seed: u64) -> ClusterReport {
     let res = Louvain { seed, ..Default::default() }.run_best_of(&ds.social, restarts);
@@ -57,7 +66,8 @@ fn main() {
     let s2 = DatasetStats::compute(&flx.social, &flx.prefs);
 
     // Paper reference values (Table 1).
-    let paper_lfm = ["1892", "12717", "13.4 (std. 17.3)", "17632", "92198", "48.7 (std. 6.9)", "0.997"];
+    let paper_lfm =
+        ["1892", "12717", "13.4 (std. 17.3)", "17632", "92198", "48.7 (std. 6.9)", "0.997"];
     let paper_flx =
         ["137372", "1269076", "18.5 (std. 31.1)", "48756", "7527931", "54.8 (std. 218.2)", "0.999"];
 

@@ -5,14 +5,15 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use serde::Serialize;
 use socialrec_community::Partition;
 use socialrec_core::private::framework::NoisyClusterAverages;
-use socialrec_core::{per_user_ndcg, top_n_items, ExactRecommender, RecommenderInputs, TopNRecommender};
+use socialrec_core::{
+    per_user_ndcg, top_n_items, ExactRecommender, RecommenderInputs, TopNRecommender,
+};
 use socialrec_dp::Epsilon;
 use socialrec_graph::preference::PreferenceGraph;
 use socialrec_graph::{ItemId, SocialGraph, UserId};
-use socialrec_similarity::{Similarity, SimScratch};
+use socialrec_similarity::{SimScratch, Similarity};
 
 /// A fixed set of evaluation users with their cached ideal (exact)
 /// utility vectors — the NDCG denominator inputs.
@@ -71,7 +72,7 @@ impl EvalSet {
 }
 
 /// One aggregated measurement: mean and std of NDCG@N over runs.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct NdcgPoint {
     /// List length N.
     pub n: usize,
@@ -80,6 +81,8 @@ pub struct NdcgPoint {
     /// Standard deviation across runs.
     pub std: f64,
 }
+
+crate::impl_to_json!(NdcgPoint { n, mean, std });
 
 /// Run `mech` `runs` times (seeds `base_seed..`), compute NDCG@N for
 /// each requested `n` from a single max-N recommendation per run (a
@@ -106,8 +109,7 @@ pub fn mean_ndcg_over_runs(
         .zip(per_n)
         .map(|(&n, vals)| {
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             NdcgPoint { n, mean, std: var.sqrt() }
         })
         .collect()
@@ -121,17 +123,12 @@ mod tests {
     use socialrec_similarity::{Measure, SimilarityMatrix};
 
     fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
-        let s = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
-        let p = preference_graph_from_edges(
-            6,
-            4,
-            &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (5, 1)],
-        )
-        .unwrap();
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        let p =
+            preference_graph_from_edges(6, 4, &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (5, 1)])
+                .unwrap();
         (s, p)
     }
 
@@ -154,8 +151,7 @@ mod tests {
         let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
         let inputs = RecommenderInputs { prefs: &p, sim: &sim };
         let eval = build_eval_set(&inputs, (0..6).map(UserId).collect());
-        let points =
-            mean_ndcg_over_runs(&ExactRecommender, &inputs, &eval, &[1, 2, 4], 2, 0);
+        let points = mean_ndcg_over_runs(&ExactRecommender, &inputs, &eval, &[1, 2, 4], 2, 0);
         for pt in points {
             assert!((pt.mean - 1.0).abs() < 1e-12, "exact must score 1 at N={}", pt.n);
             assert!(pt.std < 1e-12);
@@ -194,7 +190,6 @@ mod tests {
         assert!((eval.mean_ndcg(&lists, 3) - mean).abs() < 1e-12);
     }
 }
-
 
 /// Memory-bounded framework evaluation: computes each user's similarity
 /// row *on the fly* instead of caching the full [`SimilarityMatrix`],
@@ -244,10 +239,10 @@ pub fn streaming_framework_ndcg(
                 || {
                     (
                         SimScratch::new(n_users),
-                        Vec::new(),               // similarity row
-                        vec![0.0f64; ni],         // exact utilities
-                        vec![0.0f64; ni],         // estimates
-                        Vec::new(),               // per-cluster sums
+                        Vec::new(),       // similarity row
+                        vec![0.0f64; ni], // exact utilities
+                        vec![0.0f64; ni], // estimates
+                        Vec::new(),       // per-cluster sums
                     )
                 },
                 |(scratch, row, exact, est, csum), &u| {
@@ -273,15 +268,12 @@ pub fn streaming_framework_ndcg(
                     }
                     let private: Vec<ItemId> =
                         top_n_items(est, n_max).into_iter().map(|(i, _)| i).collect();
-                    ns.iter()
-                        .map(|&n| per_user_ndcg(exact, &private, n))
-                        .collect::<Vec<f64>>()
+                    ns.iter().map(|&n| per_user_ndcg(exact, &private, n)).collect::<Vec<f64>>()
                 },
             )
             .collect();
         for (k, _) in ns.iter().enumerate() {
-            let mean =
-                sums.iter().map(|v| v[k]).sum::<f64>() / users.len().max(1) as f64;
+            let mean = sums.iter().map(|v| v[k]).sum::<f64>() / users.len().max(1) as f64;
             per_n[k].push(mean);
         }
     }
@@ -289,8 +281,7 @@ pub fn streaming_framework_ndcg(
         .zip(per_n)
         .map(|(&n, vals)| {
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             NdcgPoint { n, mean, std: var.sqrt() }
         })
         .collect()
@@ -306,19 +297,14 @@ mod streaming_tests {
     fn streaming_matches_cached_evaluation() {
         let ds = socialrec_datasets::lastfm_like_scaled(0.06, 4);
         let measure = Measure::CommonNeighbors;
-        let partition =
-            LouvainStrategy { restarts: 2, seed: 0, refine: true }.cluster(&ds.social);
-        let users: Vec<UserId> =
-            (0..ds.social.num_users() as u32).step_by(3).map(UserId).collect();
+        let partition = LouvainStrategy { restarts: 2, seed: 0, refine: true }.cluster(&ds.social);
+        let users: Vec<UserId> = (0..ds.social.num_users() as u32).step_by(3).map(UserId).collect();
         let ns = [5usize, 10];
         // Cached pipeline.
         let sim = SimilarityMatrix::build(&ds.social, &measure);
         let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
         let eval = build_eval_set(&inputs, users.clone());
-        let fw = socialrec_core::private::ClusterFramework::new(
-            &partition,
-            Epsilon::Finite(0.5),
-        );
+        let fw = socialrec_core::private::ClusterFramework::new(&partition, Epsilon::Finite(0.5));
         let cached = mean_ndcg_over_runs(&fw, &inputs, &eval, &ns, 2, 11);
         // Streaming pipeline, same seeds.
         let streaming = streaming_framework_ndcg(

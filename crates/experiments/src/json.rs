@@ -1,0 +1,269 @@
+//! Minimal hand-rolled JSON serialization for experiment result dumps.
+//!
+//! The build environment has no registry access, so instead of serde
+//! the experiment binaries implement [`ToJson`] (usually via the
+//! [`impl_to_json!`](crate::impl_to_json) macro) for their result
+//! structs. Output is pretty-printed with two-space indentation, close
+//! enough to `serde_json::to_string_pretty` for downstream plotting
+//! scripts.
+//!
+//! Only serialization is provided — nothing in the workspace parses
+//! JSON back.
+
+use socialrec_graph::DatasetStats;
+
+/// Types that can render themselves as pretty-printed JSON.
+pub trait ToJson {
+    /// Append this value's JSON to `out`; `indent` is the nesting depth
+    /// at which multi-line values (objects, arrays) continue.
+    fn write_json(&self, out: &mut String, indent: usize);
+
+    /// Render as a pretty-printed JSON document.
+    fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, 0);
+        out
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Append a JSON object with the given `(key, value)` fields (helper
+/// for [`impl_to_json!`](crate::impl_to_json)).
+pub fn write_object(out: &mut String, indent: usize, fields: &[(&str, &dyn ToJson)]) {
+    if fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        pad(out, indent + 1);
+        write_str(out, key);
+        out.push_str(": ");
+        value.write_json(out, indent + 1);
+        if i + 1 < fields.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    pad(out, indent);
+    out.push('}');
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        if self.is_finite() {
+            // Keep a decimal point so integral floats stay floats.
+            let s = self.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            // serde_json refuses non-finite floats; emit null instead.
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_str(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_str(out, self);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.write_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().write_json(out, indent);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push_str("[\n");
+        for (i, v) in self.iter().enumerate() {
+            pad(out, indent + 1);
+            v.write_json(out, indent + 1);
+            if i + 1 < self.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        pad(out, indent);
+        out.push(']');
+    }
+}
+
+macro_rules! tuple_to_json {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn write_json(&self, out: &mut String, indent: usize) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    self.$idx.write_json(out, indent);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+tuple_to_json! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// Foreign result types serialized by the experiment binaries.
+impl ToJson for DatasetStats {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_object(
+            out,
+            indent,
+            &[
+                ("num_users", &self.num_users),
+                ("num_social_edges", &self.num_social_edges),
+                ("avg_user_degree", &self.avg_user_degree),
+                ("std_user_degree", &self.std_user_degree),
+                ("num_items", &self.num_items),
+                ("num_preference_edges", &self.num_preference_edges),
+                ("avg_items_per_user", &self.avg_items_per_user),
+                ("std_items_per_user", &self.std_items_per_user),
+                ("sparsity", &self.sparsity),
+            ],
+        );
+    }
+}
+
+/// Implement [`ToJson`] for a struct by listing its fields:
+/// `impl_to_json!(Row { strategy, clusters, modularity });`
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn write_json(&self, out: &mut String, indent: usize) {
+                $crate::json::write_object(
+                    out,
+                    indent,
+                    &[$((stringify!($field), &self.$field as &dyn $crate::json::ToJson)),+],
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Demo {
+        name: String,
+        score: f64,
+        counts: Vec<usize>,
+        tag: Option<&'static str>,
+    }
+
+    crate::impl_to_json!(Demo { name, score, counts, tag });
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(3usize.to_json_pretty(), "3");
+        assert_eq!((-2i64).to_json_pretty(), "-2");
+        assert_eq!(1.5f64.to_json_pretty(), "1.5");
+        assert_eq!(2.0f64.to_json_pretty(), "2.0");
+        assert_eq!(f64::NAN.to_json_pretty(), "null");
+        assert_eq!(true.to_json_pretty(), "true");
+        assert_eq!("a\"b\n".to_string().to_json_pretty(), r#""a\"b\n""#);
+        assert_eq!(None::<usize>.to_json_pretty(), "null");
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        assert_eq!(Vec::<usize>::new().to_json_pretty(), "[]");
+        assert_eq!(vec![1usize, 2].to_json_pretty(), "[\n  1,\n  2\n]");
+        assert_eq!((1usize, 2usize, 0.5f64, 3usize).to_json_pretty(), "[1, 2, 0.5, 3]");
+    }
+
+    #[test]
+    fn struct_macro_renders_object() {
+        let d = Demo { name: "x".into(), score: 0.25, counts: vec![4], tag: None };
+        let json = d.to_json_pretty();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"name\": \"x\""));
+        assert!(json.contains("\"score\": 0.25"));
+        assert!(json.contains("\"counts\": [\n    4\n  ]"));
+        assert!(json.contains("\"tag\": null"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -20,11 +20,12 @@
 
 pub mod args;
 pub mod eval;
+pub mod json;
 pub mod report;
 
 pub use args::Args;
 pub use eval::{
-    build_eval_set, mean_ndcg_over_runs, sample_users, streaming_framework_ndcg, EvalSet,
-    NdcgPoint,
+    build_eval_set, mean_ndcg_over_runs, sample_users, streaming_framework_ndcg, EvalSet, NdcgPoint,
 };
+pub use json::ToJson;
 pub use report::{write_json, Table};

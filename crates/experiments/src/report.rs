@@ -1,6 +1,6 @@
 //! Plain-text tables and JSON result dumps.
 
-use serde::Serialize;
+use crate::json::ToJson;
 use std::io::Write;
 use std::path::Path;
 
@@ -60,9 +60,9 @@ impl Table {
 
 /// Serialize `value` as pretty JSON to `path` (if given), reporting the
 /// write on stdout.
-pub fn write_json<T: Serialize>(path: Option<&str>, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(path: Option<&str>, value: &T) {
     if let Some(p) = path {
-        let json = serde_json::to_string_pretty(value).expect("serializable results");
+        let json = value.to_json_pretty();
         let mut f = std::fs::File::create(Path::new(p))
             .unwrap_or_else(|e| panic!("cannot create {p}: {e}"));
         f.write_all(json.as_bytes()).expect("write results");

@@ -73,11 +73,7 @@ mod tests {
         assert!(e.to_string().contains("user id 9"));
         let e = GraphError::SelfLoop { id: 3 };
         assert!(e.to_string().contains("self loop"));
-        let e = GraphError::Parse {
-            source_name: "x.tsv".into(),
-            line: 2,
-            message: "bad".into(),
-        };
+        let e = GraphError::Parse { source_name: "x.tsv".into(), line: 2, message: "bad".into() };
         assert!(e.to_string().contains("line 2"));
     }
 

@@ -202,14 +202,12 @@ pub fn planted_communities(config: &CommunityGraphConfig) -> PlantedGraph {
     // degree scales with the community size.
     if config.hub_fraction > 0.0 {
         for mem in &members {
-            let hubs = ((mem.len() as f64 * config.hub_fraction).round() as usize)
-                .max(1)
-                .min(mem.len());
+            let hubs =
+                ((mem.len() as f64 * config.hub_fraction).round() as usize).max(1).min(mem.len());
             for _ in 0..hubs {
                 let u = mem[rng.gen_range(0..mem.len())];
-                let target = (config.hub_strength * mem.len() as f64)
-                    .min((mem.len() - 1) as f64)
-                    .max(1.0);
+                let target =
+                    (config.hub_strength * mem.len() as f64).min((mem.len() - 1) as f64).max(1.0);
                 let t = &mut theta[u.index()];
                 if *t < target {
                     *t = target;
@@ -542,10 +540,7 @@ mod tests {
             ..Default::default()
         };
         let open = planted_communities(&base);
-        let closed = planted_communities(&CommunityGraphConfig {
-            triadic_closure: 0.5,
-            ..base
-        });
+        let closed = planted_communities(&CommunityGraphConfig { triadic_closure: 0.5, ..base });
         let cc_open = average_clustering_coefficient(&open.graph);
         let cc_closed = average_clustering_coefficient(&closed.graph);
         // Small dense communities already have nontrivial clustering;

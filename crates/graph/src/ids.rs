@@ -3,21 +3,18 @@
 //! Users and items are indexed densely from zero with `u32`s. Newtypes
 //! prevent the classic bug of indexing an item array with a user id.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a user node in the social / preference graphs.
 ///
 /// Dense: valid ids are `0..num_users`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u32);
 
 /// Identifier of an item node in the preference graph.
 ///
 /// Dense: valid ids are `0..num_items`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(pub u32);
 
 impl UserId {

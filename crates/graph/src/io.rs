@@ -129,7 +129,11 @@ fn parse_records<R: Read, const N: usize>(
             if idx == 0 {
                 continue;
             }
-            return Err(parse_err(source_name, idx + 1, format!("non-numeric field in {trimmed:?}")));
+            return Err(parse_err(
+                source_name,
+                idx + 1,
+                format!("non-numeric field in {trimmed:?}"),
+            ));
         }
         out.push(rec);
     }
@@ -138,7 +142,10 @@ fn parse_records<R: Read, const N: usize>(
 
 /// Read a social edge list (`a<tab>b` per line, optional header) from any
 /// reader.
-pub fn read_social_edges<R: Read>(reader: R, source_name: &str) -> Result<Vec<RawSocialEdge>, GraphError> {
+pub fn read_social_edges<R: Read>(
+    reader: R,
+    source_name: &str,
+) -> Result<Vec<RawSocialEdge>, GraphError> {
     Ok(parse_records::<R, 2>(reader, source_name)?
         .into_iter()
         .map(|[a, b]| RawSocialEdge { a: a as u64, b: b as u64 })
@@ -191,9 +198,11 @@ pub fn read_social_graph<R: Read>(reader: R, source_name: &str) -> Result<Social
         }
         if let Some(rest) = trimmed.strip_prefix('#') {
             if let Some(v) = rest.trim().strip_prefix("users=") {
-                num_users = Some(v.trim().parse().map_err(|_| {
-                    parse_err(source_name, idx + 1, "bad users= header")
-                })?);
+                num_users = Some(
+                    v.trim()
+                        .parse()
+                        .map_err(|_| parse_err(source_name, idx + 1, "bad users= header"))?,
+                );
             }
             continue;
         }

@@ -292,8 +292,8 @@ mod tests {
 
     #[test]
     fn rows_sorted() {
-        let g = preference_graph_from_edges(2, 5, &[(0, 4), (0, 1), (0, 3), (1, 2), (1, 0)])
-            .unwrap();
+        let g =
+            preference_graph_from_edges(2, 5, &[(0, 4), (0, 1), (0, 3), (1, 2), (1, 0)]).unwrap();
         assert_eq!(g.items_of(UserId(0)), &[ItemId(1), ItemId(3), ItemId(4)]);
         assert_eq!(g.items_of(UserId(1)), &[ItemId(0), ItemId(2)]);
         for i in g.items() {

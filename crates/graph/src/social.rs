@@ -63,11 +63,7 @@ impl SocialGraph {
     /// `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
         self.users().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 

@@ -3,7 +3,6 @@
 use crate::ids::UserId;
 use crate::preference::PreferenceGraph;
 use crate::social::SocialGraph;
-use serde::{Deserialize, Serialize};
 
 /// Global (transitivity-style average of local) clustering coefficient:
 /// the mean over users with degree ≥ 2 of
@@ -57,7 +56,7 @@ fn mean_std(values: impl Iterator<Item = usize> + Clone) -> (f64, f64) {
 /// preference edges *per user* (items listened-to/rated per user): for
 /// Last.fm, 92,198 / 1,892 ≈ 48.7 — we follow that convention and name
 /// the field unambiguously.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DatasetStats {
     /// `|U|` — number of users.
     pub num_users: usize,

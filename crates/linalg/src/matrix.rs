@@ -100,30 +100,25 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        out.data
-            .par_chunks_mut(m)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[kk * m..(kk + 1) * m];
-                    for (j, &b) in b_row.iter().enumerate() {
-                        out_row[j] += a * b;
-                    }
+        out.data.par_chunks_mut(m).enumerate().for_each(|(i, out_row)| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
                 }
-            });
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        });
         out
     }
 
     /// Matrix–vector product `self · x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// `selfᵀ · x`.
@@ -149,11 +144,7 @@ impl Matrix {
     /// Max absolute element-wise difference to `other`.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Maximum column L1 norm: `max_j Σ_i |A_ij|` — the LRM strategy

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use socialrec_linalg::{randomized_svd, symmetric_jacobi_eigen, thin_qr, Matrix};
 
 fn small_matrix() -> impl Strategy<Value = Matrix> {
-    (2usize..10, 2usize..10, 0u64..1000)
-        .prop_map(|(m, n, seed)| Matrix::gaussian(m, n, seed))
+    (2usize..10, 2usize..10, 0u64..1000).prop_map(|(m, n, seed)| Matrix::gaussian(m, n, seed))
 }
 
 proptest! {

@@ -1,0 +1,152 @@
+//! Generation-stamped caching of the noisy DP release.
+//!
+//! The release `A_w` (the `num_clusters × num_items` noisy-average
+//! matrix) is the expensive, privacy-spending half of Algorithm 1.
+//! Everything downstream is post-processing, so a server may reuse one
+//! release across arbitrarily many queries *as long as the release
+//! inputs are unchanged*. The cache key — the **release generation** —
+//! is a hash of everything the release depends on: the partition
+//! assignment, ε, the noise model, and the RNG seed. Any change to any
+//! of them changes the generation and forces a rebuild; identical
+//! inputs always hit.
+
+use rustc_hash::FxHasher;
+use socialrec_community::Partition;
+use socialrec_core::private::framework::{NoiseModel, NoisyClusterAverages};
+use socialrec_dp::Epsilon;
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex};
+
+/// Fingerprint of a partition: hash of its full cluster assignment.
+pub fn partition_fingerprint(partition: &Partition) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(partition.num_users());
+    for &c in partition.assignment() {
+        h.write_u32(c);
+    }
+    h.finish()
+}
+
+/// The release generation: a single `u64` identifying one exact noisy
+/// release. Two calls see the same generation iff they agree on the
+/// partition, ε, noise model, and seed.
+pub fn release_generation(
+    partition_fingerprint: u64,
+    epsilon: Epsilon,
+    noise: NoiseModel,
+    seed: u64,
+) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(partition_fingerprint);
+    match epsilon {
+        Epsilon::Finite(e) => {
+            h.write_u8(0);
+            h.write_u64(e.to_bits());
+        }
+        Epsilon::Infinite => h.write_u8(1),
+    }
+    h.write_u8(match noise {
+        NoiseModel::Laplace => 0,
+        NoiseModel::Geometric => 1,
+    });
+    h.write_u64(seed);
+    h.finish()
+}
+
+/// A one-slot, generation-stamped cache of the noisy release.
+///
+/// Holding a single slot is deliberate: a serving deployment pins one
+/// release per (partition, ε, seed) configuration, and a seed change
+/// means a *new* DP release whose predecessor must not be served again.
+#[derive(Debug, Default)]
+pub struct ReleaseCache {
+    slot: Mutex<Option<(u64, Arc<NoisyClusterAverages>)>>,
+}
+
+impl ReleaseCache {
+    /// An empty cache.
+    pub fn new() -> ReleaseCache {
+        ReleaseCache::default()
+    }
+
+    /// The noisy release for `generation`, building it with `build` on
+    /// a miss. Returns the release and whether it was served from
+    /// cache.
+    pub fn get_or_build(
+        &self,
+        generation: u64,
+        build: impl FnOnce() -> NoisyClusterAverages,
+    ) -> (Arc<NoisyClusterAverages>, bool) {
+        let mut slot = self.slot.lock().expect("release cache poisoned");
+        if let Some((gen, averages)) = slot.as_ref() {
+            if *gen == generation {
+                return (Arc::clone(averages), true);
+            }
+        }
+        let averages = Arc::new(build());
+        *slot = Some((generation, Arc::clone(&averages)));
+        (averages, false)
+    }
+
+    /// The generation currently cached, if any.
+    pub fn generation(&self) -> Option<u64> {
+        self.slot.lock().expect("release cache poisoned").as_ref().map(|(g, _)| *g)
+    }
+
+    /// Drop the cached release.
+    pub fn invalidate(&self) {
+        *self.slot.lock().expect("release cache poisoned") = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_separates_every_input() {
+        let p1 = partition_fingerprint(&Partition::singletons(4));
+        let p2 = partition_fingerprint(&Partition::one_cluster(4));
+        assert_ne!(p1, p2);
+        let base = release_generation(p1, Epsilon::Finite(0.5), NoiseModel::Laplace, 7);
+        assert_eq!(base, release_generation(p1, Epsilon::Finite(0.5), NoiseModel::Laplace, 7));
+        for other in [
+            release_generation(p2, Epsilon::Finite(0.5), NoiseModel::Laplace, 7),
+            release_generation(p1, Epsilon::Finite(0.6), NoiseModel::Laplace, 7),
+            release_generation(p1, Epsilon::Infinite, NoiseModel::Laplace, 7),
+            release_generation(p1, Epsilon::Finite(0.5), NoiseModel::Geometric, 7),
+            release_generation(p1, Epsilon::Finite(0.5), NoiseModel::Laplace, 8),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn cache_hits_same_generation_and_rebuilds_on_change() {
+        use socialrec_core::private::framework::release_noisy_cluster_averages;
+        use socialrec_graph::preference::preference_graph_from_edges;
+
+        let partition = Partition::from_assignment(&[0, 0, 1]);
+        let prefs = preference_graph_from_edges(3, 2, &[(0, 0), (1, 1), (2, 0)]).unwrap();
+        let build = |seed: u64| {
+            release_noisy_cluster_averages(&partition, &prefs, Epsilon::Finite(1.0), seed)
+        };
+        let cache = ReleaseCache::new();
+        assert_eq!(cache.generation(), None);
+
+        let (a, hit) = cache.get_or_build(10, || build(10));
+        assert!(!hit);
+        let (b, hit) = cache.get_or_build(10, || panic!("must not rebuild on hit"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.generation(), Some(10));
+
+        let (c, hit) = cache.get_or_build(11, || build(11));
+        assert!(!hit);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.generation(), Some(11));
+
+        cache.invalidate();
+        assert_eq!(cache.generation(), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! The precomputed similarity-mass index.
+//!
+//! Module `A_R` of Algorithm 1 spends, per query, a walk over the whole
+//! similarity row of the user (`O(|sim(u)|)`, plus zeroing a
+//! `num_clusters`-sized scratch) just to learn how much similarity mass
+//! the user has in each cluster. That mapping depends only on the
+//! public similarity matrix and the public partition — never on the
+//! private release — so a server can compute it once, up front, for
+//! every user.
+//!
+//! [`SimMassIndex`] stores exactly that: a CSR of per-user
+//! `(cluster, Σ sim)` pairs, collapsing the per-query cost to one
+//! sparse axpy per *touched cluster* (`O(C_u)` rows) instead of one
+//! accumulation per similar user.
+
+use rayon::prelude::*;
+use socialrec_community::Partition;
+use socialrec_graph::UserId;
+use socialrec_similarity::SimilarityMatrix;
+
+/// CSR of per-user `(cluster, similarity mass)` pairs.
+///
+/// Row `u` lists, in ascending cluster id, every cluster holding at
+/// least one of `u`'s similar users together with the summed similarity
+/// `Σ_{v ∈ sim(u) ∩ c} sim(u, v)`.
+///
+/// # Floating-point contract
+///
+/// The masses are accumulated **in the similarity row's neighbor
+/// order**, and rows are emitted in ascending cluster order with
+/// exact-zero sums dropped — the same additions, in the same order,
+/// that [`ClusterFramework::utility_estimates_into`] performs through
+/// its dense scratch. Serving through this index is therefore
+/// bit-identical to the reference path, not merely close.
+///
+/// [`ClusterFramework::utility_estimates_into`]:
+///     socialrec_core::private::ClusterFramework::utility_estimates_into
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimMassIndex {
+    offsets: Vec<u64>,
+    clusters: Vec<u32>,
+    masses: Vec<f64>,
+    num_clusters: usize,
+}
+
+impl SimMassIndex {
+    /// Build the index for every user, in parallel.
+    ///
+    /// Panics if `sim` and `partition` disagree on the user count.
+    pub fn build(sim: &SimilarityMatrix, partition: &Partition) -> SimMassIndex {
+        let n = sim.num_users();
+        assert_eq!(n, partition.num_users(), "partition must cover the similarity matrix's users");
+        let nc = partition.num_clusters();
+
+        // Per-user sparse rows, workers reusing one dense scratch each.
+        let rows: Vec<Vec<(u32, f64)>> = (0..n as u32)
+            .into_par_iter()
+            .map_init(
+                || vec![0.0f64; nc],
+                |scratch, u| {
+                    let (users, scores) = sim.row(UserId(u));
+                    // Accumulate in neighbor order (FP contract above).
+                    for (&v, &s) in users.iter().zip(scores) {
+                        scratch[partition.cluster_of(v) as usize] += s;
+                    }
+                    let mut row = Vec::new();
+                    for (cl, m) in scratch.iter_mut().enumerate() {
+                        if *m != 0.0 {
+                            row.push((cl as u32, *m));
+                        }
+                        *m = 0.0;
+                    }
+                    row
+                },
+            )
+            .collect();
+
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut clusters = Vec::with_capacity(nnz);
+        let mut masses = Vec::with_capacity(nnz);
+        offsets.push(0u64);
+        for row in rows {
+            for (cl, m) in row {
+                clusters.push(cl);
+                masses.push(m);
+            }
+            offsets.push(clusters.len() as u64);
+        }
+        SimMassIndex { offsets, clusters, masses, num_clusters: nc }
+    }
+
+    /// The `(clusters, masses)` row for one user.
+    #[inline]
+    pub fn row(&self, u: UserId) -> (&[u32], &[f64]) {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        (&self.clusters[lo..hi], &self.masses[lo..hi])
+    }
+
+    /// Number of indexed users.
+    pub fn num_users(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of clusters in the underlying partition.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Total stored `(cluster, mass)` pairs.
+    pub fn nnz(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::Measure;
+
+    #[test]
+    fn matches_dense_scratch_accumulation() {
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let partition = Partition::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        let idx = SimMassIndex::build(&sim, &partition);
+        assert_eq!(idx.num_users(), 6);
+        assert_eq!(idx.num_clusters(), 2);
+        for u in 0..6u32 {
+            let mut dense = [0.0f64; 2];
+            let (vs, ss) = sim.row(UserId(u));
+            for (&v, &s) in vs.iter().zip(ss) {
+                dense[partition.cluster_of(v) as usize] += s;
+            }
+            let (cls, ms) = idx.row(UserId(u));
+            let mut it = cls.iter().zip(ms);
+            for (cl, &want) in dense.iter().enumerate() {
+                if want != 0.0 {
+                    let (&c, &m) = it.next().expect("row too short");
+                    assert_eq!(c, cl as u32);
+                    assert_eq!(m.to_bits(), want.to_bits(), "mass differs bitwise");
+                }
+            }
+            assert!(it.next().is_none(), "row has spurious entries");
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_nonzero() {
+        let s = social_graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = Partition::singletons(5);
+        let idx = SimMassIndex::build(&sim, &partition);
+        for u in 0..5u32 {
+            let (cls, ms) = idx.row(UserId(u));
+            assert!(cls.windows(2).all(|w| w[0] < w[1]), "clusters not ascending");
+            assert!(ms.iter().all(|&m| m != 0.0));
+        }
+        assert_eq!(idx.nnz(), idx.masses.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn user_count_mismatch_panics() {
+        let s = social_graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = Partition::singletons(3);
+        let _ = SimMassIndex::build(&sim, &partition);
+    }
+}

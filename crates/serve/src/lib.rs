@@ -1,0 +1,268 @@
+//! Batch recommendation serving on top of the private framework.
+//!
+//! [`ClusterFramework::recommend`] is built for evaluation sweeps: each
+//! call re-releases the noisy averages and walks every user's full
+//! similarity row. A server answering many requests against one fixed
+//! release can do much better without touching the privacy analysis,
+//! because everything after the release is post-processing:
+//!
+//! * [`ReleaseCache`] — the noisy release is stamped with a
+//!   *generation* (a hash of partition / ε / noise model / seed) and
+//!   rebuilt only when that generation changes;
+//! * [`SimMassIndex`] — the per-user cluster similarity masses are
+//!   precomputed once, in parallel, collapsing per-query work from
+//!   `O(|sim(u)|)` to one sparse axpy per touched cluster;
+//! * [`ServeMetrics`] — atomic counters and log-bucketed latency
+//!   histograms, recorded lock-free from inside the parallel batch.
+//!
+//! [`RecommendationServer::recommend_batch`] is **bit-identical** to
+//! [`ClusterFramework::recommend`] for the same inputs: the index
+//! replays the framework's exact floating-point accumulation order
+//! (see [`SimMassIndex`]'s floating-point contract).
+
+#![warn(missing_docs)]
+
+mod cache;
+mod index;
+mod metrics;
+
+pub use cache::{partition_fingerprint, release_generation, ReleaseCache};
+pub use index::SimMassIndex;
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+
+use rayon::prelude::*;
+use socialrec_community::Partition;
+use socialrec_core::private::framework::{ClusterFramework, NoiseModel, NoisyClusterAverages};
+use socialrec_core::{top_n_items, RecommenderInputs, TopN, TopNRecommender};
+use socialrec_dp::Epsilon;
+use socialrec_graph::UserId;
+use socialrec_similarity::SimilarityMatrix;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A serving front-end over one partition + similarity matrix + ε.
+///
+/// Construction precomputes the [`SimMassIndex`]; the noisy release is
+/// built lazily on first use and cached per [`release_generation`].
+pub struct RecommendationServer<'p> {
+    framework: ClusterFramework<'p>,
+    fingerprint: u64,
+    index: SimMassIndex,
+    cache: ReleaseCache,
+    metrics: ServeMetrics,
+}
+
+impl<'p> RecommendationServer<'p> {
+    /// Build a server for the given clustering, similarity matrix, and
+    /// privacy level. `sim` must be the same matrix later passed inside
+    /// [`RecommenderInputs`] to the query methods — the index is
+    /// precomputed from it here.
+    pub fn new(
+        partition: &'p Partition,
+        sim: &SimilarityMatrix,
+        epsilon: Epsilon,
+    ) -> RecommendationServer<'p> {
+        let framework = ClusterFramework::new(partition, epsilon);
+        RecommendationServer {
+            framework,
+            fingerprint: partition_fingerprint(partition),
+            index: SimMassIndex::build(sim, partition),
+            cache: ReleaseCache::new(),
+            metrics: ServeMetrics::new(),
+        }
+    }
+
+    /// Select the noise distribution (default: Laplace). Changing it
+    /// changes the release generation, so the next batch rebuilds.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.framework = self.framework.with_noise(noise);
+        self
+    }
+
+    /// The underlying framework (partition, ε, noise model).
+    pub fn framework(&self) -> &ClusterFramework<'p> {
+        &self.framework
+    }
+
+    /// The precomputed similarity-mass index.
+    pub fn index(&self) -> &SimMassIndex {
+        &self.index
+    }
+
+    /// The release cache (exposed for inspection/invalidation).
+    pub fn cache(&self) -> &ReleaseCache {
+        &self.cache
+    }
+
+    /// Serving metrics recorded so far.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The release generation queries with `seed` resolve to.
+    pub fn generation_for(&self, seed: u64) -> u64 {
+        release_generation(
+            self.fingerprint,
+            self.framework.epsilon(),
+            self.framework.noise_model(),
+            seed,
+        )
+    }
+
+    /// The cached-or-rebuilt noisy release for `seed`, and whether the
+    /// cache served it.
+    fn release(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        seed: u64,
+    ) -> (Arc<NoisyClusterAverages>, bool) {
+        self.cache.get_or_build(self.generation_for(seed), || {
+            self.framework.noisy_cluster_averages(inputs, seed)
+        })
+    }
+
+    /// Utility estimates for one user via the index: a sparse axpy per
+    /// touched cluster. Bit-identical to
+    /// [`ClusterFramework::utility_estimates_into`].
+    fn utilities_into(&self, averages: &NoisyClusterAverages, u: UserId, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(averages.num_items(), 0.0);
+        let (clusters, masses) = self.index.row(u);
+        for (&cl, &mass) in clusters.iter().zip(masses) {
+            let row = averages.cluster_row(cl);
+            for (x, &w) in out.iter_mut().zip(row) {
+                *x += mass * w;
+            }
+        }
+    }
+
+    /// Top-N recommendations for a batch of users.
+    ///
+    /// Output is deterministic and bit-identical to
+    /// `ClusterFramework::recommend(inputs, users, n, seed)` — same
+    /// items, same order, same utility values — while amortizing the
+    /// release across batches and the similarity walk across all
+    /// queries. Per-query scratch buffers are pooled per worker.
+    pub fn recommend_batch(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        users: &[UserId],
+        n: usize,
+        seed: u64,
+    ) -> Vec<TopN> {
+        let batch_start = Instant::now();
+        let (averages, cache_hit) = self.release(inputs, seed);
+        let lists: Vec<TopN> = users
+            .par_iter()
+            .map_init(Vec::new, |out, &u| {
+                let start = Instant::now();
+                self.utilities_into(&averages, u, out);
+                let top = TopN { user: u, items: top_n_items(out, n) };
+                self.metrics.record_query(start.elapsed());
+                top
+            })
+            .collect();
+        self.metrics.record_batch(batch_start.elapsed(), cache_hit);
+        lists
+    }
+
+    /// Convenience: a single-user query through the same cached path.
+    pub fn recommend_one(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        user: UserId,
+        n: usize,
+        seed: u64,
+    ) -> TopN {
+        self.recommend_batch(inputs, &[user], n, seed).pop().expect("one user in, one list out")
+    }
+}
+
+impl TopNRecommender for RecommendationServer<'_> {
+    fn name(&self) -> String {
+        format!("serve({})", self.framework.name())
+    }
+
+    fn recommend(
+        &self,
+        inputs: &RecommenderInputs<'_>,
+        users: &[UserId],
+        n: usize,
+        seed: u64,
+    ) -> Vec<TopN> {
+        self.recommend_batch(inputs, users, n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::Measure;
+
+    fn fixture() -> (socialrec_graph::SocialGraph, socialrec_graph::PreferenceGraph) {
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        let p = preference_graph_from_edges(
+            6,
+            4,
+            &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (5, 1), (1, 2), (4, 3)],
+        )
+        .unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn batch_matches_framework_bitwise() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let server = RecommendationServer::new(&partition, &sim, Epsilon::Finite(0.5));
+        let fw = ClusterFramework::new(&partition, Epsilon::Finite(0.5));
+        let got = server.recommend_batch(&inputs, &users, 3, 42);
+        let want = fw.recommend(&inputs, &users, 3, 42);
+        assert_eq!(got, want);
+        for (g, w) in got.iter().zip(&want) {
+            for ((gi, gu), (wi, wu)) in g.items.iter().zip(&w.items) {
+                assert_eq!(gi, wi);
+                assert_eq!(gu.to_bits(), wu.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_across_batches_and_invalidates_on_seed_change() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let server = RecommendationServer::new(&partition, &sim, Epsilon::Finite(1.0));
+
+        server.recommend_batch(&inputs, &users, 2, 1);
+        server.recommend_batch(&inputs, &users, 2, 1);
+        server.recommend_batch(&inputs, &users, 2, 2);
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_rebuilds, 2);
+        assert_eq!(snap.queries, 18);
+        assert_eq!(server.cache().generation(), Some(server.generation_for(2)));
+    }
+
+    #[test]
+    fn recommend_one_equals_batch_row() {
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::one_cluster(6);
+        let server = RecommendationServer::new(&partition, &sim, Epsilon::Infinite);
+        let batch = server.recommend_batch(&inputs, &[UserId(2), UserId(4)], 2, 0);
+        let single = server.recommend_one(&inputs, UserId(4), 2, 0);
+        assert_eq!(single, batch[1]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Hand-rolled serving metrics: lock-free counters and a log-bucketed
+//! latency histogram, built only on `std` atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds, so 48 buckets reach ~78 hours.
+const BUCKETS: usize = 48;
+
+/// A log₂-bucketed latency histogram.
+///
+/// Recording is a single relaxed atomic increment, so worker threads
+/// can record from inside a parallel batch without contention beyond
+/// the cache line of their bucket.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    total_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    #[inline]
+    fn bucket_of(nanos: u64) -> usize {
+        // 0ns and 1ns land in bucket 0; otherwise floor(log2(nanos)).
+        (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one latency observation.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean recorded latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / n)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`); zero when empty. Bucketing bounds the error to
+    /// a factor of two, which is plenty for spotting tail blow-ups.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+}
+
+/// Counters for one [`RecommendationServer`](crate::RecommendationServer).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Individual user queries served.
+    queries: AtomicU64,
+    /// `recommend_batch` invocations.
+    batches: AtomicU64,
+    /// Batches answered from the cached noisy release.
+    cache_hits: AtomicU64,
+    /// Batches that had to rebuild the noisy release.
+    cache_rebuilds: AtomicU64,
+    /// Per-query utility-estimation + top-N latency.
+    query_latency: LatencyHistogram,
+    /// Whole-batch latency (release lookup + all queries).
+    batch_latency: LatencyHistogram,
+}
+
+/// A point-in-time copy of the counters, for reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Individual user queries served.
+    pub queries: u64,
+    /// `recommend_batch` invocations.
+    pub batches: u64,
+    /// Batches answered from the cached noisy release.
+    pub cache_hits: u64,
+    /// Batches that rebuilt the noisy release.
+    pub cache_rebuilds: u64,
+    /// Mean per-query latency.
+    pub query_mean: Duration,
+    /// ~p50 per-query latency (bucket upper bound).
+    pub query_p50: Duration,
+    /// ~p99 per-query latency (bucket upper bound).
+    pub query_p99: Duration,
+    /// Mean batch latency.
+    pub batch_mean: Duration,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    pub(crate) fn record_query(&self, d: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.query_latency.record(d);
+    }
+
+    pub(crate) fn record_batch(&self, d: Duration, cache_hit: bool) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batch_latency.record(d);
+    }
+
+    /// The per-query latency histogram.
+    pub fn query_latency(&self) -> &LatencyHistogram {
+        &self.query_latency
+    }
+
+    /// The per-batch latency histogram.
+    pub fn batch_latency(&self) -> &LatencyHistogram {
+        &self.batch_latency
+    }
+
+    /// Copy the counters out for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_rebuilds: self.cache_rebuilds.load(Ordering::Relaxed),
+            query_mean: self.query_latency.mean(),
+            query_p50: self.query_latency.quantile(0.5),
+            query_p99: self.query_latency.quantile(0.99),
+            batch_mean: self.batch_latency.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // bucket 16
+        assert_eq!(h.count(), 100);
+        // Median sits in the 100ns bucket, the tail in the 100µs one.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(128));
+        assert!(h.quantile(1.0) >= Duration::from_micros(100));
+        let m = h.mean();
+        assert!(m > Duration::from_nanos(100) && m < Duration::from_micros(2));
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_counts() {
+        let m = ServeMetrics::new();
+        m.record_batch(Duration::from_millis(2), false);
+        m.record_batch(Duration::from_millis(1), true);
+        for _ in 0..5 {
+            m.record_query(Duration::from_micros(3));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_rebuilds, 1);
+        assert_eq!(s.queries, 5);
+        assert!(s.query_mean > Duration::ZERO);
+        assert!(s.query_p99 >= s.query_p50);
+    }
+}

@@ -1,0 +1,85 @@
+//! The serving contract: `RecommendationServer::recommend_batch` must
+//! be **bit-identical** to `ClusterFramework::recommend` — same items,
+//! same order, same utility bits — across seeds, noise models, and
+//! degenerate partitions. The index and release cache are pure
+//! post-processing rearrangements, so any divergence is a bug.
+
+use socialrec_community::{ClusteringStrategy, LouvainStrategy, Partition};
+use socialrec_core::private::framework::{ClusterFramework, NoiseModel};
+use socialrec_core::{RecommenderInputs, TopN, TopNRecommender};
+use socialrec_datasets::lastfm_like_scaled;
+use socialrec_dp::Epsilon;
+use socialrec_graph::UserId;
+use socialrec_serve::RecommendationServer;
+use socialrec_similarity::{Measure, SimilarityMatrix};
+
+fn assert_bit_identical(got: &[TopN], want: &[TopN]) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.user, w.user);
+        assert_eq!(g.items.len(), w.items.len());
+        for ((gi, gu), (wi, wu)) in g.items.iter().zip(&w.items) {
+            assert_eq!(gi, wi, "item differs for {:?}", g.user);
+            assert_eq!(
+                gu.to_bits(),
+                wu.to_bits(),
+                "utility bits differ for {:?} item {gi:?}: {gu} vs {wu}",
+                g.user
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_serving_is_bit_identical_to_framework() {
+    let ds = lastfm_like_scaled(0.08, 13);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let n_users = ds.social.num_users();
+    let users: Vec<UserId> = (0..n_users as u32).map(UserId).collect();
+
+    let louvain = LouvainStrategy::default().cluster(&ds.social);
+    let partitions: Vec<(&str, Partition)> = vec![
+        ("louvain", louvain),
+        ("singletons", Partition::singletons(n_users)),
+        ("one_cluster", Partition::one_cluster(n_users)),
+    ];
+
+    for (name, partition) in &partitions {
+        for noise in [NoiseModel::Laplace, NoiseModel::Geometric] {
+            for epsilon in [Epsilon::Finite(0.5), Epsilon::Finite(0.05), Epsilon::Infinite] {
+                let server = RecommendationServer::new(partition, &sim, epsilon).with_noise(noise);
+                let fw = ClusterFramework::new(partition, epsilon).with_noise(noise);
+                for seed in [0u64, 1, 0xDEAD_BEEF] {
+                    let got = server.recommend_batch(&inputs, &users, 10, seed);
+                    let want = fw.recommend(&inputs, &users, 10, seed);
+                    assert_bit_identical(&got, &want);
+                    // Same generation again: served from cache, still
+                    // identical.
+                    let again = server.recommend_batch(&inputs, &users, 10, seed);
+                    assert_bit_identical(&again, &want);
+                }
+                let snap = server.metrics().snapshot();
+                assert_eq!(snap.cache_rebuilds, 3, "{name}: one rebuild per distinct seed");
+                assert_eq!(snap.cache_hits, 3, "{name}: repeat batches must hit");
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_and_reordered_batches_still_match() {
+    let ds = lastfm_like_scaled(0.05, 99);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::AdamicAdar);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&ds.social);
+    let fw = ClusterFramework::new(&partition, Epsilon::Finite(0.2));
+    let server = RecommendationServer::new(&partition, &sim, Epsilon::Finite(0.2));
+
+    // A scattered, unsorted, repeating subset of users.
+    let n = ds.social.num_users() as u32;
+    let users: Vec<UserId> = [n - 1, 3, 17 % n, 3, 0, n / 2].into_iter().map(UserId).collect();
+    let got = server.recommend_batch(&inputs, &users, 25, 5);
+    let want = fw.recommend(&inputs, &users, 25, 5);
+    assert_bit_identical(&got, &want);
+}

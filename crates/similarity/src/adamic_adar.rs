@@ -48,8 +48,7 @@ mod tests {
     #[test]
     fn hand_computed() {
         // 0 and 2 share neighbor 1 (deg 2) and neighbor 3 (deg 3).
-        let g =
-            social_graph_from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 2), (3, 4)]).unwrap();
+        let g = social_graph_from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 2), (3, 4)]).unwrap();
         let aa = AdamicAdar;
         let expected = 1.0 / 2.0f64.ln() + 1.0 / 3.0f64.ln();
         assert!((aa.pair(&g, UserId(0), UserId(2)) - expected).abs() < 1e-12);
@@ -57,11 +56,9 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (1, 5)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (1, 5)])
+                .unwrap();
         let aa = AdamicAdar;
         for u in 0..6u32 {
             for v in 0..6u32 {
@@ -76,11 +73,8 @@ mod tests {
     fn rare_neighbor_weighs_more() {
         // v shares a degree-2 neighbor with u; w shares a degree-4 one.
         // 1: neighbors {0, 2}; 3: neighbors {0, 4, 5, 6}.
-        let g = social_graph_from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 3), (3, 4), (3, 5), (3, 6)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(7, &[(0, 1), (1, 2), (0, 3), (3, 4), (3, 5), (3, 6)]).unwrap();
         let aa = AdamicAdar;
         let via_rare = aa.pair(&g, UserId(0), UserId(2));
         let via_popular = aa.pair(&g, UserId(0), UserId(4));
@@ -104,11 +98,8 @@ mod tests {
         )
         .unwrap();
         for u in 0..8u32 {
-            let aa: Vec<UserId> = AdamicAdar
-                .similarity_set_vec(&g, UserId(u))
-                .into_iter()
-                .map(|(v, _)| v)
-                .collect();
+            let aa: Vec<UserId> =
+                AdamicAdar.similarity_set_vec(&g, UserId(u)).into_iter().map(|(v, _)| v).collect();
             let cn: Vec<UserId> = CommonNeighbors
                 .similarity_set_vec(&g, UserId(u))
                 .into_iter()

@@ -106,9 +106,7 @@ impl SimilarityMatrix {
     /// (§5.1.1). All four paper measures are symmetric, so the max
     /// column sum equals the max row sum.
     pub fn max_total_similarity(&self) -> f64 {
-        (0..self.num_users() as u32)
-            .map(|u| self.total_similarity(UserId(u)))
-            .fold(0.0, f64::max)
+        (0..self.num_users() as u32).map(|u| self.total_similarity(UserId(u))).fold(0.0, f64::max)
     }
 
     /// The largest single similarity value in `u`'s row
@@ -170,8 +168,7 @@ impl SimilarityMatrix {
         }
         let mut name_bytes = vec![0u8; name_len];
         r.read_exact(&mut name_bytes)?;
-        let name_string =
-            String::from_utf8(name_bytes).map_err(|_| bad("bad measure name"))?;
+        let name_string = String::from_utf8(name_bytes).map_err(|_| bad("bad measure name"))?;
         // Names are interned to the known measure set; unknown names
         // round-trip as "??" rather than leaking allocations into the
         // 'static field.
@@ -272,9 +269,7 @@ mod tests {
     fn sensitivity_is_max_row_sum() {
         let g = social_graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
         let matrix = SimilarityMatrix::build(&g, &CommonNeighbors);
-        let by_hand = (0..5u32)
-            .map(|u| matrix.total_similarity(UserId(u)))
-            .fold(0.0, f64::max);
+        let by_hand = (0..5u32).map(|u| matrix.total_similarity(UserId(u))).fold(0.0, f64::max);
         assert_eq!(matrix.max_total_similarity(), by_hand);
         assert!(matrix.max_total_similarity() > 0.0);
     }

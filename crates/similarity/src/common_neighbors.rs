@@ -60,18 +60,13 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (1, 5)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (1, 5)])
+                .unwrap();
         let cn = CommonNeighbors;
         for u in 0..6u32 {
             for v in 0..6u32 {
-                assert_eq!(
-                    cn.pair(&g, UserId(u), UserId(v)),
-                    cn.pair(&g, UserId(v), UserId(u))
-                );
+                assert_eq!(cn.pair(&g, UserId(u), UserId(v)), cn.pair(&g, UserId(v), UserId(u)));
             }
         }
     }

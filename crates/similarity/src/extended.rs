@@ -285,11 +285,8 @@ mod tests {
             &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 2), (7, 0)],
         )
         .unwrap();
-        for m in [
-            Box::new(Jaccard) as Box<dyn Similarity>,
-            Box::new(Salton),
-            Box::new(HubPromoted),
-        ] {
+        for m in [Box::new(Jaccard) as Box<dyn Similarity>, Box::new(Salton), Box::new(HubPromoted)]
+        {
             for u in 0..8u32 {
                 for (_, s) in m.similarity_set_vec(&g, UserId(u)) {
                     assert!(s <= 1.0 + 1e-12, "{} exceeds 1: {s}", m.name());

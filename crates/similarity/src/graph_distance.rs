@@ -64,19 +64,14 @@ mod tests {
         let g = social_graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         let gd3 = GraphDistance { max_distance: 3 };
         let set = gd3.similarity_set_vec(&g, UserId(0));
-        assert_eq!(
-            set,
-            vec![(UserId(1), 1.0), (UserId(2), 0.5), (UserId(3), 1.0 / 3.0)]
-        );
+        assert_eq!(set, vec![(UserId(1), 1.0), (UserId(2), 0.5), (UserId(3), 1.0 / 3.0)]);
     }
 
     #[test]
     fn symmetric() {
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)])
+                .unwrap();
         let gd = GraphDistance::default();
         for u in 0..6u32 {
             for v in 0..6u32 {

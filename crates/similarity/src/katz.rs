@@ -111,11 +111,9 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        let g = social_graph_from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (1, 5)],
-        )
-        .unwrap();
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (1, 5)])
+                .unwrap();
         let kz = Katz::default();
         for u in 0..6u32 {
             for v in 0..6u32 {

@@ -29,11 +29,9 @@ pub mod measure;
 pub mod scratch;
 
 pub use adamic_adar::AdamicAdar;
-pub use extended::{
-    HubPromoted, Jaccard, PreferentialAttachment, ResourceAllocation, Salton,
-};
 pub use cache::SimilarityMatrix;
 pub use common_neighbors::CommonNeighbors;
+pub use extended::{HubPromoted, Jaccard, PreferentialAttachment, ResourceAllocation, Salton};
 pub use graph_distance::GraphDistance;
 pub use katz::Katz;
 pub use measure::{parse_measure, Measure};
@@ -73,10 +71,6 @@ pub trait Similarity: Send + Sync {
     /// Convenience: `sim(u, v)` via the similarity set (O(set) lookup;
     /// fine for tests, use [`SimilarityMatrix`] in hot paths).
     fn pair(&self, g: &SocialGraph, u: UserId, v: UserId) -> f64 {
-        self.similarity_set_vec(g, u)
-            .iter()
-            .find(|(w, _)| *w == v)
-            .map(|&(_, s)| s)
-            .unwrap_or(0.0)
+        self.similarity_set_vec(g, u).iter().find(|(w, _)| *w == v).map(|&(_, s)| s).unwrap_or(0.0)
     }
 }

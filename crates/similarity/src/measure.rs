@@ -2,9 +2,7 @@
 
 use crate::adamic_adar::AdamicAdar;
 use crate::common_neighbors::CommonNeighbors;
-use crate::extended::{
-    HubPromoted, Jaccard, PreferentialAttachment, ResourceAllocation, Salton,
-};
+use crate::extended::{HubPromoted, Jaccard, PreferentialAttachment, ResourceAllocation, Salton};
 use crate::graph_distance::GraphDistance;
 use crate::katz::Katz;
 use crate::scratch::SimScratch;

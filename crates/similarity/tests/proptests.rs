@@ -1,9 +1,9 @@
 //! Property-based tests shared by all four similarity measures.
 
 use proptest::prelude::*;
-use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
 use socialrec_graph::social::social_graph_from_edges;
 use socialrec_graph::UserId;
+use socialrec_similarity::{Measure, Similarity, SimilarityMatrix};
 
 fn social_inputs() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..20).prop_flat_map(|n| {

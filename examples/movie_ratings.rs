@@ -21,8 +21,7 @@ fn main() {
     // (people mostly rate what they like).
     let ds = socialrec::datasets::lastfm_like_scaled(0.12, 13);
     let mut rng = SmallRng::seed_from_u64(99);
-    let mut wb =
-        WeightedPreferenceGraphBuilder::new(ds.prefs.num_users(), ds.prefs.num_items());
+    let mut wb = WeightedPreferenceGraphBuilder::new(ds.prefs.num_users(), ds.prefs.num_items());
     for (u, i) in ds.prefs.edges() {
         let stars = [3.0, 3.5, 4.0, 4.5, 5.0][rng.gen_range(0..5)];
         wb.add_rating(u, i, stars, 0.5, 5.0).unwrap();

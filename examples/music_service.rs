@@ -51,13 +51,7 @@ fn main() {
             }
             cells.push(acc / runs as f64);
         }
-        println!(
-            "{:<8}{:>12.3}{:>12.3}{:>12.3}",
-            measure.name(),
-            cells[0],
-            cells[1],
-            cells[2]
-        );
+        println!("{:<8}{:>12.3}{:>12.3}{:>12.3}", measure.name(), cells[0], cells[1], cells[2]);
     }
 
     println!(

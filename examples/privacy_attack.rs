@@ -19,9 +19,9 @@
 //! cargo run --release --example privacy_attack
 //! ```
 
-use socialrec::prelude::*;
 use socialrec::graph::preference::PreferenceGraphBuilder;
 use socialrec::graph::social::SocialGraphBuilder;
+use socialrec::prelude::*;
 
 fn main() {
     // Social graph: a small community (users 0-5), the victim (6), the

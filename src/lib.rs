@@ -63,19 +63,19 @@ pub use socialrec_similarity as similarity;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use socialrec_community::merge_small_clusters;
     pub use socialrec_community::{
         ClusteringStrategy, KMeansStrategy, Louvain, LouvainStrategy, OneClusterStrategy,
         Partition, RandomStrategy, SingletonStrategy,
     };
     pub use socialrec_core::attack::{estimate_leakage, LeakageEstimate, SybilAttack};
+    pub use socialrec_core::cluster_by_similarity;
     pub use socialrec_core::dynamic::{BudgetSchedule, DynamicRecommender, Snapshot};
     pub use socialrec_core::private::{
         ClusterFramework, GroupAndSmooth, LowRankMechanism, NoiseModel, NoiseOnEdges,
         NoiseOnUtility,
     };
-    pub use socialrec_core::cluster_by_similarity;
     pub use socialrec_core::HybridRecommender;
-    pub use socialrec_community::merge_small_clusters;
     pub use socialrec_core::{
         mean_ndcg, per_user_ndcg, top_n_items, ExactRecommender, RecommenderInputs, TopN,
         TopNRecommender, WeightedClusterFramework, WeightedExactRecommender, WeightedInputs,

@@ -1,9 +1,9 @@
 //! Edge-case and failure-injection tests for the full pipeline:
 //! degenerate graphs, empty inputs, extreme parameters.
 
-use socialrec::prelude::*;
 use socialrec::graph::preference::preference_graph_from_edges;
 use socialrec::graph::social::social_graph_from_edges;
+use socialrec::prelude::*;
 
 #[test]
 fn empty_preference_graph() {
@@ -114,17 +114,11 @@ fn extreme_epsilons() {
 fn disconnected_social_graph_full_pipeline() {
     // Three disjoint components; Louvain keeps them separate and the
     // framework must handle per-component clusters fine.
-    let social = social_graph_from_edges(
-        9,
-        &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8)],
-    )
-    .unwrap();
-    let prefs = preference_graph_from_edges(
-        9,
-        3,
-        &[(0, 0), (1, 0), (3, 1), (4, 1), (6, 2), (7, 2)],
-    )
-    .unwrap();
+    let social =
+        social_graph_from_edges(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8)]).unwrap();
+    let prefs =
+        preference_graph_from_edges(9, 3, &[(0, 0), (1, 0), (3, 1), (4, 1), (6, 2), (7, 2)])
+            .unwrap();
     let sim = SimilarityMatrix::build(&social, &Measure::CommonNeighbors);
     let inputs = RecommenderInputs { prefs: &prefs, sim: &sim };
     let partition = LouvainStrategy::default().cluster(&social);

@@ -1,0 +1,504 @@
+//! Vendored, dependency-free stand-in for `rayon` (the iterator subset
+//! this workspace uses), built on `std::thread::scope`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors exactly the parallel-iterator surface it calls:
+//!
+//! * `slice.par_iter()` → [`ParallelIterator`] with `map`, `map_init`,
+//!   `enumerate`, `collect`, `sum`, `for_each`;
+//! * `(a..b).into_par_iter()` for integer ranges;
+//! * `slice.par_chunks_mut(n)` with `enumerate` / `zip(par_iter)` /
+//!   `for_each`;
+//! * `slice.par_sort_unstable_by(cmp)`.
+//!
+//! Work is split into one contiguous index block per worker thread and
+//! executed under `std::thread::scope`; results are concatenated in
+//! input order, so `collect` preserves ordering exactly like rayon's
+//! indexed iterators. Small inputs run inline on the calling thread.
+//! `map_init` creates one state per worker block, matching rayon's
+//! "init per rayon job" contract.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of worker threads (including the caller).
+fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Below this many items we run on the calling thread: spawning costs
+/// more than it buys.
+const SEQUENTIAL_CUTOFF: usize = 2;
+
+/// Split `len` items into at most `num_threads()` contiguous blocks.
+fn blocks(len: usize) -> Vec<(usize, usize)> {
+    let workers = num_threads().min(len.max(1));
+    let per = len.div_ceil(workers);
+    (0..workers).map(|w| (w * per, ((w + 1) * per).min(len))).filter(|(a, b)| a < b).collect()
+}
+
+/// Run `f` over each index block, in parallel, returning per-block
+/// results in block order.
+fn run_blocks<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let bs = blocks(len);
+    if bs.len() == 1 || len < SEQUENTIAL_CUTOFF {
+        return vec![f(0, len)];
+    }
+    let fr = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = bs.iter().map(|&(a, b)| scope.spawn(move || fr(a, b))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// An indexed parallel iterator: pure per-index access drives every
+/// adapter except [`MapInit`], which needs per-worker state.
+pub trait ParallelIterator: Sized + Sync {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator yields nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The item at `index` (pure; may be called from any worker).
+    fn at(&self, index: usize) -> Self::Item;
+
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Map with a per-worker scratch state created by `init`.
+    fn map_init<INIT, T, F, R>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit { inner: self, init, f }
+    }
+
+    /// Collect all items in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let parts = run_blocks(self.len(), |a, b| (a..b).map(|i| self.at(i)).collect::<Vec<_>>());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sum of all items (per-block partial sums, added in block order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        run_blocks(self.len(), |a, b| (a..b).map(|i| self.at(i)).sum::<S>()).into_iter().sum()
+    }
+
+    /// Apply `f` to every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_blocks(self.len(), |a, b| {
+            for i in a..b {
+                f(self.at(i));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over `&[T]` (see [`ParallelSlice::par_iter`]).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn at(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    count: usize,
+}
+
+macro_rules! range_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let count = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, count }
+            }
+        }
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.count
+            }
+            fn at(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+range_iter!(u32, u64, usize, i32, i64);
+
+/// `map` adapter.
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn at(&self, index: usize) -> R {
+        (self.f)(self.inner.at(index))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<P> {
+    inner: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn at(&self, index: usize) -> (usize, P::Item) {
+        (index, self.inner.at(index))
+    }
+}
+
+/// `map_init` adapter. Unlike the pure adapters it owns its drivers,
+/// because the mapper needs `&mut` worker state.
+pub struct MapInit<P, INIT, F> {
+    inner: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, INIT, T, F, R> MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, P::Item) -> R + Sync,
+    R: Send,
+{
+    /// Collect all mapped items in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let parts = run_blocks(self.inner.len(), |a, b| {
+            let mut state = (self.init)();
+            (a..b).map(|i| (self.f)(&mut state, self.inner.at(i))).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Apply the mapper for its side effects.
+    pub fn for_each(self) {
+        run_blocks(self.inner.len(), |a, b| {
+            let mut state = (self.init)();
+            for i in a..b {
+                (self.f)(&mut state, self.inner.at(i));
+            }
+        });
+    }
+}
+
+/// `into_par_iter` entry point (ranges, owned collections).
+pub trait IntoParallelIterator {
+    /// Item produced by the iterator.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter` on slices (and anything that derefs to a slice).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iterator over the elements.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`
+    /// (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+
+    /// Sort by comparator. Runs sequentially in this vendored build —
+    /// callers only rely on the result, not on parallel speedup.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksMut { slice: self, size }
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        self.sort_unstable_by(cmp);
+    }
+}
+
+/// Distribute the chunks of `slice` (chunk length `size`) across
+/// workers; each worker receives a contiguous run of chunks starting at
+/// chunk index `first`, and calls `f(chunk_index, chunk)`.
+fn drive_chunks<T, F>(slice: &mut [T], size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let num_chunks = slice.len().div_ceil(size);
+    if num_chunks == 0 {
+        return;
+    }
+    let bs = blocks(num_chunks);
+    if bs.len() == 1 {
+        for (k, chunk) in slice.chunks_mut(size).enumerate() {
+            f(k, chunk);
+        }
+        return;
+    }
+    // Carve one sub-slice per worker block of chunks, then hand each to
+    // a scoped thread.
+    let mut rest = slice;
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(bs.len());
+    let mut consumed = 0usize;
+    for &(a, b) in &bs {
+        let take = ((b - a) * size).min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        parts.push((a, head));
+        rest = tail;
+        consumed += take;
+    }
+    debug_assert!(rest.is_empty(), "consumed {consumed} of chunked slice");
+    let fr = &f;
+    thread::scope(|scope| {
+        for (first, part) in parts {
+            scope.spawn(move || {
+                for (k, chunk) in part.chunks_mut(size).enumerate() {
+                    fr(first + k, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send + Sync> ChunksMut<'a, T> {
+    /// Pair each chunk with its chunk index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { chunks: self }
+    }
+
+    /// Zip chunks with an equally long indexed parallel iterator.
+    pub fn zip<P: ParallelIterator>(self, other: P) -> ZipChunksMut<'a, T, P> {
+        ZipChunksMut { chunks: self, other }
+    }
+
+    /// Apply `f` to every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        drive_chunks(self.slice, self.size, |_, chunk| f(chunk));
+    }
+}
+
+/// `par_chunks_mut(..).enumerate()`.
+pub struct EnumerateChunksMut<'a, T> {
+    chunks: ChunksMut<'a, T>,
+}
+
+impl<T: Send + Sync> EnumerateChunksMut<'_, T> {
+    /// Apply `f` to every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        drive_chunks(self.chunks.slice, self.chunks.size, |k, chunk| f((k, chunk)));
+    }
+}
+
+/// `par_chunks_mut(..).zip(par_iter)`.
+pub struct ZipChunksMut<'a, T, P> {
+    chunks: ChunksMut<'a, T>,
+    other: P,
+}
+
+impl<T: Send + Sync, P: ParallelIterator> ZipChunksMut<'_, T, P> {
+    /// Apply `f` to every `(chunk, other_item)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], P::Item)) + Sync,
+    {
+        let other = &self.other;
+        assert!(
+            self.chunks.slice.len().div_ceil(self.chunks.size) <= other.len(),
+            "zip requires the other side to cover every chunk"
+        );
+        drive_chunks(self.chunks.slice, self.chunks.size, |k, chunk| {
+            f((chunk, other.at(k)));
+        });
+    }
+}
+
+pub mod prelude {
+    //! Glob-import to bring all parallel-iterator traits into scope.
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<u32> = (0..1000u32).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn map_init_runs_every_item_once() {
+        let v: Vec<usize> = (0..5000).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(Vec::<usize>::new, |scratch, &x| {
+                scratch.push(x);
+                x + 1
+            })
+            .collect();
+        assert_eq!(out, (1..=5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_and_sum() {
+        let v = vec![1.0f64; 4096];
+        let s: f64 = v.par_iter().enumerate().map(|(i, &x)| x * i as f64).sum();
+        let expected: f64 = (0..4096).map(|i| i as f64).sum();
+        assert!((s - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_covers_all() {
+        let mut v = vec![0usize; 1003];
+        v.par_chunks_mut(10).enumerate().for_each(|(k, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = k;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 10);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_zip_pairs_by_index() {
+        let mut v = [0u32; 40];
+        let labels: Vec<u32> = (100..110).collect();
+        v.par_chunks_mut(4).zip(labels.par_iter()).for_each(|(chunk, &l)| {
+            for x in chunk.iter_mut() {
+                *x = l;
+            }
+        });
+        assert_eq!(v[0], 100);
+        assert_eq!(v[39], 109);
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v: Vec<i64> = (0..1000).map(|i| (i * 7919) % 101).collect();
+        v.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let mut e: Vec<f64> = Vec::new();
+        e.par_chunks_mut(8).for_each(|_| panic!("no chunks expected"));
+    }
+}
