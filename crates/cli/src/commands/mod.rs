@@ -5,6 +5,7 @@ pub mod attack;
 pub mod cluster;
 pub mod evaluate;
 pub mod generate;
+pub mod pipeline_bench;
 pub mod recommend;
 pub mod serve_bench;
 pub mod stats;
@@ -42,6 +43,11 @@ COMMANDS
   serve-bench  Batch serving engine vs naive per-query throughput
                [--scale 0.15] [--seed 7] [--epsilon 0.5] [--n 10]
                [--batches 3] [--naive-queries 200] [--measure CN]
+  pipeline-bench  Offline pipeline: parallel vs sequential
+               cluster -> release -> recommend, with equivalence checks
+               [--scale 0.15] [--seed 7] [--epsilon 0.5] [--restarts 10]
+               [--n 10] [--measure CN] [--out BENCH_pipeline.json]
+               [--smoke (tiny scale, no speedup gate)]
   help       This message
 
 MEASURES: CN, GD, AA, KZ (paper) and JC, SA, RA, HP, PA (extended).

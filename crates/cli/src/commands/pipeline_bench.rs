@@ -1,0 +1,276 @@
+//! `socialrec pipeline-bench` — end-to-end offline-pipeline timing:
+//! Louvain clustering (the paper's 10-restart protocol) → `A_w` noisy
+//! release → top-N recommendation, parallel versus the sequential
+//! reference path, at `flixster_like` scales.
+//!
+//! Every parallel stage is checked against its sequential reference at
+//! run time (bit-identical partition, byte-identical release), so the
+//! bench doubles as an integration-level equivalence test. Results are
+//! written as a `BENCH_pipeline.json` trajectory artifact so perf PRs
+//! are measured, not asserted.
+
+use socialrec_community::{Louvain, LouvainResult};
+use socialrec_core::private::{
+    release_noisy_cluster_averages_reference, release_noisy_cluster_averages_with,
+    ClusterFramework, NoiseModel,
+};
+use socialrec_core::{RecommenderInputs, TopNRecommender};
+use socialrec_datasets::flixster_like;
+use socialrec_dp::Epsilon;
+use socialrec_experiments::{impl_to_json, json::ToJson, Args};
+use socialrec_graph::UserId;
+use socialrec_similarity::{parse_measure, SimilarityMatrix};
+use std::time::Instant;
+
+/// One pipeline stage's sequential-vs-parallel timing.
+struct Stage {
+    stage: String,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+impl_to_json!(Stage { stage, sequential_ms, parallel_ms, speedup });
+
+/// The `BENCH_pipeline.json` document.
+struct Report {
+    bench: String,
+    dataset: String,
+    scale: f64,
+    seed: u64,
+    epsilon: String,
+    measure: String,
+    restarts: usize,
+    top_n: usize,
+    smoke: bool,
+    threads: usize,
+    users: usize,
+    items: usize,
+    clusters: usize,
+    sim_build_ms: f64,
+    stages: Vec<Stage>,
+    recommend_ms: f64,
+    end_to_end_sequential_ms: f64,
+    end_to_end_parallel_ms: f64,
+    end_to_end_speedup: f64,
+    equivalence_checked: bool,
+}
+
+impl_to_json!(Report {
+    bench,
+    dataset,
+    scale,
+    seed,
+    epsilon,
+    measure,
+    restarts,
+    top_n,
+    smoke,
+    threads,
+    users,
+    items,
+    clusters,
+    sim_build_ms,
+    stages,
+    recommend_ms,
+    end_to_end_sequential_ms,
+    end_to_end_parallel_ms,
+    end_to_end_speedup,
+    equivalence_checked,
+});
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Run the command.
+pub fn run(args: &Args) -> Result<(), String> {
+    let smoke = args.has_flag("smoke");
+    let scale = args.get_f64("scale", if smoke { 0.005 } else { 0.15 });
+    let seed = args.get_u64("seed", 7);
+    let epsilon: Epsilon = args.get_str("epsilon").unwrap_or("0.5").parse()?;
+    let restarts = args.get_usize("restarts", if smoke { 3 } else { 10 }).max(1);
+    let n = args.get_usize("n", 10);
+    let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
+    let out_path = args.get_str("out").unwrap_or("BENCH_pipeline.json").to_string();
+    let threads = rayon::current_num_threads();
+
+    eprintln!("generating flixster_like(scale={scale}, seed={seed})...");
+    let ds = flixster_like(scale, seed);
+    let num_users = ds.social.num_users();
+    eprintln!("  {} users, {} items, {threads} threads", num_users, ds.prefs.num_items());
+
+    eprintln!("building {} similarity matrix...", measure.name());
+    let t = Instant::now();
+    let sim = SimilarityMatrix::build(&ds.social, measure.as_ref());
+    let sim_build_ms = ms(t);
+    eprintln!("  {sim_build_ms:.0} ms ({} entries)", sim.num_entries());
+
+    // Stage 1 — Louvain clustering, the paper's best-of-restarts
+    // protocol. Sequential reference first, parallel second; the
+    // results must be bit-identical.
+    let louvain = Louvain { seed, ..Default::default() };
+    eprintln!("clustering: sequential x{restarts} restarts...");
+    let t = Instant::now();
+    let seq_cluster = louvain.run_best_of_sequential(&ds.social, restarts);
+    let cluster_seq_ms = ms(t);
+    eprintln!("  {cluster_seq_ms:.0} ms (Q = {:.4})", seq_cluster.modularity);
+
+    eprintln!("clustering: parallel x{restarts} restarts...");
+    let t = Instant::now();
+    let par_cluster = louvain.run_best_of(&ds.social, restarts);
+    let cluster_par_ms = ms(t);
+    eprintln!("  {cluster_par_ms:.0} ms ({} clusters)", par_cluster.partition.num_clusters());
+    check_cluster_equivalence(&seq_cluster, &par_cluster)?;
+    let partition = par_cluster.partition;
+
+    // Stage 2 — the A_w noisy release. Byte-identity is asserted over
+    // the full value matrix for the configured noise model.
+    eprintln!("A_w release: sequential reference...");
+    let t = Instant::now();
+    let seq_release = release_noisy_cluster_averages_reference(
+        &partition,
+        &ds.prefs,
+        epsilon,
+        NoiseModel::Laplace,
+        seed,
+    );
+    let release_seq_ms = ms(t);
+    eprintln!("  {release_seq_ms:.0} ms");
+
+    eprintln!("A_w release: parallel sharded kernel...");
+    let t = Instant::now();
+    let par_release = release_noisy_cluster_averages_with(
+        &partition,
+        &ds.prefs,
+        epsilon,
+        NoiseModel::Laplace,
+        seed,
+    );
+    let release_par_ms = ms(t);
+    eprintln!("  {release_par_ms:.0} ms");
+    let identical = seq_release.values().len() == par_release.values().len()
+        && seq_release
+            .values()
+            .iter()
+            .zip(par_release.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !identical {
+        return Err("parallel A_w release is not byte-identical to the reference".to_string());
+    }
+
+    // Stage 3 — recommendation over every user (already parallel
+    // before this PR; timed for the trajectory, not compared).
+    let fw = ClusterFramework::new(&partition, epsilon);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let users: Vec<UserId> = (0..num_users as u32).map(UserId).collect();
+    eprintln!("recommend: top-{n} for all {num_users} users...");
+    let t = Instant::now();
+    let lists = fw.recommend(&inputs, &users, n, seed);
+    let recommend_ms = ms(t);
+    eprintln!("  {recommend_ms:.0} ms ({} lists)", lists.len());
+
+    let end_seq = cluster_seq_ms + release_seq_ms;
+    let end_par = cluster_par_ms + release_par_ms;
+    let end_speedup = end_seq / end_par.max(1e-9);
+    let report = Report {
+        bench: "pipeline".to_string(),
+        dataset: ds.name.clone(),
+        scale,
+        seed,
+        epsilon: epsilon.to_string(),
+        measure: measure.name().to_string(),
+        restarts,
+        top_n: n,
+        smoke,
+        threads,
+        users: num_users,
+        items: ds.prefs.num_items(),
+        clusters: partition.num_clusters(),
+        sim_build_ms,
+        stages: vec![
+            Stage {
+                stage: "cluster".to_string(),
+                sequential_ms: cluster_seq_ms,
+                parallel_ms: cluster_par_ms,
+                speedup: cluster_seq_ms / cluster_par_ms.max(1e-9),
+            },
+            Stage {
+                stage: "release".to_string(),
+                sequential_ms: release_seq_ms,
+                parallel_ms: release_par_ms,
+                speedup: release_seq_ms / release_par_ms.max(1e-9),
+            },
+        ],
+        recommend_ms,
+        end_to_end_sequential_ms: end_seq,
+        end_to_end_parallel_ms: end_par,
+        end_to_end_speedup: end_speedup,
+        equivalence_checked: true,
+    };
+    let json = report.to_json_pretty();
+    std::fs::write(&out_path, format!("{json}\n"))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+
+    println!("pipeline-bench (flixster_like scale={scale}, eps={epsilon}, {threads} threads)");
+    println!("  cluster : {cluster_seq_ms:>10.0} ms seq  {cluster_par_ms:>10.0} ms par");
+    println!("  release : {release_seq_ms:>10.0} ms seq  {release_par_ms:>10.0} ms par");
+    println!("  end-to-end speedup: {end_speedup:.2}x on {threads} threads");
+    println!("  wrote {out_path}");
+
+    // The acceptance gate only binds where the hardware can express
+    // parallelism (SOCIALREC_THREADS may oversubscribe a smaller
+    // machine); equivalence is checked unconditionally above.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if !smoke && cores >= 4 && threads >= 4 && end_speedup < 2.0 {
+        return Err(format!(
+            "expected >= 2x cluster+release speedup on {threads} threads \
+             ({cores} cores), measured {end_speedup:.2}x"
+        ));
+    }
+    Ok(())
+}
+
+fn check_cluster_equivalence(seq: &LouvainResult, par: &LouvainResult) -> Result<(), String> {
+    if seq.partition != par.partition {
+        return Err("parallel Louvain partition differs from the sequential loop".to_string());
+    }
+    if seq.modularity.to_bits() != par.modularity.to_bits() {
+        return Err(format!(
+            "parallel Louvain modularity diverged: {} vs {}",
+            par.modularity, seq.modularity
+        ));
+    }
+    if seq.levels != par.levels {
+        return Err("parallel Louvain level count differs".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_writes_valid_artifact() {
+        let dir = std::env::temp_dir().join("socialrec-pipeline-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_pipeline.json");
+        let spec = format!("--smoke --out {}", out.display());
+        run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.trim_start().starts_with('{'), "artifact must be a JSON object");
+        for key in [
+            "\"bench\"",
+            "\"stages\"",
+            "\"cluster\"",
+            "\"release\"",
+            "\"end_to_end_speedup\"",
+            "\"threads\"",
+            "\"equivalence_checked\"",
+        ] {
+            assert!(body.contains(key), "artifact missing {key}: {body}");
+        }
+        std::fs::remove_file(&out).ok();
+    }
+}

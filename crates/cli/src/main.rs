@@ -31,6 +31,7 @@ fn main() {
         "evaluate" => commands::evaluate::run(&args),
         "attack" => commands::attack::run(&args),
         "serve-bench" => commands::serve_bench::run(&args),
+        "pipeline-bench" => commands::pipeline_bench::run(&args),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

@@ -24,6 +24,7 @@ use crate::weighted::WeightedGraph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use socialrec_graph::SocialGraph;
 
 /// Louvain configuration.
@@ -169,7 +170,7 @@ fn local_moving(wg: &WeightedGraph, comm: &mut [u32], rng: &mut SmallRng, min_ga
 impl Louvain {
     /// Run Louvain once on the social graph.
     pub fn run(&self, g: &SocialGraph) -> LouvainResult {
-        self.run_core(WeightedGraph::from_social(g))
+        self.run_core(&WeightedGraph::from_social(g))
     }
 
     /// Run Louvain on an arbitrary *weighted* undirected graph given as
@@ -179,10 +180,10 @@ impl Louvain {
     ///
     /// Duplicate edges accumulate; self loops are ignored.
     pub fn run_weighted_edges(&self, num_nodes: usize, edges: &[(u32, u32, f64)]) -> LouvainResult {
-        self.run_core(WeightedGraph::from_weighted_edges(num_nodes, edges))
+        self.run_core(&WeightedGraph::from_weighted_edges(num_nodes, edges))
     }
 
-    fn run_core(&self, base: WeightedGraph) -> LouvainResult {
+    fn run_core(&self, base: &WeightedGraph) -> LouvainResult {
         let mut rng = SmallRng::seed_from_u64(self.seed);
 
         if base.num_nodes() == 0 {
@@ -193,21 +194,24 @@ impl Louvain {
             };
         }
 
-        // Build the hierarchy. graphs[l] is the graph at level l;
-        // merges[l] maps level-l nodes to level-(l+1) nodes.
-        let mut graphs: Vec<WeightedGraph> = vec![base];
+        // Build the hierarchy. Level l's graph is `base` for l = 0 and
+        // `contracted[l - 1]` above; merges[l] maps level-l nodes to
+        // level-(l+1) nodes. The base graph is borrowed, so restarts
+        // share one copy instead of rebuilding it per run.
+        let mut contracted: Vec<WeightedGraph> = Vec::new();
         let mut merges: Vec<Vec<u32>> = Vec::new();
         loop {
-            let wg = graphs.last().unwrap();
+            let wg = contracted.last().unwrap_or(base);
             let mut comm: Vec<u32> = (0..wg.num_nodes() as u32).collect();
             let moved = local_moving(wg, &mut comm, &mut rng, self.min_gain);
             let ncomm = compact_labels(&mut comm);
-            merges.push(comm.clone());
-            if !moved || ncomm == wg.num_nodes() || merges.len() >= self.max_levels {
+            let done = !moved || ncomm == wg.num_nodes() || merges.len() + 1 >= self.max_levels;
+            merges.push(comm);
+            if done {
                 break;
             }
-            let contracted = graphs.last().unwrap().contract(&comm, ncomm);
-            graphs.push(contracted);
+            let next = contracted.last().unwrap_or(base).contract(merges.last().unwrap(), ncomm);
+            contracted.push(next);
         }
 
         // Compose merges into an assignment for the original users.
@@ -227,9 +231,10 @@ impl Louvain {
                 if l < lcount - 1 {
                     proj = merges[l].iter().map(|&c| proj[c as usize]).collect();
                 }
+                let level_graph = if l == 0 { base } else { &contracted[l - 1] };
                 let mut comm = proj.clone();
                 compact_labels(&mut comm);
-                local_moving(&graphs[l], &mut comm, &mut rng, self.min_gain);
+                local_moving(level_graph, &mut comm, &mut rng, self.min_gain);
                 compact_labels(&mut comm);
                 proj = comm;
             }
@@ -237,26 +242,54 @@ impl Louvain {
         }
 
         let partition = Partition::from_assignment(&assign);
-        let q = graphs[0].modularity(partition.assignment(), partition.num_clusters());
+        let q = base.modularity(partition.assignment(), partition.num_clusters());
         LouvainResult { partition, modularity: q, levels: merges.len() }
     }
 
     /// Run `restarts` times with different node orders (seeds
     /// `seed..seed+restarts`) and keep the highest-modularity result —
     /// the paper's protocol with `restarts = 10`.
+    ///
+    /// Restarts run **in parallel**: each owns an independent seed, so
+    /// per-restart results are unaffected by scheduling, and the winner
+    /// is chosen by a sequential scan over the restart-ordered results —
+    /// bit-identical to [`run_best_of_sequential`](Self::run_best_of_sequential),
+    /// including the first-best tie-break.
     pub fn run_best_of(&self, g: &SocialGraph, restarts: usize) -> LouvainResult {
         assert!(restarts >= 1, "need at least one restart");
-        let mut best: Option<LouvainResult> = None;
-        for r in 0..restarts {
-            let cfg = Louvain { seed: self.seed.wrapping_add(r as u64), ..*self };
-            let res = cfg.run(g);
-            match &best {
-                Some(b) if b.modularity >= res.modularity => {}
-                _ => best = Some(res),
-            }
-        }
-        best.expect("at least one restart ran")
+        let base = WeightedGraph::from_social(g);
+        let results: Vec<LouvainResult> = (0..restarts)
+            .into_par_iter()
+            .map(|r| Louvain { seed: self.seed.wrapping_add(r as u64), ..*self }.run_core(&base))
+            .collect();
+        pick_first_best(results)
     }
+
+    /// The sequential reference for [`run_best_of`](Self::run_best_of):
+    /// one restart after another on the calling thread. Kept as the
+    /// baseline for the equivalence tests and `pipeline-bench`.
+    pub fn run_best_of_sequential(&self, g: &SocialGraph, restarts: usize) -> LouvainResult {
+        assert!(restarts >= 1, "need at least one restart");
+        let base = WeightedGraph::from_social(g);
+        let results: Vec<LouvainResult> = (0..restarts)
+            .map(|r| Louvain { seed: self.seed.wrapping_add(r as u64), ..*self }.run_core(&base))
+            .collect();
+        pick_first_best(results)
+    }
+}
+
+/// Keep the highest-modularity result, earliest restart winning ties
+/// (`>=` keeps the incumbent) — the exact comparison the historical
+/// sequential loop performed.
+fn pick_first_best(results: Vec<LouvainResult>) -> LouvainResult {
+    let mut best: Option<LouvainResult> = None;
+    for res in results {
+        match &best {
+            Some(b) if b.modularity >= res.modularity => {}
+            _ => best = Some(res),
+        }
+    }
+    best.expect("at least one restart ran")
 }
 
 #[cfg(test)]
@@ -366,6 +399,50 @@ mod tests {
         let b = Louvain { seed: 42, ..Default::default() }.run(&g);
         assert_eq!(a.partition, b.partition);
         assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn parallel_best_of_is_bit_identical_to_sequential() {
+        // The tentpole contract: parallel restarts return the exact
+        // LouvainResult of the sequential loop — partition, modularity
+        // bits, and level count — for several seeds and restart counts,
+        // including the first-best tie-break.
+        for (users, seed) in [(150usize, 3u64), (300, 9), (420, 17)] {
+            let cfg = CommunityGraphConfig { num_users: users, seed, ..Default::default() };
+            let g = planted_communities(&cfg).graph;
+            for restarts in [1usize, 2, 5, 10] {
+                for base_seed in [0u64, 7, 1234] {
+                    let lv = Louvain { seed: base_seed, ..Default::default() };
+                    let par = lv.run_best_of(&g, restarts);
+                    let seq = lv.run_best_of_sequential(&g, restarts);
+                    assert_eq!(par.partition, seq.partition, "partition diverged");
+                    assert_eq!(
+                        par.modularity.to_bits(),
+                        seq.modularity.to_bits(),
+                        "modularity bits diverged: {} vs {}",
+                        par.modularity,
+                        seq.modularity
+                    );
+                    assert_eq!(par.levels, seq.levels, "level count diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_keeps_first_best_restart() {
+        // Disjoint triangles: every restart finds the same (optimal)
+        // partition with identical modularity, so ties are guaranteed.
+        // The winner must be restart 0's result in both paths.
+        let g =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        let lv = Louvain::default();
+        let first = Louvain { seed: lv.seed, ..lv }.run(&g);
+        let par = lv.run_best_of(&g, 8);
+        let seq = lv.run_best_of_sequential(&g, 8);
+        assert_eq!(par.partition, first.partition);
+        assert_eq!(seq.partition, first.partition);
+        assert_eq!(par.modularity.to_bits(), first.modularity.to_bits());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! contraction produces super-node graphs whose self-loop weights carry
 //! the internal edge mass of each community.
 
-use socialrec_graph::SocialGraph;
+use rayon::prelude::*;
+use socialrec_graph::{SocialGraph, UserId};
 
 /// Symmetric weighted graph in CSR form, with explicit self-loop values.
 ///
@@ -78,7 +79,11 @@ impl WeightedGraph {
             cursor[ib] += 1;
         }
         let self_loop = vec![0.0; num_nodes];
+        // Per-node row sums are independent: compute them in parallel.
+        // Each row is summed left-to-right exactly as the sequential
+        // loop did, so every degree is bit-identical.
         let degree: Vec<f64> = (0..num_nodes)
+            .into_par_iter()
             .map(|u| {
                 let a = offsets[u] as usize;
                 let b = offsets[u + 1] as usize;
@@ -90,83 +95,107 @@ impl WeightedGraph {
     }
 
     /// Level-0 graph from the unweighted social graph.
+    ///
+    /// The CSR layout is fixed by the source graph's adjacency order, so
+    /// the rows can be filled in parallel into disjoint ranges — the
+    /// result is identical to the sequential append loop.
     pub fn from_social(g: &SocialGraph) -> WeightedGraph {
         let n = g.num_users();
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0u32);
-        let mut neighbors = Vec::with_capacity(2 * g.num_edges());
+        let mut bounds = Vec::with_capacity(n + 1);
+        bounds.push(0usize);
+        let mut acc = 0usize;
         for u in g.users() {
-            for &v in g.neighbors(u) {
-                neighbors.push(v.0);
-            }
-            offsets.push(neighbors.len() as u32);
+            acc += g.neighbors(u).len();
+            bounds.push(acc);
         }
+        let mut neighbors = vec![0u32; acc];
+        neighbors.par_uneven_chunks_mut(&bounds).enumerate().for_each(|(u, row)| {
+            for (slot, v) in row.iter_mut().zip(g.neighbors(UserId(u as u32))) {
+                *slot = v.0;
+            }
+        });
+        let offsets: Vec<u32> = bounds.iter().map(|&b| b as u32).collect();
         let weights = vec![1.0; neighbors.len()];
         let self_loop = vec![0.0; n];
-        let degree: Vec<f64> = (0..n).map(|u| (offsets[u + 1] - offsets[u]) as f64).collect();
+        let degree: Vec<f64> =
+            (0..n).into_par_iter().map(|u| (bounds[u + 1] - bounds[u]) as f64).collect();
         let two_m: f64 = degree.iter().sum();
         WeightedGraph { offsets, neighbors, weights, self_loop, degree, two_m }
     }
 
     /// Contract the graph: nodes with the same (dense) community label
     /// become one super node. `num_comms` is the number of labels.
+    ///
+    /// Super-node rows are independent of one another, so they are
+    /// accumulated in parallel (one dense scratch row per worker).
+    /// Within each community the accumulation order is the member order
+    /// of `comm_nodes` — the same order the sequential loop used — so
+    /// every weight, self loop, and degree is bit-identical regardless
+    /// of how rows are scheduled across threads.
     pub fn contract(&self, community: &[u32], num_comms: usize) -> WeightedGraph {
-        // Accumulate edge weight between community pairs.
-        // Dense scratch row per community keeps this linear in edges.
-        let mut self_loop = vec![0.0f64; num_comms];
-        let mut row_acc = vec![0.0f64; num_comms];
-        let mut touched: Vec<u32> = Vec::new();
-
         // Group original nodes per community.
         let mut comm_nodes: Vec<Vec<u32>> = vec![Vec::new(); num_comms];
         for (u, &c) in community.iter().enumerate() {
             comm_nodes[c as usize].push(u as u32);
         }
 
+        // One super-node row per community: (self loop, neighbors,
+        // weights), accumulated with a per-worker dense scratch row.
+        let rows: Vec<(f64, Vec<u32>, Vec<f64>)> = (0..num_comms as u32)
+            .into_par_iter()
+            .map_init(
+                || (vec![0.0f64; num_comms], Vec::<u32>::new()),
+                |(row_acc, touched), c32| {
+                    let c = c32 as usize;
+                    let mut loop_w = 0.0f64;
+                    for &u in &comm_nodes[c] {
+                        loop_w += self.self_loop[u as usize];
+                        let (ns, ws) = self.neighbors_of(u as usize);
+                        for (&v, &w) in ns.iter().zip(ws) {
+                            let cv = community[v as usize] as usize;
+                            if cv == c {
+                                // Each internal directed arc adds w; both
+                                // directions are present, totalling 2w —
+                                // the doubled-loop convention.
+                                loop_w += w;
+                            } else {
+                                if row_acc[cv] == 0.0 {
+                                    touched.push(cv as u32);
+                                }
+                                row_acc[cv] += w;
+                            }
+                        }
+                    }
+                    touched.sort_unstable();
+                    let mut ns = Vec::with_capacity(touched.len());
+                    let mut ws = Vec::with_capacity(touched.len());
+                    for &cv in touched.iter() {
+                        ns.push(cv);
+                        ws.push(row_acc[cv as usize]);
+                        row_acc[cv as usize] = 0.0;
+                    }
+                    touched.clear();
+                    (loop_w, ns, ws)
+                },
+            )
+            .collect();
+
+        // Splice the rows into CSR form (memcpy-bound).
         let mut offsets = Vec::with_capacity(num_comms + 1);
         offsets.push(0u32);
-        let mut neighbors: Vec<u32> = Vec::new();
-        let mut weights: Vec<f64> = Vec::new();
-
-        for (c, nodes) in comm_nodes.iter().enumerate() {
-            for &u in nodes {
-                self_loop[c] += self.self_loop[u as usize];
-                let (ns, ws) = self.neighbors_of(u as usize);
-                for (&v, &w) in ns.iter().zip(ws) {
-                    let cv = community[v as usize] as usize;
-                    if cv == c {
-                        // Each internal directed arc adds w; both
-                        // directions are present, totalling 2w — the
-                        // doubled-loop convention.
-                        self_loop[c] += w;
-                    } else {
-                        if row_acc[cv] == 0.0 {
-                            touched.push(cv as u32);
-                        }
-                        row_acc[cv] += w;
-                    }
-                }
-            }
-            touched.sort_unstable();
-            for &cv in &touched {
-                neighbors.push(cv);
-                weights.push(row_acc[cv as usize]);
-                row_acc[cv as usize] = 0.0;
-            }
-            touched.clear();
+        let total: usize = rows.iter().map(|(_, ns, _)| ns.len()).sum();
+        let mut neighbors: Vec<u32> = Vec::with_capacity(total);
+        let mut weights: Vec<f64> = Vec::with_capacity(total);
+        let mut self_loop = Vec::with_capacity(num_comms);
+        for (loop_w, ns, ws) in &rows {
+            self_loop.push(*loop_w);
+            neighbors.extend_from_slice(ns);
+            weights.extend_from_slice(ws);
             offsets.push(neighbors.len() as u32);
         }
 
-        let degree: Vec<f64> = (0..num_comms)
-            .map(|c| {
-                let (_, ws) = {
-                    let a = offsets[c] as usize;
-                    let b = offsets[c + 1] as usize;
-                    (&neighbors[a..b], &weights[a..b])
-                };
-                self_loop[c] + ws.iter().sum::<f64>()
-            })
-            .collect();
+        let degree: Vec<f64> =
+            rows.par_iter().map(|(loop_w, _, ws)| loop_w + ws.iter().sum::<f64>()).collect();
         let two_m: f64 = degree.iter().sum();
         WeightedGraph { offsets, neighbors, weights, self_loop, degree, two_m }
     }
@@ -228,6 +257,103 @@ mod tests {
         assert_eq!(ns, &[1]);
         assert_eq!(ws, &[1.0]);
         assert_eq!(c.two_m, w.two_m, "total weight must be conserved");
+    }
+
+    /// The historical sequential contraction, kept verbatim as the
+    /// reference the parallel implementation must match bit-for-bit.
+    fn contract_sequential(
+        g: &WeightedGraph,
+        community: &[u32],
+        num_comms: usize,
+    ) -> WeightedGraph {
+        let mut self_loop = vec![0.0f64; num_comms];
+        let mut row_acc = vec![0.0f64; num_comms];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut comm_nodes: Vec<Vec<u32>> = vec![Vec::new(); num_comms];
+        for (u, &c) in community.iter().enumerate() {
+            comm_nodes[c as usize].push(u as u32);
+        }
+        let mut offsets = Vec::with_capacity(num_comms + 1);
+        offsets.push(0u32);
+        let mut neighbors: Vec<u32> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for (c, nodes) in comm_nodes.iter().enumerate() {
+            for &u in nodes {
+                self_loop[c] += g.self_loop[u as usize];
+                let (ns, ws) = g.neighbors_of(u as usize);
+                for (&v, &w) in ns.iter().zip(ws) {
+                    let cv = community[v as usize] as usize;
+                    if cv == c {
+                        self_loop[c] += w;
+                    } else {
+                        if row_acc[cv] == 0.0 {
+                            touched.push(cv as u32);
+                        }
+                        row_acc[cv] += w;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &cv in &touched {
+                neighbors.push(cv);
+                weights.push(row_acc[cv as usize]);
+                row_acc[cv as usize] = 0.0;
+            }
+            touched.clear();
+            offsets.push(neighbors.len() as u32);
+        }
+        let degree: Vec<f64> = (0..num_comms)
+            .map(|c| {
+                let a = offsets[c] as usize;
+                let b = offsets[c + 1] as usize;
+                self_loop[c] + weights[a..b].iter().sum::<f64>()
+            })
+            .collect();
+        let two_m: f64 = degree.iter().sum();
+        WeightedGraph { offsets, neighbors, weights, self_loop, degree, two_m }
+    }
+
+    #[test]
+    fn parallel_contract_matches_sequential_reference() {
+        use socialrec_graph::generate::{planted_communities, CommunityGraphConfig};
+        let g = planted_communities(&CommunityGraphConfig {
+            num_users: 500,
+            num_communities: 7,
+            seed: 13,
+            ..Default::default()
+        })
+        .graph;
+        let w = WeightedGraph::from_social(&g);
+        // Several community assignments, including skewed row sizes.
+        for k in [2usize, 7, 40] {
+            let comm: Vec<u32> = (0..w.num_nodes())
+                .map(|u| if u < w.num_nodes() / 3 { 0 } else { (u % k) as u32 })
+                .collect();
+            let mut dense = comm.clone();
+            let nc = {
+                // Dense relabel in first-appearance order.
+                let mut relabel = vec![u32::MAX; dense.len()];
+                let mut next = 0u32;
+                for c in dense.iter_mut() {
+                    let slot = &mut relabel[*c as usize];
+                    if *slot == u32::MAX {
+                        *slot = next;
+                        next += 1;
+                    }
+                    *c = *slot;
+                }
+                next as usize
+            };
+            let par = w.contract(&dense, nc);
+            let seq = contract_sequential(&w, &dense, nc);
+            assert_eq!(par.offsets, seq.offsets);
+            assert_eq!(par.neighbors, seq.neighbors);
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&par.weights), bits(&seq.weights));
+            assert_eq!(bits(&par.self_loop), bits(&seq.self_loop));
+            assert_eq!(bits(&par.degree), bits(&seq.degree));
+            assert_eq!(par.two_m.to_bits(), seq.two_m.to_bits());
+        }
     }
 
     #[test]

@@ -86,6 +86,12 @@ impl NoisyClusterAverages {
     pub fn num_items(&self) -> usize {
         self.num_items
     }
+
+    /// The full release, row-major `num_clusters × num_items` (used by
+    /// equivalence checks that compare releases bit-for-bit).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 impl<'p> ClusterFramework<'p> {
@@ -221,7 +227,65 @@ pub fn release_noisy_cluster_averages(
 }
 
 /// [`release_noisy_cluster_averages`] with an explicit noise model.
+///
+/// The raw count accumulation is a **parallel sharded kernel**: counts
+/// are first accumulated item-major (each item's preference list
+/// scatters into that item's private shard of cluster counters — rows
+/// are disjoint, so item shards never race), then transposed into the
+/// cluster-major release layout. Counts are integer adds, so no
+/// accumulation order can change them, and the per-cluster-row seeded
+/// noise streams are untouched — the output is byte-identical to
+/// [`release_noisy_cluster_averages_reference`] for every noise model,
+/// seed, and thread count.
 pub fn release_noisy_cluster_averages_with(
+    partition: &Partition,
+    prefs: &socialrec_graph::preference::PreferenceGraph,
+    epsilon: Epsilon,
+    noise: NoiseModel,
+    seed: u64,
+) -> NoisyClusterAverages {
+    let c = partition.num_clusters();
+    let ni = prefs.num_items();
+    assert_eq!(
+        partition.num_users(),
+        prefs.num_users(),
+        "partition must cover the preference graph's users"
+    );
+    if ni == 0 {
+        return NoisyClusterAverages { values: Vec::new(), num_clusters: c, num_items: 0 };
+    }
+    let sizes = partition.cluster_sizes();
+
+    // Shard 1 — raw counts, item-major (`ni × c`): each parallel work
+    // item owns one item row, so the integer scatters are race-free.
+    let mut counts = vec![0u32; ni * c];
+    counts.par_chunks_mut(c).enumerate().for_each(|(i, item_row)| {
+        for &v in prefs.users_of(socialrec_graph::ItemId(i as u32)) {
+            item_row[partition.cluster_of(v) as usize] += 1;
+        }
+    });
+
+    // Shard 2 — transpose to the cluster-major release layout, average,
+    // and perturb, cluster row by cluster row (independent seeded RNG
+    // per row so the result is reproducible regardless of scheduling).
+    let mut values = vec![0.0f64; c * ni];
+    values.par_chunks_mut(ni).enumerate().for_each(|(cl, row)| {
+        let size = sizes[cl];
+        debug_assert!(size >= 1, "partitions have no empty clusters");
+        let inv = 1.0 / size as f64;
+        for (i, x) in row.iter_mut().enumerate() {
+            *x = counts[i * c + cl] as f64 * inv;
+        }
+        add_row_noise(row, noise, epsilon, inv, mix_seed(seed, cl as u64));
+    });
+
+    NoisyClusterAverages { values, num_clusters: c, num_items: ni }
+}
+
+/// The historical sequential-scan release: one pass over every
+/// preference edge, then per-row noise. Kept as the reference for the
+/// byte-identity equivalence tests and as `pipeline-bench`'s baseline.
+pub fn release_noisy_cluster_averages_reference(
     partition: &Partition,
     prefs: &socialrec_graph::preference::PreferenceGraph,
     epsilon: Epsilon,
@@ -249,42 +313,44 @@ pub fn release_noisy_cluster_averages_with(
         }
     }
 
-    // Average and perturb, cluster row by cluster row (independent
-    // seeded RNG per row so the result is reproducible regardless of
-    // thread scheduling).
-    values.par_chunks_mut(ni).enumerate().for_each(|(cl, row)| {
+    for (cl, row) in values.chunks_mut(ni).enumerate() {
         let size = sizes[cl];
         debug_assert!(size >= 1, "partitions have no empty clusters");
         let inv = 1.0 / size as f64;
         for x in row.iter_mut() {
             *x *= inv;
         }
-        // Sensitivity 1/|c| (one edge moves one cluster-item count by
-        // one; the average by 1/|c|). The geometric route adds integer
-        // noise to the count (sensitivity 1) before the division — same
-        // effective scale.
-        match noise {
-            NoiseModel::Laplace => {
-                if let Some(scale) = epsilon.laplace_scale(inv) {
-                    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, cl as u64));
-                    for x in row.iter_mut() {
-                        *x += sample_laplace(&mut rng, scale);
-                    }
-                }
-            }
-            NoiseModel::Geometric => {
-                let mech = GeometricMechanism::new(epsilon, 1);
-                if let Some(alpha) = mech.alpha() {
-                    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, cl as u64));
-                    for x in row.iter_mut() {
-                        *x += sample_two_sided_geometric(&mut rng, alpha) as f64 * inv;
-                    }
+        add_row_noise(row, noise, epsilon, inv, mix_seed(seed, cl as u64));
+    }
+
+    NoisyClusterAverages { values, num_clusters: c, num_items: ni }
+}
+
+/// Perturb one cluster row in place with its own seeded noise stream.
+/// Sensitivity is `1/|c|` (one edge moves one cluster-item count by
+/// one; the average by `1/|c|`). The geometric route adds integer noise
+/// to the count (sensitivity 1) before the division — same effective
+/// scale.
+fn add_row_noise(row: &mut [f64], noise: NoiseModel, epsilon: Epsilon, inv: f64, row_seed: u64) {
+    match noise {
+        NoiseModel::Laplace => {
+            if let Some(scale) = epsilon.laplace_scale(inv) {
+                let mut rng = SmallRng::seed_from_u64(row_seed);
+                for x in row.iter_mut() {
+                    *x += sample_laplace(&mut rng, scale);
                 }
             }
         }
-    });
-
-    NoisyClusterAverages { values, num_clusters: c, num_items: ni }
+        NoiseModel::Geometric => {
+            let mech = GeometricMechanism::new(epsilon, 1);
+            if let Some(alpha) = mech.alpha() {
+                let mut rng = SmallRng::seed_from_u64(row_seed);
+                for x in row.iter_mut() {
+                    *x += sample_two_sided_geometric(&mut rng, alpha) as f64 * inv;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +452,38 @@ mod tests {
                 .map(|c| sim_sum[c as usize] * avg.get(c, i))
                 .sum();
             assert!((est[i as usize] - by_hand).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sharded_release_is_byte_identical_to_reference() {
+        // The tentpole contract for A_w: the parallel sharded kernel's
+        // values are byte-identical to the sequential scan across both
+        // noise models, several partitions, seeds, and epsilons.
+        let (s, p) = fixture();
+        let partitions = [
+            LouvainStrategy::default().cluster(&s),
+            SingletonStrategy.cluster(&s),
+            socialrec_community::Partition::one_cluster(6),
+        ];
+        let epsilons = [Epsilon::Infinite, Epsilon::Finite(1.0), Epsilon::Finite(0.05)];
+        for partition in &partitions {
+            for &eps in &epsilons {
+                for noise in [NoiseModel::Laplace, NoiseModel::Geometric] {
+                    for seed in [0u64, 7, 99] {
+                        let par =
+                            release_noisy_cluster_averages_with(partition, &p, eps, noise, seed);
+                        let refr = release_noisy_cluster_averages_reference(
+                            partition, &p, eps, noise, seed,
+                        );
+                        assert_eq!(par.num_clusters(), refr.num_clusters());
+                        assert_eq!(par.num_items(), refr.num_items());
+                        let pb: Vec<u64> = par.values().iter().map(|x| x.to_bits()).collect();
+                        let rb: Vec<u64> = refr.values().iter().map(|x| x.to_bits()).collect();
+                        assert_eq!(pb, rb, "release diverged ({noise:?}, eps={eps}, seed={seed})");
+                    }
+                }
+            }
         }
     }
 

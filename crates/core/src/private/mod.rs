@@ -14,7 +14,10 @@ pub mod lrm;
 pub mod noe;
 pub mod nou;
 
-pub use framework::{ClusterFramework, NoiseModel, NoisyClusterAverages};
+pub use framework::{
+    release_noisy_cluster_averages, release_noisy_cluster_averages_reference,
+    release_noisy_cluster_averages_with, ClusterFramework, NoiseModel, NoisyClusterAverages,
+};
 pub use gs::GroupAndSmooth;
 pub use lrm::LowRankMechanism;
 pub use noe::NoiseOnEdges;

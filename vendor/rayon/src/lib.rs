@@ -5,64 +5,245 @@
 //! vendors exactly the parallel-iterator surface it calls:
 //!
 //! * `slice.par_iter()` → [`ParallelIterator`] with `map`, `map_init`,
-//!   `enumerate`, `collect`, `sum`, `for_each`;
+//!   `enumerate`, `collect`, `sum`, `reduce`, `for_each`;
 //! * `(a..b).into_par_iter()` for integer ranges;
 //! * `slice.par_chunks_mut(n)` with `enumerate` / `zip(par_iter)` /
-//!   `for_each`;
+//!   `for_each`, and `slice.par_uneven_chunks_mut(bounds)` for
+//!   CSR-style variable-length rows;
 //! * `slice.par_sort_unstable_by(cmp)`.
 //!
-//! Work is split into one contiguous index block per worker thread and
-//! executed under `std::thread::scope`; results are concatenated in
-//! input order, so `collect` preserves ordering exactly like rayon's
-//! indexed iterators. Small inputs run inline on the calling thread.
-//! `map_init` creates one state per worker block, matching rayon's
-//! "init per rayon job" contract.
+//! # Scheduling
+//!
+//! Work is scheduled **dynamically**: the input is cut into roughly
+//! `workers × CHUNKS_PER_WORKER` contiguous chunks, and worker threads
+//! (including the calling thread) claim chunks off a shared atomic
+//! counter until the queue drains. A worker that lands on a cheap chunk
+//! immediately claims another, so skewed workloads — power-law
+//! similarity rows, uneven cluster rows — no longer bottleneck on the
+//! unluckiest thread the way static per-thread block splitting did.
+//!
+//! Ordering is still exact: `collect` writes each item directly into
+//! its final slot (indexed by input position), and `sum`/`reduce`
+//! combine per-chunk partials in **chunk order**, so results are
+//! deterministic for a given thread count, and identical to the
+//! sequential evaluation wherever the operation is associative enough
+//! (integer adds, `max`, item-wise writes).
+//!
+//! Nested parallel calls (a parallel region invoked from inside a
+//! worker) run inline on the claiming worker instead of spawning a
+//! second generation of threads — the outermost region already owns
+//! all cores, and inline nesting keeps the thread count bounded by
+//! [`num_threads`]. `map_init` creates one state per worker thread,
+//! matching rayon's "init per rayon job" contract.
+//!
+//! The worker count is `std::thread::available_parallelism`, overridable
+//! with the `SOCIALREC_THREADS` environment variable (read once, at the
+//! first parallel call).
 
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
 
-/// Number of worker threads (including the caller).
+/// Number of worker threads (including the caller). Computed once and
+/// cached; `OnceLock` guarantees a single initialization even when the
+/// first parallel calls race from several threads.
 fn num_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
-    if cached != 0 {
-        return cached;
-    }
-    let n = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    CACHED.store(n, Ordering::Relaxed);
-    n
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("SOCIALREC_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// The number of worker threads parallel regions will use (rayon's
+/// `current_num_threads`). Benchmarks record it so speedup numbers can
+/// be interpreted against the hardware they ran on.
+pub fn current_num_threads() -> usize {
+    num_threads()
 }
 
 /// Below this many items we run on the calling thread: spawning costs
 /// more than it buys.
 const SEQUENTIAL_CUTOFF: usize = 2;
 
-/// Split `len` items into at most `num_threads()` contiguous blocks.
-fn blocks(len: usize) -> Vec<(usize, usize)> {
-    let workers = num_threads().min(len.max(1));
-    let per = len.div_ceil(workers);
-    (0..workers).map(|w| (w * per, ((w + 1) * per).min(len))).filter(|(a, b)| a < b).collect()
+/// Target number of chunks per worker. More chunks → finer-grained
+/// load balancing for skewed items; fewer chunks → less claim traffic.
+/// 8 keeps the worst-case idle tail under ~1/8 of one worker's share
+/// while the atomic counter stays far from contended.
+const CHUNKS_PER_WORKER: usize = 8;
+
+thread_local! {
+    /// Set while this thread is executing as a worker of some parallel
+    /// region; nested regions observe it and run inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-/// Run `f` over each index block, in parallel, returning per-block
-/// results in block order.
-fn run_blocks<R, F>(len: usize, f: F) -> Vec<R>
+fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Worker count for a region over `items` work items, honoring the
+/// sequential cutoff and inline nesting.
+fn planned_workers(items: usize) -> usize {
+    if items < SEQUENTIAL_CUTOFF || in_worker() {
+        1
+    } else {
+        num_threads().min(items)
+    }
+}
+
+/// A dynamic queue of contiguous index chunks over `0..len`, claimed
+/// via a shared atomic counter.
+struct ChunkQueue {
+    next: AtomicUsize,
+    num_chunks: usize,
+    chunk_size: usize,
+    len: usize,
+}
+
+impl ChunkQueue {
+    fn new(len: usize, workers: usize) -> ChunkQueue {
+        let target = workers.max(1) * CHUNKS_PER_WORKER;
+        let chunk_size = len.div_ceil(target).max(1);
+        ChunkQueue {
+            next: AtomicUsize::new(0),
+            num_chunks: len.div_ceil(chunk_size),
+            chunk_size,
+            len,
+        }
+    }
+
+    /// Claim the next unprocessed chunk: `(chunk_index, start, end)`.
+    /// Each chunk index is handed out exactly once (the fetch-add is the
+    /// sole source of indices), which is what makes the unsafe disjoint
+    /// writes in [`gather_init`] and [`drive_chunks`] sound.
+    fn claim(&self) -> Option<(usize, usize, usize)> {
+        let k = self.next.fetch_add(1, Ordering::Relaxed);
+        if k >= self.num_chunks {
+            return None;
+        }
+        let start = k * self.chunk_size;
+        let end = ((k + 1) * self.chunk_size).min(self.len);
+        Some((k, start, end))
+    }
+}
+
+/// Run `worker` on `workers` threads (the caller participates) against
+/// the shared queue. Every chunk is processed exactly once; a worker
+/// panic propagates to the caller when the scope joins.
+fn execute<W>(queue: &ChunkQueue, workers: usize, worker: W)
+where
+    W: Fn(&ChunkQueue) + Sync,
+{
+    let enter = |queue: &ChunkQueue| {
+        IN_WORKER.with(|w| {
+            let prev = w.replace(true);
+            worker(queue);
+            w.set(prev);
+        });
+    };
+    if workers <= 1 || queue.num_chunks <= 1 {
+        enter(queue);
+        return;
+    }
+    thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(|| enter(queue));
+        }
+        enter(queue);
+    });
+}
+
+/// Raw pointer that may cross thread boundaries. Safety rests on the
+/// claim protocol: workers only touch indices inside chunks they have
+/// claimed, and every chunk is claimed exactly once.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `SendPtr` — edition-2021 disjoint capture would otherwise
+    /// grab the raw `*mut T` field, which is not `Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Reinterpret a fully initialized `Vec<MaybeUninit<T>>` as `Vec<T>`.
+///
+/// # Safety
+/// Every element must have been written.
+unsafe fn assume_init_vec<T>(v: Vec<MaybeUninit<T>>) -> Vec<T> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    // SAFETY: MaybeUninit<T> has the same layout as T, and the caller
+    // guarantees all `len` elements are initialized.
+    unsafe { Vec::from_raw_parts(v.as_mut_ptr() as *mut T, v.len(), v.capacity()) }
+}
+
+/// Produce `produce(&mut state, i)` for every `i < len` (one `state`
+/// per worker thread) and return the results in input order: each item
+/// is written directly into its final slot.
+fn gather_init<R, T, INIT, F>(len: usize, workers: usize, init: INIT, produce: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(usize, usize) -> R + Sync,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, usize) -> R + Sync,
 {
-    if len == 0 {
-        return Vec::new();
-    }
-    let bs = blocks(len);
-    if bs.len() == 1 || len < SEQUENTIAL_CUTOFF {
-        return vec![f(0, len)];
-    }
-    let fr = &f;
-    thread::scope(|scope| {
-        let handles: Vec<_> = bs.iter().map(|&(a, b)| scope.spawn(move || fr(a, b))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit requires no initialization.
+    unsafe { out.set_len(len) };
+    let ptr = SendPtr(out.as_mut_ptr());
+    let queue = ChunkQueue::new(len, workers);
+    execute(&queue, workers, |q| {
+        let mut state = init();
+        while let Some((_, a, b)) = q.claim() {
+            for i in a..b {
+                // SAFETY: index i belongs to exactly one claimed chunk,
+                // so this slot is written exactly once, with no
+                // concurrent access.
+                unsafe { (*ptr.get().add(i)).write(produce(&mut state, i)) };
+            }
+        }
+    });
+    // SAFETY: the queue drained, so every index was claimed and written.
+    unsafe { assume_init_vec(out) }
+}
+
+/// Compute one partial result per chunk (`per_chunk(start, end)`) and
+/// return the partials **in chunk order**, so reductions over them are
+/// deterministic regardless of which worker ran which chunk.
+fn chunk_partials<S, F>(len: usize, workers: usize, per_chunk: F) -> Vec<S>
+where
+    S: Send,
+    F: Fn(usize, usize) -> S + Sync,
+{
+    let queue = ChunkQueue::new(len, workers);
+    let nc = queue.num_chunks;
+    let mut parts: Vec<MaybeUninit<S>> = Vec::with_capacity(nc);
+    // SAFETY: MaybeUninit requires no initialization.
+    unsafe { parts.set_len(nc) };
+    let ptr = SendPtr(parts.as_mut_ptr());
+    execute(&queue, workers, |q| {
+        while let Some((k, a, b)) = q.claim() {
+            // SAFETY: chunk k is claimed exactly once; slot k is written
+            // exactly once, with no concurrent access.
+            unsafe { (*ptr.get().add(k)).write(per_chunk(a, b)) };
+        }
+    });
+    // SAFETY: the queue drained, so every chunk slot was written.
+    unsafe { assume_init_vec(parts) }
 }
 
 /// An indexed parallel iterator: pure per-index access drives every
@@ -108,16 +289,36 @@ pub trait ParallelIterator: Sized + Sync {
 
     /// Collect all items in input order.
     fn collect<C: FromIterator<Self::Item>>(self) -> C {
-        let parts = run_blocks(self.len(), |a, b| (a..b).map(|i| self.at(i)).collect::<Vec<_>>());
-        parts.into_iter().flatten().collect()
+        let len = self.len();
+        gather_init(len, planned_workers(len), || (), |(), i| self.at(i)).into_iter().collect()
     }
 
-    /// Sum of all items (per-block partial sums, added in block order).
+    /// Sum of all items (per-chunk partial sums, combined in chunk
+    /// order — deterministic for a given thread count).
     fn sum<S>(self) -> S
     where
         S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
     {
-        run_blocks(self.len(), |a, b| (a..b).map(|i| self.at(i)).sum::<S>()).into_iter().sum()
+        let len = self.len();
+        chunk_partials(len, planned_workers(len), |a, b| (a..b).map(|i| self.at(i)).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Reduce all items with `op`, starting each partial from
+    /// `identity()` (rayon's `reduce` shape). Per-chunk partials are
+    /// combined in chunk order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let len = self.len();
+        chunk_partials(len, planned_workers(len), |a, b| {
+            (a..b).map(|i| self.at(i)).fold(identity(), &op)
+        })
+        .into_iter()
+        .fold(identity(), &op)
     }
 
     /// Apply `f` to every item.
@@ -125,9 +326,14 @@ pub trait ParallelIterator: Sized + Sync {
     where
         F: Fn(Self::Item) + Sync,
     {
-        run_blocks(self.len(), |a, b| {
-            for i in a..b {
-                f(self.at(i));
+        let len = self.len();
+        let workers = planned_workers(len);
+        let queue = ChunkQueue::new(len, workers);
+        execute(&queue, workers, |q| {
+            while let Some((_, a, b)) = q.claim() {
+                for i in a..b {
+                    f(self.at(i));
+                }
             }
         });
     }
@@ -241,19 +447,25 @@ where
 {
     /// Collect all mapped items in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        let parts = run_blocks(self.inner.len(), |a, b| {
-            let mut state = (self.init)();
-            (a..b).map(|i| (self.f)(&mut state, self.inner.at(i))).collect::<Vec<_>>()
-        });
-        parts.into_iter().flatten().collect()
+        let len = self.inner.len();
+        gather_init(len, planned_workers(len), &self.init, |state, i| {
+            (self.f)(state, self.inner.at(i))
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Apply the mapper for its side effects.
     pub fn for_each(self) {
-        run_blocks(self.inner.len(), |a, b| {
+        let len = self.inner.len();
+        let workers = planned_workers(len);
+        let queue = ChunkQueue::new(len, workers);
+        execute(&queue, workers, |q| {
             let mut state = (self.init)();
-            for i in a..b {
-                (self.f)(&mut state, self.inner.at(i));
+            while let Some((_, a, b)) = q.claim() {
+                for i in a..b {
+                    (self.f)(&mut state, self.inner.at(i));
+                }
             }
         });
     }
@@ -287,6 +499,12 @@ pub trait ParallelSliceMut<T: Send> {
     /// (the last chunk may be shorter).
     fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
 
+    /// Parallel iterator over non-overlapping, variable-length chunks
+    /// delimited by the monotone CSR-style `bounds` array: chunk `k`
+    /// covers `bounds[k]..bounds[k+1]`. `bounds` must start at 0 and
+    /// end at `self.len()`.
+    fn par_uneven_chunks_mut<'a>(&'a mut self, bounds: &'a [usize]) -> UnevenChunksMut<'a, T>;
+
     /// Sort by comparator. Runs sequentially in this vendored build —
     /// callers only rely on the result, not on parallel speedup.
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
@@ -300,6 +518,14 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
         ChunksMut { slice: self, size }
     }
 
+    fn par_uneven_chunks_mut<'a>(&'a mut self, bounds: &'a [usize]) -> UnevenChunksMut<'a, T> {
+        assert!(!bounds.is_empty(), "bounds must at least contain [0]");
+        assert_eq!(bounds[0], 0, "bounds must start at 0");
+        assert_eq!(*bounds.last().unwrap(), self.len(), "bounds must end at the slice length");
+        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "bounds must be monotone");
+        UnevenChunksMut { slice: self, bounds }
+    }
+
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
         F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
@@ -308,46 +534,60 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
-/// Distribute the chunks of `slice` (chunk length `size`) across
-/// workers; each worker receives a contiguous run of chunks starting at
-/// chunk index `first`, and calls `f(chunk_index, chunk)`.
+/// Dynamically distribute the uniform chunks of `slice` (chunk length
+/// `size`) across workers; each claimed work unit is a *run* of chunks,
+/// and `f(chunk_index, chunk)` is called once per chunk.
 fn drive_chunks<T, F>(slice: &mut [T], size: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    let num_chunks = slice.len().div_ceil(size);
+    let len = slice.len();
+    let num_chunks = len.div_ceil(size);
     if num_chunks == 0 {
         return;
     }
-    let bs = blocks(num_chunks);
-    if bs.len() == 1 {
-        for (k, chunk) in slice.chunks_mut(size).enumerate() {
-            f(k, chunk);
+    let ptr = SendPtr(slice.as_mut_ptr());
+    let workers = planned_workers(num_chunks);
+    let queue = ChunkQueue::new(num_chunks, workers);
+    execute(&queue, workers, |q| {
+        while let Some((_, a, b)) = q.claim() {
+            for k in a..b {
+                let start = k * size;
+                let end = ((k + 1) * size).min(len);
+                // SAFETY: chunk k is claimed exactly once, and chunks
+                // are non-overlapping, so this &mut slice is exclusive.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
+                f(k, chunk);
+            }
         }
+    });
+}
+
+/// [`drive_chunks`] for variable-length rows delimited by `bounds`.
+fn drive_uneven<T, F>(slice: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let rows = bounds.len() - 1;
+    if rows == 0 {
         return;
     }
-    // Carve one sub-slice per worker block of chunks, then hand each to
-    // a scoped thread.
-    let mut rest = slice;
-    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(bs.len());
-    let mut consumed = 0usize;
-    for &(a, b) in &bs {
-        let take = ((b - a) * size).min(rest.len());
-        let (head, tail) = rest.split_at_mut(take);
-        parts.push((a, head));
-        rest = tail;
-        consumed += take;
-    }
-    debug_assert!(rest.is_empty(), "consumed {consumed} of chunked slice");
-    let fr = &f;
-    thread::scope(|scope| {
-        for (first, part) in parts {
-            scope.spawn(move || {
-                for (k, chunk) in part.chunks_mut(size).enumerate() {
-                    fr(first + k, chunk);
-                }
-            });
+    let ptr = SendPtr(slice.as_mut_ptr());
+    let workers = planned_workers(rows);
+    let queue = ChunkQueue::new(rows, workers);
+    execute(&queue, workers, |q| {
+        while let Some((_, a, b)) = q.claim() {
+            for k in a..b {
+                let (start, end) = (bounds[k], bounds[k + 1]);
+                // SAFETY: row k is claimed exactly once, and monotone
+                // bounds make the rows non-overlapping.
+                let row =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
+                f(k, row);
+            }
         }
     });
 }
@@ -416,6 +656,42 @@ impl<T: Send + Sync, P: ParallelIterator> ZipChunksMut<'_, T, P> {
     }
 }
 
+/// `par_uneven_chunks_mut(bounds)`: variable-length CSR rows.
+pub struct UnevenChunksMut<'a, T> {
+    slice: &'a mut [T],
+    bounds: &'a [usize],
+}
+
+impl<'a, T: Send + Sync> UnevenChunksMut<'a, T> {
+    /// Pair each row with its row index.
+    pub fn enumerate(self) -> EnumerateUnevenChunksMut<'a, T> {
+        EnumerateUnevenChunksMut { chunks: self }
+    }
+
+    /// Apply `f` to every row.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        drive_uneven(self.slice, self.bounds, |_, row| f(row));
+    }
+}
+
+/// `par_uneven_chunks_mut(..).enumerate()`.
+pub struct EnumerateUnevenChunksMut<'a, T> {
+    chunks: UnevenChunksMut<'a, T>,
+}
+
+impl<T: Send + Sync> EnumerateUnevenChunksMut<'_, T> {
+    /// Apply `f` to every `(row_index, row)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        drive_uneven(self.chunks.slice, self.chunks.bounds, |k, row| f((k, row)));
+    }
+}
+
 pub mod prelude {
     //! Glob-import to bring all parallel-iterator traits into scope.
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
@@ -424,6 +700,8 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{chunk_partials, execute, gather_init, ChunkQueue};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn collect_preserves_order() {
@@ -461,6 +739,16 @@ mod tests {
     }
 
     #[test]
+    fn reduce_matches_sequential_fold() {
+        let v: Vec<f64> = (0..5000).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
+        let par_max = v.par_iter().map(|&x| x).reduce(|| 0.0, f64::max);
+        let seq_max = v.iter().copied().fold(0.0, f64::max);
+        assert_eq!(par_max.to_bits(), seq_max.to_bits());
+        let empty: Vec<f64> = Vec::new();
+        assert_eq!(empty.par_iter().map(|&x| x).reduce(|| -1.0, f64::max), -1.0);
+    }
+
+    #[test]
     fn chunks_mut_enumerate_covers_all() {
         let mut v = vec![0usize; 1003];
         v.par_chunks_mut(10).enumerate().for_each(|(k, chunk)| {
@@ -487,6 +775,20 @@ mod tests {
     }
 
     #[test]
+    fn uneven_chunks_cover_csr_rows() {
+        // Rows of lengths 0, 3, 1, 0, 5, 2.
+        let bounds = [0usize, 0, 3, 4, 4, 9, 11];
+        let mut v = vec![usize::MAX; 11];
+        v.par_uneven_chunks_mut(&bounds).enumerate().for_each(|(k, row)| {
+            assert_eq!(row.len(), bounds[k + 1] - bounds[k]);
+            for x in row.iter_mut() {
+                *x = k;
+            }
+        });
+        assert_eq!(v, vec![1, 1, 1, 2, 4, 4, 4, 4, 4, 5, 5]);
+    }
+
+    #[test]
     fn par_sort_sorts() {
         let mut v: Vec<i64> = (0..1000).map(|i| (i * 7919) % 101).collect();
         v.par_sort_unstable_by(|a, b| a.cmp(b));
@@ -500,5 +802,100 @@ mod tests {
         assert!(out.is_empty());
         let mut e: Vec<f64> = Vec::new();
         e.par_chunks_mut(8).for_each(|_| panic!("no chunks expected"));
+        e.par_uneven_chunks_mut(&[0]).for_each(|_| panic!("no rows expected"));
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_and_stays_correct() {
+        // An outer parallel map whose body itself runs a parallel sum.
+        let outer: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<u64> = (0..100u64).into_par_iter().map(|j| i * 100 + j).collect();
+                inner.par_iter().map(|&x| x).sum::<u64>()
+            })
+            .collect();
+        for (i, &s) in outer.iter().enumerate() {
+            let i = i as u64;
+            let expected: u64 = (0..100u64).map(|j| i * 100 + j).sum();
+            assert_eq!(s, expected);
+        }
+    }
+
+    // ---- dynamic-scheduler stress tests (the #[test]-gated guard
+    // against scheduling regressions: double claims, missed chunks,
+    // order corruption). These drive the internal scheduler with an
+    // explicit worker count so they exercise real multi-threaded
+    // claiming even on single-core machines. ----
+
+    /// Every chunk must be claimed exactly once, under heavy
+    /// multi-worker contention on a queue of many tiny work items.
+    #[test]
+    fn stress_many_tiny_items_each_claimed_once() {
+        const LEN: usize = 100_000;
+        const WORKERS: usize = 8;
+        let hits: Vec<AtomicUsize> = (0..LEN).map(|_| AtomicUsize::new(0)).collect();
+        let queue = ChunkQueue::new(LEN, WORKERS);
+        assert!(
+            queue.num_chunks >= WORKERS,
+            "scheduler must overpartition: {} chunks for {} workers",
+            queue.num_chunks,
+            WORKERS
+        );
+        execute(&queue, WORKERS, |q| {
+            while let Some((_, a, b)) = q.claim() {
+                for h in &hits[a..b] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "item {i} processed wrong number of times");
+        }
+    }
+
+    /// Few, hugely skewed work items: the chunk queue must hand every
+    /// item to exactly one worker and `gather_init` must keep input
+    /// order, even when item 0 costs ~1000x the rest (the pattern that
+    /// starved static block splitting).
+    #[test]
+    fn stress_few_huge_skewed_items_keep_order() {
+        const WORKERS: usize = 4;
+        let items: Vec<u64> = vec![1_000_000, 1_000, 1_000, 1_000, 1_000, 1_000, 1_000];
+        let spin = |n: u64| -> u64 {
+            let mut acc = 0u64;
+            for k in 0..n {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        };
+        let expected: Vec<u64> = items.iter().map(|&n| spin(n)).collect();
+        let out = gather_init(items.len(), WORKERS, || (), |(), i| spin(items[i]));
+        assert_eq!(out, expected);
+    }
+
+    /// Chunk-ordered partials must be deterministic across repeated
+    /// multi-worker runs (the contract `sum`/`reduce` rely on).
+    #[test]
+    fn stress_partials_are_chunk_ordered_and_stable() {
+        const LEN: usize = 50_000;
+        const WORKERS: usize = 8;
+        let v: Vec<f64> = (0..LEN).map(|i| (i as f64).sin()).collect();
+        let reference: Vec<f64> = chunk_partials(LEN, WORKERS, |a, b| v[a..b].iter().sum::<f64>());
+        for _ in 0..5 {
+            let again: Vec<f64> = chunk_partials(LEN, WORKERS, |a, b| v[a..b].iter().sum::<f64>());
+            let same = reference.iter().zip(&again).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "chunk partials changed across runs");
+        }
+    }
+
+    /// Oversubscribed workers (more threads than chunks) must not
+    /// deadlock, double-claim, or drop items.
+    #[test]
+    fn stress_more_workers_than_chunks() {
+        const LEN: usize = 3;
+        const WORKERS: usize = 16;
+        let out = gather_init(LEN, WORKERS, || (), |(), i| i * 10);
+        assert_eq!(out, vec![0, 10, 20]);
     }
 }
