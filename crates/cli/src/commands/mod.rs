@@ -9,6 +9,7 @@ pub mod pipeline_bench;
 pub mod recommend;
 pub mod serve_bench;
 pub mod stats;
+pub mod validate_bench;
 
 mod io;
 
@@ -44,10 +45,15 @@ COMMANDS
                [--scale 0.15] [--seed 7] [--epsilon 0.5] [--n 10]
                [--batches 3] [--naive-queries 200] [--measure CN]
   pipeline-bench  Offline pipeline: parallel vs sequential
-               cluster -> release -> recommend, with equivalence checks
+               sim-build -> cluster -> release -> recommend, with
+               bit-identity equivalence checks on every stage
                [--scale 0.15] [--seed 7] [--epsilon 0.5] [--restarts 10]
-               [--n 10] [--measure CN] [--out BENCH_pipeline.json]
+               [--n 10] [--reps 2 (min-of-reps timing)] [--measure CN]
+               [--out BENCH_pipeline.json]
                [--smoke (tiny scale, no speedup gate)]
+  validate-bench  Check a BENCH_pipeline.json artifact: pipeline marker,
+               all gated stages present, equivalence_checked == true
+               [--path BENCH_pipeline.json]
   help       This message
 
 MEASURES: CN, GD, AA, KZ (paper) and JC, SA, RA, HP, PA (extended).

@@ -87,6 +87,19 @@ pub fn run(args: &Args) -> Result<(), String> {
         }
     }
 
+    // Single-query direct path over the same sample: hits the release
+    // cache, skips the batch fan-out, must return the exact batch rows.
+    eprintln!("single-query direct path ({} queries)...", sample.len());
+    let t = Instant::now();
+    for &u in &sample {
+        let single = server.recommend_one(&inputs, u, n, seed);
+        if single != batch_lists[u.index()] {
+            return Err(format!("recommend_one mismatch for {u:?} — must equal the batch row"));
+        }
+    }
+    let single_elapsed = t.elapsed();
+    let single_qps = sample.len() as f64 / single_elapsed.as_secs_f64();
+
     let snap = server.metrics().snapshot();
     let speedup = batch_qps / naive_qps;
     println!("serve-bench (flixster_like scale={scale}, eps={epsilon}, n={n})");
@@ -95,14 +108,22 @@ pub fn run(args: &Args) -> Result<(), String> {
         "  batch  : {batch_qps:>12.1} queries/s  ({batch_elapsed:.2?} for {})",
         batches * num_users
     );
+    println!(
+        "  single : {single_qps:>12.1} queries/s  ({single_elapsed:.2?} for {})",
+        sample.len()
+    );
     println!("  speedup: {speedup:>12.1}x");
     println!(
-        "  metrics: {} queries, {} batches ({} cache hits, {} rebuilds)",
-        snap.queries, snap.batches, snap.cache_hits, snap.cache_rebuilds
+        "  metrics: {} queries ({} singles), {} batches ({} cache hits, {} rebuilds)",
+        snap.queries, snap.singles, snap.batches, snap.cache_hits, snap.cache_rebuilds
     );
     println!(
-        "  latency: query mean {:.2?}, ~p50 {:.2?}, ~p99 {:.2?}; batch mean {:.2?}",
-        snap.query_mean, snap.query_p50, snap.query_p99, snap.batch_mean
+        "  latency: query mean {:.2?}, ~p50 {:.2?}, ~p99 {:.2?}",
+        snap.query_mean, snap.query_p50, snap.query_p99
+    );
+    println!(
+        "           batch mean {:.2?}, ~p50 {:.2?}, ~p99 {:.2?}",
+        snap.batch_mean, snap.batch_p50, snap.batch_p99
     );
     if speedup < 3.0 {
         return Err(format!("expected >= 3x batch speedup, measured {speedup:.1}x"));

@@ -1,0 +1,98 @@
+//! `socialrec validate-bench` — structural validation of a
+//! `BENCH_pipeline.json` artifact.
+//!
+//! The repo deliberately has no JSON deserializer (artifacts are
+//! write-only, produced via `impl_to_json!`), so validation is
+//! substring-based: the checks assert that the document is a pipeline
+//! bench report, that every expected stage is present, and that the
+//! run-time equivalence checks actually ran. CI runs this against both
+//! the smoke-run artifact and the checked-in trajectory artifact, so a
+//! bench refactor that drops a gated stage (or stops asserting
+//! equivalence) fails the build instead of silently thinning the gate.
+
+use socialrec_experiments::Args;
+
+/// Stages every pipeline artifact must report, in pipeline order.
+const REQUIRED_STAGES: [&str; 4] = ["sim-build", "cluster", "release", "recommend"];
+
+/// Top-level keys every pipeline artifact must carry.
+const REQUIRED_KEYS: [&str; 5] =
+    ["\"stages\"", "\"threads\"", "\"end_to_end_speedup\"", "\"users\"", "\"items\""];
+
+/// Run the command.
+pub fn run(args: &Args) -> Result<(), String> {
+    let path = args.get_str("path").unwrap_or("BENCH_pipeline.json").to_string();
+    let body = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    validate(&body).map_err(|e| format!("{path}: {e}"))?;
+    println!("validate-bench: {path} ok ({} stages)", REQUIRED_STAGES.len());
+    Ok(())
+}
+
+fn validate(body: &str) -> Result<(), String> {
+    if !body.trim_start().starts_with('{') {
+        return Err("not a JSON object".to_string());
+    }
+    if !body.contains("\"bench\": \"pipeline\"") {
+        return Err("missing `\"bench\": \"pipeline\"` marker".to_string());
+    }
+    if !body.contains("\"equivalence_checked\": true") {
+        return Err("equivalence_checked is not true — the bench must assert \
+             sequential/parallel bit-identity at run time"
+            .to_string());
+    }
+    for key in REQUIRED_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    for stage in REQUIRED_STAGES {
+        if !body.contains(&format!("\"stage\": \"{stage}\"")) {
+            return Err(format!("missing gated stage entry for {stage:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_body() -> String {
+        let stages: String = REQUIRED_STAGES
+            .iter()
+            .map(|s| format!("    {{ \"stage\": \"{s}\", \"speedup\": 1.0 }},\n"))
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"pipeline\",\n  \"threads\": 1,\n  \"users\": 10,\n  \
+             \"items\": 20,\n  \"stages\": [\n{stages}  ],\n  \
+             \"end_to_end_speedup\": 1.0,\n  \"equivalence_checked\": true\n}}\n"
+        )
+    }
+
+    #[test]
+    fn accepts_complete_artifact() {
+        validate(&valid_body()).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_stage_or_marker() {
+        let no_recommend = valid_body().replace("\"stage\": \"recommend\"", "\"stage\": \"x\"");
+        assert!(validate(&no_recommend).unwrap_err().contains("recommend"));
+        let no_equiv = valid_body().replace("\"equivalence_checked\": true", "");
+        assert!(validate(&no_equiv).unwrap_err().contains("equivalence_checked"));
+        let wrong_bench = valid_body().replace("\"bench\": \"pipeline\"", "\"bench\": \"serve\"");
+        assert!(validate(&wrong_bench).unwrap_err().contains("marker"));
+        assert!(validate("[]").unwrap_err().contains("JSON object"));
+    }
+
+    #[test]
+    fn validates_file_via_args() {
+        let dir = std::env::temp_dir().join("socialrec-validate-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pipeline.json");
+        std::fs::write(&path, valid_body()).unwrap();
+        let spec = format!("--path {}", path.display());
+        run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

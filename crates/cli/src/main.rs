@@ -32,6 +32,7 @@ fn main() {
         "attack" => commands::attack::run(&args),
         "serve-bench" => commands::serve_bench::run(&args),
         "pipeline-bench" => commands::pipeline_bench::run(&args),
+        "validate-bench" => commands::validate_bench::run(&args),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

@@ -77,7 +77,7 @@ pub use dynamic::{BudgetSchedule, DynamicRecommender, Release, Snapshot};
 pub use exact::ExactRecommender;
 pub use hybrid::HybridRecommender;
 pub use metrics::{mean_ndcg, per_user_ndcg, precision_recall_at_n};
-pub use topn::top_n_items;
+pub use topn::{top_n_items, top_n_items_reference};
 pub use weighted::{WeightedClusterFramework, WeightedExactRecommender, WeightedInputs};
 
 use socialrec_graph::preference::PreferenceGraph;

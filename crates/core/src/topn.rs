@@ -41,6 +41,14 @@ impl Ord for HeapEntry {
 /// Utilities may be negative (noisy mechanisms); every item competes.
 /// NaN utilities are treated as negative infinity.
 ///
+/// The selection caches the worst-in-heap threshold in locals: at
+/// serving scale almost every item falls below the current floor, so
+/// the common case is one comparison against a register value with no
+/// heap access at all. The heap is only touched (and the cached floor
+/// refreshed) when an item actually displaces the current worst.
+/// Output is identical — items, order, values — to
+/// [`top_n_items_reference`], pinned by a property test.
+///
 /// # Examples
 ///
 /// ```
@@ -51,6 +59,39 @@ impl Ord for HeapEntry {
 /// assert_eq!(top, vec![(ItemId(1), 3.0), (ItemId(2), 3.0)]);
 /// ```
 pub fn top_n_items(utilities: &[f64], n: usize) -> Vec<(ItemId, f64)> {
+    if n == 0 || utilities.is_empty() {
+        return Vec::new();
+    }
+    let n = n.min(utilities.len());
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n + 1);
+    // Fill phase: the first n items all enter the heap.
+    for (idx, &u) in utilities.iter().take(n).enumerate() {
+        let u = if u.is_nan() { f64::NEG_INFINITY } else { u };
+        heap.push(HeapEntry { utility: u, item: idx as u32 });
+    }
+    // Cached floor: the heap root, refreshed only when the heap changes.
+    let root = heap.peek().expect("n >= 1");
+    let (mut worst_u, mut worst_item) = (root.utility, root.item);
+    for (idx, &u) in utilities.iter().enumerate().skip(n) {
+        let u = if u.is_nan() { f64::NEG_INFINITY } else { u };
+        // Common case: at or below the floor — no heap op. (idx is
+        // always > worst_item here, since worst_item entered earlier,
+        // so an exact tie never displaces.)
+        if u < worst_u || (u == worst_u && idx as u32 >= worst_item) {
+            continue;
+        }
+        heap.pop();
+        heap.push(HeapEntry { utility: u, item: idx as u32 });
+        let root = heap.peek().expect("heap non-empty");
+        worst_u = root.utility;
+        worst_item = root.item;
+    }
+    sorted_out(heap)
+}
+
+/// The original peek-per-item heap selection, retained as the
+/// equivalence reference for [`top_n_items`].
+pub fn top_n_items_reference(utilities: &[f64], n: usize) -> Vec<(ItemId, f64)> {
     if n == 0 || utilities.is_empty() {
         return Vec::new();
     }
@@ -70,6 +111,10 @@ pub fn top_n_items(utilities: &[f64], n: usize) -> Vec<(ItemId, f64)> {
             }
         }
     }
+    sorted_out(heap)
+}
+
+fn sorted_out(heap: BinaryHeap<HeapEntry>) -> Vec<(ItemId, f64)> {
     let mut out: Vec<(ItemId, f64)> =
         heap.into_iter().map(|e| (ItemId(e.item), e.utility)).collect();
     out.sort_by(|a, b| {
@@ -120,6 +165,43 @@ mod tests {
     fn n_zero_or_empty() {
         assert!(top_n_items(&[1.0], 0).is_empty());
         assert!(top_n_items(&[], 5).is_empty());
+    }
+
+    // Property test: the threshold-cached selection is pinned to the
+    // reference heap — same items, same order, same utility bits —
+    // over tie-heavy inputs (few distinct values), NaNs, negatives,
+    // and every n regime (0, < len, = len, > len).
+    mod threshold_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn tie_heavy_value() -> impl Strategy<Value = f64> {
+            (0u8..8, -5.0f64..5.0).prop_map(|(k, x)| match k {
+                0 => f64::NAN,
+                1 => f64::NEG_INFINITY,
+                2 => -1.0,
+                3 => 0.0,
+                4 => 1.0,
+                5 => 2.5,
+                _ => (x * 2.0).round() / 2.0,
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn pinned_to_reference_heap(
+                utilities in proptest::collection::vec(tie_heavy_value(), 0..150),
+                n in 0usize..160,
+            ) {
+                let fast = top_n_items(&utilities, n);
+                let slow = top_n_items_reference(&utilities, n);
+                prop_assert_eq!(fast.len(), slow.len());
+                for (k, ((fi, fu), (si, su))) in fast.iter().zip(&slow).enumerate() {
+                    prop_assert_eq!(fi, si, "item differs at rank {}", k);
+                    prop_assert_eq!(fu.to_bits(), su.to_bits(), "utility bits differ at rank {}", k);
+                }
+            }
+        }
     }
 
     #[test]

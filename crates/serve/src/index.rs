@@ -13,9 +13,9 @@
 //! sparse axpy per *touched cluster* (`O(C_u)` rows) instead of one
 //! accumulation per similar user.
 
-use rayon::prelude::*;
 use socialrec_community::Partition;
 use socialrec_graph::UserId;
+use socialrec_similarity::csr::assemble_csr;
 use socialrec_similarity::SimilarityMatrix;
 
 /// CSR of per-user `(cluster, similarity mass)` pairs.
@@ -46,44 +46,71 @@ pub struct SimMassIndex {
 impl SimMassIndex {
     /// Build the index for every user, in parallel.
     ///
+    /// Assembly is the two-pass CSR build of `socialrec_similarity::csr`:
+    /// each worker reuses one dense cluster scratch and appends rows
+    /// straight into its chunk buffer — the per-user row `Vec` the
+    /// first-generation builder allocated is gone entirely — then the
+    /// flat arrays are written with direct-slot parallel copies.
+    /// Bit-identical to [`build_reference`](SimMassIndex::build_reference)
+    /// for any thread count.
+    ///
     /// Panics if `sim` and `partition` disagree on the user count.
     pub fn build(sim: &SimilarityMatrix, partition: &Partition) -> SimMassIndex {
         let n = sim.num_users();
         assert_eq!(n, partition.num_users(), "partition must cover the similarity matrix's users");
         let nc = partition.num_clusters();
-
-        // Per-user sparse rows, workers reusing one dense scratch each.
-        let rows: Vec<Vec<(u32, f64)>> = (0..n as u32)
-            .into_par_iter()
-            .map_init(
-                || vec![0.0f64; nc],
-                |scratch, u| {
-                    let (users, scores) = sim.row(UserId(u));
-                    // Accumulate in neighbor order (FP contract above).
-                    for (&v, &s) in users.iter().zip(scores) {
-                        scratch[partition.cluster_of(v) as usize] += s;
+        let parts = assemble_csr(
+            n,
+            0u32,
+            0.0f64,
+            || vec![0.0f64; nc],
+            |scratch: &mut Vec<f64>, u, cols, vals| {
+                let (users, scores) = sim.row(UserId(u as u32));
+                // Accumulate in neighbor order (FP contract above).
+                for (&v, &s) in users.iter().zip(scores) {
+                    scratch[partition.cluster_of(v) as usize] += s;
+                }
+                for (cl, m) in scratch.iter_mut().enumerate() {
+                    if *m != 0.0 {
+                        cols.push(cl as u32);
+                        vals.push(*m);
                     }
-                    let mut row = Vec::new();
-                    for (cl, m) in scratch.iter_mut().enumerate() {
-                        if *m != 0.0 {
-                            row.push((cl as u32, *m));
-                        }
-                        *m = 0.0;
-                    }
-                    row
-                },
-            )
-            .collect();
+                    *m = 0.0;
+                }
+            },
+        );
+        SimMassIndex {
+            offsets: parts.offsets,
+            clusters: parts.cols,
+            masses: parts.vals,
+            num_clusters: nc,
+        }
+    }
 
-        let nnz: usize = rows.iter().map(Vec::len).sum();
+    /// Sequential reference for [`build`](SimMassIndex::build): one
+    /// thread, one dense scratch, row-major push-down. Retained so the
+    /// equivalence tests (and the thread-count matrix) can prove the
+    /// parallel two-pass assembly produces the same bytes.
+    pub fn build_reference(sim: &SimilarityMatrix, partition: &Partition) -> SimMassIndex {
+        let n = sim.num_users();
+        assert_eq!(n, partition.num_users(), "partition must cover the similarity matrix's users");
+        let nc = partition.num_clusters();
+        let mut scratch = vec![0.0f64; nc];
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut clusters = Vec::with_capacity(nnz);
-        let mut masses = Vec::with_capacity(nnz);
         offsets.push(0u64);
-        for row in rows {
-            for (cl, m) in row {
-                clusters.push(cl);
-                masses.push(m);
+        let mut clusters = Vec::new();
+        let mut masses = Vec::new();
+        for u in 0..n as u32 {
+            let (users, scores) = sim.row(UserId(u));
+            for (&v, &s) in users.iter().zip(scores) {
+                scratch[partition.cluster_of(v) as usize] += s;
+            }
+            for (cl, m) in scratch.iter_mut().enumerate() {
+                if *m != 0.0 {
+                    clusters.push(cl as u32);
+                    masses.push(*m);
+                }
+                *m = 0.0;
             }
             offsets.push(clusters.len() as u64);
         }
@@ -161,6 +188,32 @@ mod tests {
             assert!(ms.iter().all(|&m| m != 0.0));
         }
         assert_eq!(idx.nnz(), idx.masses.len());
+    }
+
+    #[test]
+    fn two_pass_build_matches_reference_bitwise() {
+        // Cycle + chords: varied row lengths, including users whose
+        // masses collapse into few clusters.
+        let mut edges: Vec<(u32, u32)> = (0..40u32).map(|u| (u, (u + 1) % 40)).collect();
+        edges.extend((0..20u32).map(|u| (u, u + 20)));
+        let s = social_graph_from_edges(40, &edges).unwrap();
+        for measure in [Measure::CommonNeighbors, Measure::AdamicAdar] {
+            let sim = SimilarityMatrix::build_sequential(&s, &measure);
+            for partition in [
+                Partition::from_assignment(&(0..40).map(|u| (u % 5) as u32).collect::<Vec<_>>()),
+                Partition::singletons(40),
+                Partition::one_cluster(40),
+            ] {
+                let par = SimMassIndex::build(&sim, &partition);
+                let refr = SimMassIndex::build_reference(&sim, &partition);
+                assert_eq!(par.offsets, refr.offsets);
+                assert_eq!(par.clusters, refr.clusters);
+                assert_eq!(par.masses.len(), refr.masses.len());
+                for (a, b) in par.masses.iter().zip(&refr.masses) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "mass differs bitwise");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! The blocked batch utility kernel.
+//!
+//! Per query, Algorithm 1's `A_R` module is the sparse×dense product
+//! `μ̂_u = Σ_c mass_{u,c} · ŵ_c` — a handful of [`SimMassIndex`] row
+//! entries against full-width release rows. The first-generation
+//! serving path ran it one user at a time at full item width: every
+//! touched cluster streamed the whole `num_items`-sized accumulator
+//! (tens of kilobytes) through the cache once per cluster, and release
+//! rows were re-fetched per user.
+//!
+//! [`utilities_block_tiled`] restructures the loop nest: items are cut
+//! into tiles sized to stay resident in L1 while clusters stream over
+//! them, and users are processed in small blocks so each release-row
+//! tile fetched into cache is reused by every user in the block that
+//! touches its cluster.
+//!
+//! # Floating-point contract (why tiling is exact, not approximate)
+//!
+//! For a fixed `(user, item)` pair, the value accumulated is
+//! `Σ_c mass_{u,c} · ŵ_c[i]` over the user's touched clusters in
+//! **ascending cluster order** — the order [`SimMassIndex`] stores rows
+//! in, which is itself the order the reference path's dense scratch
+//! iterates. Tiling splits the *items*, never the cluster sum: each
+//! `(user, item)` accumulator still receives exactly the same additions
+//! in exactly the same order, whatever the tile size, tile alignment,
+//! or user block. The kernel is therefore **bit-identical** to
+//! [`utilities_into_reference`] — proven across tile sizes, ragged
+//! final tiles, empty sim rows, and thread counts by the tests in this
+//! module and `tests/thread_matrix.rs`.
+
+use crate::SimMassIndex;
+use socialrec_core::private::framework::NoisyClusterAverages;
+use socialrec_graph::UserId;
+
+/// Items per tile: 512 f64 = 4 KiB, so the destination tile plus one
+/// streaming release-row tile sit comfortably in a 32 KiB L1d.
+pub const ITEM_TILE: usize = 512;
+
+/// Users per block: release-row tiles pulled into cache are reused by
+/// up to this many queries before eviction.
+pub const USER_BLOCK: usize = 8;
+
+/// Utility estimates for one user: the per-user full-width sparse axpy
+/// the serving layer shipped first. Retained as the equivalence
+/// reference for the blocked kernel (and still bit-identical to
+/// `ClusterFramework::utility_estimates_into`).
+pub fn utilities_into_reference(
+    averages: &NoisyClusterAverages,
+    index: &SimMassIndex,
+    u: UserId,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(averages.num_items(), 0.0);
+    let (clusters, masses) = index.row(u);
+    for (&cl, &mass) in clusters.iter().zip(masses) {
+        let row = averages.cluster_row(cl);
+        for (x, &w) in out.iter_mut().zip(row) {
+            *x += mass * w;
+        }
+    }
+}
+
+/// Utility estimates for a block of users, item-tiled: `out` is resized
+/// to `users.len() * num_items` and row `k` (user `users[k]`) occupies
+/// `out[k * num_items..(k + 1) * num_items]`.
+///
+/// `tile` is the item-tile width (clamped to at least 1; callers use
+/// [`ITEM_TILE`], tests sweep it). See the module docs for why every
+/// row is bit-identical to [`utilities_into_reference`].
+pub fn utilities_block_tiled(
+    averages: &NoisyClusterAverages,
+    index: &SimMassIndex,
+    users: &[UserId],
+    tile: usize,
+    out: &mut Vec<f64>,
+) {
+    let ni = averages.num_items();
+    out.clear();
+    out.resize(users.len() * ni, 0.0);
+    let tile = tile.max(1);
+    let mut t0 = 0;
+    while t0 < ni {
+        let t1 = (t0 + tile).min(ni);
+        for (k, &u) in users.iter().enumerate() {
+            let base = k * ni;
+            let dst = &mut out[base + t0..base + t1];
+            let (clusters, masses) = index.row(u);
+            for (&cl, &mass) in clusters.iter().zip(masses) {
+                let row = &averages.cluster_row(cl)[t0..t1];
+                for (x, &w) in dst.iter_mut().zip(row) {
+                    *x += mass * w;
+                }
+            }
+        }
+        t0 = t1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialrec_community::Partition;
+    use socialrec_core::private::framework::{
+        release_noisy_cluster_averages, NoisyClusterAverages,
+    };
+    use socialrec_dp::Epsilon;
+    use socialrec_graph::preference::preference_graph_from_edges;
+    use socialrec_graph::social::social_graph_from_edges;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    /// A fixture whose item count (37) is prime — no tile divides it —
+    /// and whose user 12 is isolated, giving an empty sim row.
+    fn fixture() -> (SimilarityMatrix, Partition, NoisyClusterAverages) {
+        let n = 13u32;
+        let mut edges: Vec<(u32, u32)> = (0..12u32).map(|u| (u, (u + 1) % 12)).collect();
+        edges.extend([(0, 6), (2, 8), (4, 10)]);
+        let s = social_graph_from_edges(n as usize, &edges).unwrap();
+        let sim = SimilarityMatrix::build_sequential(&s, &Measure::CommonNeighbors);
+        let prefs_edges: Vec<(u32, u32)> =
+            (0..n).flat_map(|u| (0..5u32).map(move |k| (u, (u * 7 + k * 11) % 37))).collect();
+        let prefs = preference_graph_from_edges(n as usize, 37, &prefs_edges).unwrap();
+        let assignment: Vec<u32> = (0..n).map(|u| u % 4).collect();
+        let partition = Partition::from_assignment(&assignment);
+        let averages = release_noisy_cluster_averages(&partition, &prefs, Epsilon::Finite(0.5), 99);
+        (sim, partition, averages)
+    }
+
+    #[test]
+    fn blocked_kernel_matches_reference_across_tiles_and_blocks() {
+        let (sim, partition, averages) = fixture();
+        let index = SimMassIndex::build_reference(&sim, &partition);
+        let users: Vec<UserId> = (0..13u32).map(UserId).collect();
+        let mut want = Vec::new();
+        let mut refs: Vec<Vec<f64>> = Vec::new();
+        for &u in &users {
+            utilities_into_reference(&averages, &index, u, &mut want);
+            refs.push(want.clone());
+        }
+        let ni = averages.num_items();
+        let mut out = Vec::new();
+        // Tile sweep includes 1 (degenerate), sizes that do not divide
+        // 37, the exact width, and far beyond it; block sweep includes
+        // singleton blocks, ragged final blocks, and one giant block.
+        for tile in [1, 2, 5, 16, 37, 64, 10_000] {
+            for block in [1, 3, 8, 13] {
+                for chunk in users.chunks(block) {
+                    utilities_block_tiled(&averages, &index, chunk, tile, &mut out);
+                    assert_eq!(out.len(), chunk.len() * ni);
+                    for (k, &u) in chunk.iter().enumerate() {
+                        let got = &out[k * ni..(k + 1) * ni];
+                        let want = &refs[u.index()];
+                        for (i, (a, b)) in got.iter().zip(want).enumerate() {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "tile={tile} block={block} user={u:?} item={i}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sim_row_yields_all_zero_utilities() {
+        let (sim, partition, averages) = fixture();
+        let index = SimMassIndex::build(&sim, &partition);
+        // User 12 is isolated: no similar users, empty index row.
+        assert!(index.row(UserId(12)).0.is_empty());
+        let mut out = Vec::new();
+        utilities_block_tiled(&averages, &index, &[UserId(12)], 16, &mut out);
+        assert_eq!(out.len(), averages.num_items());
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_user_block_is_fine() {
+        let (sim, partition, averages) = fixture();
+        let index = SimMassIndex::build(&sim, &partition);
+        let mut out = vec![1.0; 5];
+        utilities_block_tiled(&averages, &index, &[], ITEM_TILE, &mut out);
+        assert!(out.is_empty());
+    }
+}

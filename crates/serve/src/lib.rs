@@ -24,6 +24,7 @@
 
 mod cache;
 mod index;
+pub mod kernel;
 mod metrics;
 
 pub use cache::{partition_fingerprint, release_generation, ReleaseCache};
@@ -121,28 +122,20 @@ impl<'p> RecommendationServer<'p> {
         })
     }
 
-    /// Utility estimates for one user via the index: a sparse axpy per
-    /// touched cluster. Bit-identical to
-    /// [`ClusterFramework::utility_estimates_into`].
-    fn utilities_into(&self, averages: &NoisyClusterAverages, u: UserId, out: &mut Vec<f64>) {
-        out.clear();
-        out.resize(averages.num_items(), 0.0);
-        let (clusters, masses) = self.index.row(u);
-        for (&cl, &mass) in clusters.iter().zip(masses) {
-            let row = averages.cluster_row(cl);
-            for (x, &w) in out.iter_mut().zip(row) {
-                *x += mass * w;
-            }
-        }
-    }
-
     /// Top-N recommendations for a batch of users.
     ///
     /// Output is deterministic and bit-identical to
     /// `ClusterFramework::recommend(inputs, users, n, seed)` — same
     /// items, same order, same utility values — while amortizing the
     /// release across batches and the similarity walk across all
-    /// queries. Per-query scratch buffers are pooled per worker.
+    /// queries. Utilities are computed with the item-tiled, user-blocked
+    /// kernel ([`kernel::utilities_block_tiled`]); blocks of
+    /// [`kernel::USER_BLOCK`] consecutive users are distributed across
+    /// workers, each pooling one utility buffer.
+    ///
+    /// Per-query latency is recorded as each user's top-N selection
+    /// time plus an equal share of its block's utility-kernel time (the
+    /// kernel interleaves the block's users by design).
     pub fn recommend_batch(
         &self,
         inputs: &RecommenderInputs<'_>,
@@ -152,21 +145,45 @@ impl<'p> RecommendationServer<'p> {
     ) -> Vec<TopN> {
         let batch_start = Instant::now();
         let (averages, cache_hit) = self.release(inputs, seed);
-        let lists: Vec<TopN> = users
-            .par_iter()
-            .map_init(Vec::new, |out, &u| {
-                let start = Instant::now();
-                self.utilities_into(&averages, u, out);
-                let top = TopN { user: u, items: top_n_items(out, n) };
-                self.metrics.record_query(start.elapsed());
-                top
+        let ni = averages.num_items();
+        let num_blocks = users.len().div_ceil(kernel::USER_BLOCK);
+        let blocks: Vec<Vec<TopN>> = (0..num_blocks)
+            .into_par_iter()
+            .map_init(Vec::new, |buf, b| {
+                let lo = b * kernel::USER_BLOCK;
+                let hi = ((b + 1) * kernel::USER_BLOCK).min(users.len());
+                let block = &users[lo..hi];
+                let t = Instant::now();
+                kernel::utilities_block_tiled(
+                    &averages,
+                    &self.index,
+                    block,
+                    kernel::ITEM_TILE,
+                    buf,
+                );
+                let util_share = t.elapsed() / block.len() as u32;
+                block
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &u)| {
+                        let t = Instant::now();
+                        let items = top_n_items(&buf[k * ni..(k + 1) * ni], n);
+                        self.metrics.record_query(util_share + t.elapsed());
+                        TopN { user: u, items }
+                    })
+                    .collect()
             })
             .collect();
         self.metrics.record_batch(batch_start.elapsed(), cache_hit);
-        lists
+        blocks.into_iter().flatten().collect()
     }
 
-    /// Convenience: a single-user query through the same cached path.
+    /// A single-user query with a direct path: same cached release and
+    /// the same blocked kernel (a one-user block), but none of the
+    /// batch fan-out machinery. Recorded under the `singles` metric, so
+    /// batch counters and batch latency stay unpolluted by singleton
+    /// queries. Bit-identical to the corresponding
+    /// [`recommend_batch`](RecommendationServer::recommend_batch) row.
     pub fn recommend_one(
         &self,
         inputs: &RecommenderInputs<'_>,
@@ -174,7 +191,19 @@ impl<'p> RecommendationServer<'p> {
         n: usize,
         seed: u64,
     ) -> TopN {
-        self.recommend_batch(inputs, &[user], n, seed).pop().expect("one user in, one list out")
+        let start = Instant::now();
+        let (averages, cache_hit) = self.release(inputs, seed);
+        let mut out = Vec::new();
+        kernel::utilities_block_tiled(
+            &averages,
+            &self.index,
+            std::slice::from_ref(&user),
+            kernel::ITEM_TILE,
+            &mut out,
+        );
+        let top = TopN { user, items: top_n_items(&out, n) };
+        self.metrics.record_single(start.elapsed(), cache_hit);
+        top
     }
 }
 
@@ -262,7 +291,45 @@ mod tests {
         let partition = Partition::one_cluster(6);
         let server = RecommendationServer::new(&partition, &sim, Epsilon::Infinite);
         let batch = server.recommend_batch(&inputs, &[UserId(2), UserId(4)], 2, 0);
-        let single = server.recommend_one(&inputs, UserId(4), 2, 0);
-        assert_eq!(single, batch[1]);
+        for &u in &[UserId(2), UserId(4)] {
+            let single = server.recommend_one(&inputs, u, 2, 0);
+            let row = batch.iter().find(|t| t.user == u).unwrap();
+            assert_eq!(&single, row);
+            for ((si, su), (bi, bu)) in single.items.iter().zip(&row.items) {
+                assert_eq!(si, bi);
+                assert_eq!(su.to_bits(), bu.to_bits(), "utility bits differ on single path");
+            }
+        }
+        // The direct path records singles + queries, never batches.
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.batches, 1, "only the explicit recommend_batch call");
+        assert_eq!(snap.singles, 2);
+        assert_eq!(snap.queries, 2 + 2);
+        assert_eq!(snap.cache_rebuilds, 1, "singles share the release cache");
+        assert_eq!(snap.cache_hits, 2);
+    }
+
+    #[test]
+    fn batch_with_ragged_and_oversized_blocks_matches_framework() {
+        // 6 users with USER_BLOCK = 8: a single ragged block; also ask
+        // for more items than exist (n > num_items) through the blocked
+        // kernel path.
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::from_assignment(&[0, 1, 0, 1, 0, 1]);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+        let server = RecommendationServer::new(&partition, &sim, Epsilon::Finite(0.3));
+        let fw = ClusterFramework::new(&partition, Epsilon::Finite(0.3));
+        let got = server.recommend_batch(&inputs, &users, 100, 7);
+        let want = fw.recommend(&inputs, &users, 100, 7);
+        assert_eq!(got, want);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.items.len(), 4, "n > num_items clamps to the item count");
+            for ((gi, gu), (wi, wu)) in g.items.iter().zip(&w.items) {
+                assert_eq!(gi, wi);
+                assert_eq!(gu.to_bits(), wu.to_bits());
+            }
+        }
     }
 }

@@ -86,13 +86,16 @@ impl LatencyHistogram {
 /// Counters for one [`RecommendationServer`](crate::RecommendationServer).
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
-    /// Individual user queries served.
+    /// Individual user queries served (batch rows and singles).
     queries: AtomicU64,
     /// `recommend_batch` invocations.
     batches: AtomicU64,
-    /// Batches answered from the cached noisy release.
+    /// `recommend_one` invocations (direct path; not counted as
+    /// batches, so batch counters stay meaningful at serving scale).
+    singles: AtomicU64,
+    /// Release lookups (batch or single) answered from the cache.
     cache_hits: AtomicU64,
-    /// Batches that had to rebuild the noisy release.
+    /// Release lookups that had to rebuild the noisy release.
     cache_rebuilds: AtomicU64,
     /// Per-query utility-estimation + top-N latency.
     query_latency: LatencyHistogram,
@@ -103,13 +106,15 @@ pub struct ServeMetrics {
 /// A point-in-time copy of the counters, for reporting.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricsSnapshot {
-    /// Individual user queries served.
+    /// Individual user queries served (batch rows and singles).
     pub queries: u64,
     /// `recommend_batch` invocations.
     pub batches: u64,
-    /// Batches answered from the cached noisy release.
+    /// `recommend_one` invocations (direct single-query path).
+    pub singles: u64,
+    /// Release lookups answered from the cache.
     pub cache_hits: u64,
-    /// Batches that rebuilt the noisy release.
+    /// Release lookups that rebuilt the noisy release.
     pub cache_rebuilds: u64,
     /// Mean per-query latency.
     pub query_mean: Duration,
@@ -119,6 +124,10 @@ pub struct MetricsSnapshot {
     pub query_p99: Duration,
     /// Mean batch latency.
     pub batch_mean: Duration,
+    /// ~p50 batch latency (bucket upper bound).
+    pub batch_p50: Duration,
+    /// ~p99 batch latency (bucket upper bound).
+    pub batch_p99: Duration,
 }
 
 impl ServeMetrics {
@@ -134,12 +143,26 @@ impl ServeMetrics {
 
     pub(crate) fn record_batch(&self, d: Duration, cache_hit: bool) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.record_cache(cache_hit);
+        self.batch_latency.record(d);
+    }
+
+    /// One `recommend_one` call: counted as a query and a single, never
+    /// as a batch; its end-to-end latency (release lookup + utilities +
+    /// top-N) goes into the query histogram.
+    pub(crate) fn record_single(&self, d: Duration, cache_hit: bool) {
+        self.singles.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.record_cache(cache_hit);
+        self.query_latency.record(d);
+    }
+
+    fn record_cache(&self, cache_hit: bool) {
         if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.cache_rebuilds.fetch_add(1, Ordering::Relaxed);
         }
-        self.batch_latency.record(d);
     }
 
     /// The per-query latency histogram.
@@ -157,12 +180,15 @@ impl ServeMetrics {
         MetricsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            singles: self.singles.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_rebuilds: self.cache_rebuilds.load(Ordering::Relaxed),
             query_mean: self.query_latency.mean(),
             query_p50: self.query_latency.quantile(0.5),
             query_p99: self.query_latency.quantile(0.99),
             batch_mean: self.batch_latency.mean(),
+            batch_p50: self.batch_latency.quantile(0.5),
+            batch_p99: self.batch_latency.quantile(0.99),
         }
     }
 }
@@ -211,7 +237,24 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_rebuilds, 1);
         assert_eq!(s.queries, 5);
+        assert_eq!(s.singles, 0);
         assert!(s.query_mean > Duration::ZERO);
         assert!(s.query_p99 >= s.query_p50);
+        assert!(s.batch_p99 >= s.batch_p50);
+    }
+
+    #[test]
+    fn singles_count_as_queries_not_batches() {
+        let m = ServeMetrics::new();
+        m.record_single(Duration::from_micros(7), false);
+        m.record_single(Duration::from_micros(2), true);
+        let s = m.snapshot();
+        assert_eq!(s.singles, 2);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.batches, 0, "singles must not pollute batch counters");
+        assert_eq!(s.batch_mean, Duration::ZERO);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_rebuilds, 1);
+        assert!(s.query_p50 > Duration::ZERO);
     }
 }

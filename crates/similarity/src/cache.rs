@@ -5,6 +5,7 @@
 //! want the whole matrix up front. Rows are computed in parallel with
 //! per-thread scratch buffers.
 
+use crate::csr::assemble_csr;
 use crate::scratch::SimScratch;
 use crate::Similarity;
 use rayon::prelude::*;
@@ -36,26 +37,57 @@ pub struct SimilarityMatrix {
 
 impl SimilarityMatrix {
     /// Compute every user's similarity set in parallel.
+    ///
+    /// Assembly is the two-pass CSR build of [`crate::csr`]: rows are
+    /// filled into per-chunk buffers through one pooled row buffer per
+    /// worker (no per-row allocation), lengths become offsets via an
+    /// exclusive prefix sum, and the flat arrays are written with
+    /// direct-slot parallel copies. Output is bit-identical to
+    /// [`build_sequential`](SimilarityMatrix::build_sequential) for any
+    /// thread count (proven by tests and re-checked at run time by
+    /// `socialrec pipeline-bench`).
     pub fn build<S: Similarity + ?Sized>(g: &SocialGraph, measure: &S) -> SimilarityMatrix {
         let n = g.num_users();
-        let rows: Vec<Vec<(UserId, f64)>> = (0..n as u32)
-            .into_par_iter()
-            .map_init(
-                || (SimScratch::new(n), Vec::new()),
-                |(scratch, out), u| {
-                    measure.similarity_set(g, UserId(u), scratch, out);
-                    std::mem::take(out)
-                },
-            )
-            .collect();
+        let parts = assemble_csr(
+            n,
+            UserId(0),
+            0.0f64,
+            || (SimScratch::new(n), Vec::new()),
+            |(scratch, row): &mut (SimScratch, Vec<(UserId, f64)>), u, cols, vals| {
+                // `similarity_set` clears `row` first, so the pooled
+                // buffer never leaks entries across rows; the split
+                // copy-out reads it while it is still cache-hot.
+                measure.similarity_set(g, UserId(u as u32), scratch, row);
+                cols.extend(row.iter().map(|&(v, _)| v));
+                vals.extend(row.iter().map(|&(_, s)| s));
+            },
+        );
+        SimilarityMatrix {
+            offsets: parts.offsets,
+            neighbors: parts.cols,
+            scores: parts.vals,
+            name: measure.name(),
+        }
+    }
 
+    /// Sequential reference for [`build`](SimilarityMatrix::build):
+    /// one thread, row-major fill, direct push-down. Retained so the
+    /// equivalence tests and `pipeline-bench` can prove the parallel
+    /// two-pass assembly produces the same bytes.
+    pub fn build_sequential<S: Similarity + ?Sized>(
+        g: &SocialGraph,
+        measure: &S,
+    ) -> SimilarityMatrix {
+        let n = g.num_users();
+        let mut scratch = SimScratch::new(n);
+        let mut row = Vec::new();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u64);
-        let total: usize = rows.iter().map(|r| r.len()).sum();
-        let mut neighbors = Vec::with_capacity(total);
-        let mut scores = Vec::with_capacity(total);
-        for row in &rows {
-            for &(v, s) in row {
+        let mut neighbors = Vec::new();
+        let mut scores = Vec::new();
+        for u in 0..n as u32 {
+            measure.similarity_set(g, UserId(u), &mut scratch, &mut row);
+            for &(v, s) in &row {
                 neighbors.push(v);
                 scores.push(s);
             }
@@ -275,6 +307,28 @@ mod tests {
                     assert!((scores[k] - s).abs() < 1e-12);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn two_pass_build_matches_sequential_bitwise() {
+        let g = planted_communities(&CommunityGraphConfig {
+            num_users: 300,
+            num_communities: 5,
+            seed: 17,
+            ..Default::default()
+        })
+        .graph;
+        for m in Measure::paper_suite() {
+            let par = SimilarityMatrix::build(&g, &m);
+            let seq = SimilarityMatrix::build_sequential(&g, &m);
+            assert_eq!(par.offsets, seq.offsets, "{} offsets differ", m.name());
+            assert_eq!(par.neighbors, seq.neighbors, "{} neighbors differ", m.name());
+            assert_eq!(par.scores.len(), seq.scores.len());
+            for (i, (a, b)) in par.scores.iter().zip(&seq.scores).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} score {i} differs bitwise", m.name());
+            }
+            assert_eq!(par.measure_name(), seq.measure_name());
         }
     }
 

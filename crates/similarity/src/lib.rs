@@ -22,6 +22,7 @@
 pub mod adamic_adar;
 pub mod cache;
 pub mod common_neighbors;
+pub mod csr;
 pub mod extended;
 pub mod graph_distance;
 pub mod katz;
