@@ -1,6 +1,7 @@
 //! `socialrec cluster` — Louvain clustering of the social graph.
 
 use crate::commands::io::{load_social, write_partition};
+use crate::commands::trace::TraceSink;
 use socialrec_community::{merge_small_clusters, modularity, Louvain};
 use socialrec_experiments::Args;
 use std::path::PathBuf;
@@ -12,6 +13,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let seed = args.get_u64("seed", 0);
     let refine = !args.has_flag("no-refine");
     let min_size = args.get_usize("min-size", 0);
+    let trace = TraceSink::init(args);
 
     let res = Louvain { seed, refine, ..Default::default() }.run_best_of(&social, restarts.max(1));
     let mut partition = res.partition;
@@ -31,6 +33,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         write_partition(&partition, &PathBuf::from(out))?;
         println!("wrote {out}");
     }
+    trace.finish(&["louvain.level", "louvain.restart"])?;
     Ok(())
 }
 

@@ -9,7 +9,9 @@ pub mod pipeline_bench;
 pub mod recommend;
 pub mod serve_bench;
 pub mod stats;
+pub mod trace;
 pub mod validate_bench;
+pub mod validate_trace;
 
 mod io;
 
@@ -30,9 +32,11 @@ COMMANDS
   cluster    Louvain-cluster the social graph, write user→cluster TSV
                --social FILE  --out FILE  [--restarts N] [--seed N]
                [--no-refine] [--min-size N (merge smaller clusters)]
+               [--trace OUT.json]
   recommend  Produce epsilon-DP top-N lists
                --social FILE  --prefs FILE  --epsilon E  [--measure CN]
                [--n 10] [--users 0,1,2 | all] [--seed N] [--clusters FILE]
+               [--trace OUT.json]
   evaluate   NDCG@N of a private mechanism vs the exact recommender
                --social FILE  --prefs FILE  [--measure CN]
                [--mechanism framework|nou|noe] [--epsilons inf,1.0,0.1]
@@ -44,6 +48,7 @@ COMMANDS
   serve-bench  Batch serving engine vs naive per-query throughput
                [--scale 0.15] [--seed 7] [--epsilon 0.5] [--n 10]
                [--batches 3] [--naive-queries 200] [--measure CN]
+               [--trace OUT.json]
   pipeline-bench  Offline pipeline: parallel vs sequential
                sim-build -> cluster -> release -> recommend, with
                bit-identity equivalence checks on every stage
@@ -51,10 +56,20 @@ COMMANDS
                [--n 10] [--reps 2 (min-of-reps timing)] [--measure CN]
                [--out BENCH_pipeline.json]
                [--smoke (tiny scale, no speedup gate)]
+               [--trace OUT.json]
   validate-bench  Check a BENCH_pipeline.json artifact: pipeline marker,
-               all gated stages present, equivalence_checked == true
+               all gated stages present, equivalence_checked == true,
+               serve metrics + privacy blocks present
                [--path BENCH_pipeline.json]
+  validate-trace  Check a --trace Chrome trace artifact with the
+               exporter self-check; optionally require span names
+               --path trace.json  [--require sim.build,release]
   help       This message
+
+TRACING: every command above with [--trace OUT.json] records
+hierarchical spans (sim-build, Louvain levels/restarts, A_w release,
+serving batches) plus the privacy-budget ledger, and writes a Chrome
+trace-event file loadable at ui.perfetto.dev or chrome://tracing.
 
 MEASURES: CN, GD, AA, KZ (paper) and JC, SA, RA, HP, PA (extended).
 EPSILON:  positive number or `inf`.

@@ -13,6 +13,7 @@
 //! not asserted; the artifact's shape is enforced by `socialrec
 //! validate-bench` in CI.
 
+use crate::commands::trace::TraceSink;
 use socialrec_community::{Louvain, LouvainResult};
 use socialrec_core::private::{
     release_noisy_cluster_averages_reference, release_noisy_cluster_averages_with,
@@ -20,7 +21,7 @@ use socialrec_core::private::{
 };
 use socialrec_core::{top_n_items_reference, RecommenderInputs, TopN};
 use socialrec_datasets::flixster_like;
-use socialrec_dp::Epsilon;
+use socialrec_dp::{Epsilon, PrivacyAccountant};
 use socialrec_experiments::{impl_to_json, json::ToJson, Args};
 use socialrec_graph::UserId;
 use socialrec_serve::RecommendationServer;
@@ -48,6 +49,25 @@ impl Stage {
 
 impl_to_json!(Stage { stage, sequential_ms, parallel_ms, speedup });
 
+/// Privacy accounting for the bench run: ε per `A_w` release as `dp`'s
+/// accountant computes it (parallel composition over the partition's
+/// disjoint clusters), plus what the observability ledger actually
+/// recorded when the run was traced (`--trace`); the `ledger_*` fields
+/// are zero in untraced runs, where the ledger is disarmed.
+struct PrivacyReport {
+    epsilon_per_release: f64,
+    clusters: usize,
+    ledger_releases: usize,
+    ledger_cumulative_epsilon: f64,
+}
+
+impl_to_json!(PrivacyReport {
+    epsilon_per_release,
+    clusters,
+    ledger_releases,
+    ledger_cumulative_epsilon,
+});
+
 /// The `BENCH_pipeline.json` document.
 struct Report {
     bench: String,
@@ -69,6 +89,8 @@ struct Report {
     end_to_end_parallel_ms: f64,
     end_to_end_speedup: f64,
     equivalence_checked: bool,
+    serve_metrics: socialrec_obs::MetricsSnapshot,
+    privacy: PrivacyReport,
 }
 
 impl_to_json!(Report {
@@ -91,6 +113,8 @@ impl_to_json!(Report {
     end_to_end_parallel_ms,
     end_to_end_speedup,
     equivalence_checked,
+    serve_metrics,
+    privacy,
 });
 
 fn ms(t: Instant) -> f64 {
@@ -125,6 +149,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
     let out_path = args.get_str("out").unwrap_or("BENCH_pipeline.json").to_string();
     let threads = rayon::current_num_threads();
+    let trace = TraceSink::init(args);
 
     eprintln!("generating flixster_like(scale={scale}, seed={seed})...");
     let ds = flixster_like(scale, seed);
@@ -223,9 +248,11 @@ pub fn run(args: &Args) -> Result<(), String> {
     // index build + cached release + blocked batch (a fresh server per
     // rep, so every rep pays the full cold cost like the reference).
     eprintln!("recommend: blocked serving batch for all {num_users} users...");
-    let (par_lists, recommend_par_ms) = timed_min(reps, || {
+    let ((par_lists, serve_metrics), recommend_par_ms) = timed_min(reps, || {
         let server = RecommendationServer::new(&partition, &sim, epsilon);
-        server.recommend_batch(&inputs, &users, n, seed)
+        let lists = server.recommend_batch(&inputs, &users, n, seed);
+        let snapshot = server.metrics().snapshot();
+        (lists, snapshot)
     });
     eprintln!("  {recommend_par_ms:.0} ms ({} lists)", par_lists.len());
     check_recommend_equivalence(&seq_lists, &par_lists)?;
@@ -239,6 +266,49 @@ pub fn run(args: &Args) -> Result<(), String> {
     let end_seq: f64 = stages.iter().map(|s| s.sequential_ms).sum();
     let end_par: f64 = stages.iter().map(|s| s.parallel_ms).sum();
     let end_speedup = end_seq / end_par.max(1e-9);
+
+    // Privacy accounting: what one A_w release over this partition
+    // costs, straight from dp's accountant (parallel composition over
+    // the disjoint clusters — ε regardless of cluster count).
+    let mut accountant = PrivacyAccountant::new();
+    for _ in 0..partition.num_clusters() {
+        accountant.spend_parallel(epsilon);
+    }
+    let epsilon_per_release = accountant.total_epsilon();
+    let ledger = socialrec_obs::PrivacyLedger::global().snapshot();
+    if trace.active() {
+        // Acceptance check: every ledger record written for this
+        // partition must carry exactly the accountant's ε. (Records are
+        // matched by cluster count so concurrent test processes cannot
+        // interfere; a traced CLI run owns the whole process.)
+        let ours: Vec<_> =
+            ledger.records.iter().filter(|r| r.clusters == partition.num_clusters()).collect();
+        if ours.is_empty() {
+            return Err("traced run recorded no releases in the privacy ledger".to_string());
+        }
+        for r in &ours {
+            if r.epsilon.to_bits() != epsilon_per_release.to_bits() {
+                return Err(format!(
+                    "privacy ledger ε {} does not match dp accountant ε {}",
+                    r.epsilon, epsilon_per_release
+                ));
+            }
+        }
+        eprintln!(
+            "privacy ledger: {} releases, ε = {epsilon_per_release} each \
+             (parallel composition over {} clusters), cumulative {}",
+            ledger.records.len(),
+            partition.num_clusters(),
+            ledger.cumulative_epsilon
+        );
+    }
+    let privacy = PrivacyReport {
+        epsilon_per_release,
+        clusters: partition.num_clusters(),
+        ledger_releases: ledger.records.len(),
+        ledger_cumulative_epsilon: ledger.cumulative_epsilon,
+    };
+
     let report = Report {
         bench: "pipeline".to_string(),
         dataset: ds.name.clone(),
@@ -259,6 +329,8 @@ pub fn run(args: &Args) -> Result<(), String> {
         end_to_end_parallel_ms: end_par,
         end_to_end_speedup: end_speedup,
         equivalence_checked: true,
+        serve_metrics,
+        privacy,
     };
     let json = report.to_json_pretty();
     std::fs::write(&out_path, format!("{json}\n"))
@@ -273,6 +345,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
     println!("  end-to-end speedup: {end_speedup:.2}x on {threads} threads");
     println!("  wrote {out_path}");
+    trace.finish(&["sim.build", "louvain.level", "release", "serve.batch"])?;
 
     // The acceptance gate only binds where the hardware can express
     // parallelism (SOCIALREC_THREADS may oversubscribe a smaller
@@ -342,11 +415,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_mode_writes_valid_artifact() {
+    fn smoke_mode_writes_valid_artifact_and_trace() {
         let dir = std::env::temp_dir().join("socialrec-pipeline-bench-test");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("BENCH_pipeline.json");
-        let spec = format!("--smoke --out {}", out.display());
+        let trace_out = dir.join("trace.json");
+        let spec = format!("--smoke --out {} --trace {}", out.display(), trace_out.display());
         run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
         let body = std::fs::read_to_string(&out).unwrap();
         assert!(body.trim_start().starts_with('{'), "artifact must be a JSON object");
@@ -360,9 +434,25 @@ mod tests {
             "\"end_to_end_speedup\"",
             "\"threads\"",
             "\"equivalence_checked\"",
+            "\"serve_metrics\"",
+            "\"queries\"",
+            "\"query_p99_ns\"",
+            "\"privacy\"",
+            "\"epsilon_per_release\"",
+            "\"ledger_releases\"",
+            "\"ledger_cumulative_epsilon\"",
         ] {
             assert!(body.contains(key), "artifact missing {key}: {body}");
         }
+        // The trace artifact must pass the exporter self-check and
+        // cover the whole pipeline (run() itself also enforces this,
+        // plus the ledger-vs-accountant ε match, before returning Ok).
+        let trace_body = std::fs::read_to_string(&trace_out).unwrap();
+        let check = socialrec_obs::validate_chrome_trace(&trace_body).unwrap();
+        for span in ["sim.build", "louvain.level", "release", "serve.batch", "csr.chunk"] {
+            assert!(check.has_span(span), "trace missing {span}: {:?}", check.names);
+        }
         std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&trace_out).ok();
     }
 }

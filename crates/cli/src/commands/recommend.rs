@@ -1,6 +1,7 @@
 //! `socialrec recommend` — ε-differentially-private top-N lists.
 
 use crate::commands::io::{load_dataset, parse_users, read_partition};
+use crate::commands::trace::TraceSink;
 use socialrec_community::{ClusteringStrategy, LouvainStrategy};
 use socialrec_core::private::ClusterFramework;
 use socialrec_core::{RecommenderInputs, TopNRecommender};
@@ -20,6 +21,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let n = args.get_usize("n", 10);
     let seed = args.get_u64("seed", 0);
     let users = parse_users(args, social.num_users())?;
+    let trace = TraceSink::init(args);
 
     eprintln!("building {} similarity matrix...", measure.name());
     let sim = SimilarityMatrix::build(&social, measure.as_ref());
@@ -41,6 +43,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         let items: Vec<String> = l.items.iter().map(|&(i, s)| format!("{i}:{s:.3}")).collect();
         println!("{}\t{}", l.user, items.join(" "));
     }
+    trace.finish(&["sim.build", "release"])?;
     Ok(())
 }
 

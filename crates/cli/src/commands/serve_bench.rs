@@ -9,11 +9,13 @@
 //! cache) and the similarity walk across all queries (precomputed
 //! sim-mass index), while returning bit-identical lists.
 
+use crate::commands::trace::TraceSink;
 use socialrec_community::{ClusteringStrategy, LouvainStrategy};
 use socialrec_core::private::ClusterFramework;
 use socialrec_core::{RecommenderInputs, TopNRecommender};
 use socialrec_datasets::flixster_like;
 use socialrec_dp::Epsilon;
+use socialrec_experiments::json::ToJson;
 use socialrec_experiments::Args;
 use socialrec_graph::UserId;
 use socialrec_serve::RecommendationServer;
@@ -29,6 +31,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let batches = args.get_usize("batches", 3).max(1);
     let naive_queries = args.get_usize("naive-queries", 200).max(1);
     let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
+    let trace = TraceSink::init(args);
 
     eprintln!("generating flixster_like(scale={scale}, seed={seed})...");
     let ds = flixster_like(scale, seed);
@@ -125,6 +128,10 @@ pub fn run(args: &Args) -> Result<(), String> {
         "           batch mean {:.2?}, ~p50 {:.2?}, ~p99 {:.2?}",
         snap.batch_mean, snap.batch_p50, snap.batch_p99
     );
+    // Machine-readable snapshot (the ~p50/~p99 fields are log₂-bucket
+    // upper bounds clamped to *_max_ns, not exact quantiles).
+    println!("metrics-json: {}", snap.to_json_pretty());
+    trace.finish(&["sim.build", "louvain.level", "release", "serve.batch", "serve.one"])?;
     if speedup < 3.0 {
         return Err(format!("expected >= 3x batch speedup, measured {speedup:.1}x"));
     }

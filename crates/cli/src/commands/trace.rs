@@ -1,0 +1,68 @@
+//! Shared `--trace <out.json>` plumbing for the CLI commands.
+//!
+//! A command calls [`TraceSink::init`] before doing any work and
+//! [`TraceSink::finish`] after: when `--trace` was given, span
+//! recording is enabled for the run and the drained spans are written
+//! as Chrome trace-event JSON (loadable in `chrome://tracing` or
+//! Perfetto), after passing the exporter's structural self-check and a
+//! per-command list of required span names. A plain-text hierarchical
+//! timing summary and the privacy-budget ledger go to stderr so traced
+//! runs are inspectable without a browser.
+
+use socialrec_experiments::Args;
+
+/// The `--trace` state for one CLI command invocation.
+pub struct TraceSink {
+    path: Option<String>,
+}
+
+impl TraceSink {
+    /// Parse `--trace` and, when present, arm the observability layer:
+    /// reset the privacy ledger, discard stale span buffers, and enable
+    /// recording.
+    pub fn init(args: &Args) -> TraceSink {
+        let path = args.get_str("trace").map(String::from);
+        if path.is_some() {
+            socialrec_obs::PrivacyLedger::global().reset();
+            let _ = socialrec_obs::drain_events();
+            socialrec_obs::enable();
+        }
+        TraceSink { path }
+    }
+
+    /// Whether `--trace` was requested.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Disable recording, validate, and write the trace artifact. The
+    /// trace must contain every span name in `required` — a command
+    /// whose instrumentation silently disappears fails its own traced
+    /// run rather than emitting a hollow artifact.
+    pub fn finish(self, required: &[&str]) -> Result<(), String> {
+        let Some(path) = self.path else { return Ok(()) };
+        socialrec_obs::disable();
+        let events = socialrec_obs::drain_events();
+        let json = socialrec_obs::chrome_trace_json(&events);
+        let check = socialrec_obs::validate_chrome_trace(&json)
+            .map_err(|e| format!("trace self-check failed: {e}"))?;
+        for name in required {
+            if !check.has_span(name) {
+                return Err(format!("trace is missing the required span {name:?}"));
+            }
+        }
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+
+        eprint!("{}", socialrec_obs::render_summary(&socialrec_obs::summarize(&events)));
+        let ledger = socialrec_obs::PrivacyLedger::global().snapshot();
+        if !ledger.records.is_empty() {
+            eprint!("{}", socialrec_obs::render_ledger(&ledger));
+        }
+        println!(
+            "wrote trace {path} ({} events on {} thread lanes) — load it at ui.perfetto.dev",
+            check.events,
+            check.tids.len()
+        );
+        Ok(())
+    }
+}

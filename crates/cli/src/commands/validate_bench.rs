@@ -16,8 +16,31 @@ use socialrec_experiments::Args;
 const REQUIRED_STAGES: [&str; 4] = ["sim-build", "cluster", "release", "recommend"];
 
 /// Top-level keys every pipeline artifact must carry.
-const REQUIRED_KEYS: [&str; 5] =
-    ["\"stages\"", "\"threads\"", "\"end_to_end_speedup\"", "\"users\"", "\"items\""];
+const REQUIRED_KEYS: [&str; 7] = [
+    "\"stages\"",
+    "\"threads\"",
+    "\"end_to_end_speedup\"",
+    "\"users\"",
+    "\"items\"",
+    "\"serve_metrics\"",
+    "\"privacy\"",
+];
+
+/// Fields the `serve_metrics` block (a `MetricsSnapshot` via `ToJson`)
+/// must carry — the recommend stage's serving counters and the
+/// log₂-histogram latency roll-up (`*_p99_ns` ≤ `*_max_ns` by the
+/// clamped-quantile contract).
+const REQUIRED_METRICS_KEYS: [&str; 5] =
+    ["\"queries\"", "\"batches\"", "\"query_p99_ns\"", "\"query_max_ns\"", "\"batch_max_ns\""];
+
+/// Fields the `privacy` block must carry: the per-release ε from dp's
+/// accountant and the observability ledger's view of the run.
+const REQUIRED_PRIVACY_KEYS: [&str; 4] = [
+    "\"epsilon_per_release\"",
+    "\"clusters\"",
+    "\"ledger_releases\"",
+    "\"ledger_cumulative_epsilon\"",
+];
 
 /// Run the command.
 pub fn run(args: &Args) -> Result<(), String> {
@@ -50,6 +73,16 @@ fn validate(body: &str) -> Result<(), String> {
             return Err(format!("missing gated stage entry for {stage:?}"));
         }
     }
+    for key in REQUIRED_METRICS_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing serve_metrics field {key}"));
+        }
+    }
+    for key in REQUIRED_PRIVACY_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing privacy field {key}"));
+        }
+    }
     Ok(())
 }
 
@@ -62,10 +95,16 @@ mod tests {
             .iter()
             .map(|s| format!("    {{ \"stage\": \"{s}\", \"speedup\": 1.0 }},\n"))
             .collect();
+        let metrics: String =
+            REQUIRED_METRICS_KEYS.iter().map(|k| format!("    {k}: 1,\n")).collect();
+        let privacy: String =
+            REQUIRED_PRIVACY_KEYS.iter().map(|k| format!("    {k}: 1,\n")).collect();
         format!(
             "{{\n  \"bench\": \"pipeline\",\n  \"threads\": 1,\n  \"users\": 10,\n  \
              \"items\": 20,\n  \"stages\": [\n{stages}  ],\n  \
-             \"end_to_end_speedup\": 1.0,\n  \"equivalence_checked\": true\n}}\n"
+             \"end_to_end_speedup\": 1.0,\n  \"equivalence_checked\": true,\n  \
+             \"serve_metrics\": {{\n{metrics}  }},\n  \
+             \"privacy\": {{\n{privacy}  }}\n}}\n"
         )
     }
 

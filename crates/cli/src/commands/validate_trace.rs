@@ -1,0 +1,85 @@
+//! `socialrec validate-trace` — structural validation of a Chrome
+//! trace-event JSON artifact produced by `--trace`.
+//!
+//! Runs the exporter's own self-check (envelope, per-event shape,
+//! complete `X` phases, per-lane timestamp monotonicity) and optionally
+//! asserts that specific spans are present via `--require a,b,c`. CI
+//! runs this against the smoke-run trace so a refactor that drops the
+//! pipeline instrumentation fails the build.
+
+use socialrec_experiments::Args;
+
+/// Run the command.
+pub fn run(args: &Args) -> Result<(), String> {
+    let path = args.get_str("path").ok_or("missing --path <trace.json>".to_string())?;
+    let body = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let check = socialrec_obs::validate_chrome_trace(&body).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(required) = args.get_str("require") {
+        for name in required.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if !check.has_span(name) {
+                return Err(format!("{path}: missing required span {name:?}"));
+            }
+        }
+    }
+    println!(
+        "validate-trace: {path} ok ({} events, {} span names, {} thread lanes)",
+        check.events,
+        check.names.len(),
+        check.tids.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_trace(dir: &std::path::Path) -> std::path::PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let events = vec![
+            socialrec_obs::SpanEvent {
+                name: "sim.build",
+                arg: Some(("users", 10)),
+                tid: 0,
+                start_ns: 0,
+                dur_ns: 5_000,
+                depth: 0,
+            },
+            socialrec_obs::SpanEvent {
+                name: "release",
+                arg: None,
+                tid: 0,
+                start_ns: 6_000,
+                dur_ns: 2_000,
+                depth: 0,
+            },
+        ];
+        let path = dir.join("trace.json");
+        std::fs::write(&path, socialrec_obs::chrome_trace_json(&events)).unwrap();
+        path
+    }
+
+    #[test]
+    fn accepts_valid_trace_and_enforces_required_spans() {
+        let dir = std::env::temp_dir().join(format!("socialrec-vtrace-{}", std::process::id()));
+        let path = write_trace(&dir);
+        let spec = format!("--path {} --require sim.build,release", path.display());
+        run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+
+        let spec = format!("--path {} --require louvain.level", path.display());
+        let err = run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap_err();
+        assert!(err.contains("louvain.level"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let dir = std::env::temp_dir().join(format!("socialrec-vtrace2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not a trace").unwrap();
+        let spec = format!("--path {}", path.display());
+        assert!(run(&Args::parse_from(spec.split_whitespace().map(String::from))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

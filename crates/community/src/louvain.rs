@@ -26,6 +26,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use socialrec_graph::SocialGraph;
+use socialrec_obs::span;
 
 /// Louvain configuration.
 ///
@@ -201,6 +202,7 @@ impl Louvain {
         let mut contracted: Vec<WeightedGraph> = Vec::new();
         let mut merges: Vec<Vec<u32>> = Vec::new();
         loop {
+            let _span = span!("louvain.level", level = merges.len());
             let wg = contracted.last().unwrap_or(base);
             let mut comm: Vec<u32> = (0..wg.num_nodes() as u32).collect();
             let moved = local_moving(wg, &mut comm, &mut rng, self.min_gain);
@@ -228,6 +230,7 @@ impl Louvain {
             let lcount = merges.len();
             let mut proj: Vec<u32> = merges[lcount - 1].clone();
             for l in (0..lcount).rev() {
+                let _span = span!("louvain.refine", level = l);
                 if l < lcount - 1 {
                     proj = merges[l].iter().map(|&c| proj[c as usize]).collect();
                 }
@@ -260,7 +263,10 @@ impl Louvain {
         let base = WeightedGraph::from_social(g);
         let results: Vec<LouvainResult> = (0..restarts)
             .into_par_iter()
-            .map(|r| Louvain { seed: self.seed.wrapping_add(r as u64), ..*self }.run_core(&base))
+            .map(|r| {
+                let _span = span!("louvain.restart", restart = r);
+                Louvain { seed: self.seed.wrapping_add(r as u64), ..*self }.run_core(&base)
+            })
             .collect();
         pick_first_best(results)
     }
@@ -272,7 +278,10 @@ impl Louvain {
         assert!(restarts >= 1, "need at least one restart");
         let base = WeightedGraph::from_social(g);
         let results: Vec<LouvainResult> = (0..restarts)
-            .map(|r| Louvain { seed: self.seed.wrapping_add(r as u64), ..*self }.run_core(&base))
+            .map(|r| {
+                let _span = span!("louvain.restart", restart = r);
+                Louvain { seed: self.seed.wrapping_add(r as u64), ..*self }.run_core(&base)
+            })
             .collect();
         pick_first_best(results)
     }

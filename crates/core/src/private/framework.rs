@@ -22,8 +22,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use socialrec_community::Partition;
-use socialrec_dp::{sample_laplace, sample_two_sided_geometric, Epsilon, GeometricMechanism};
+use socialrec_dp::{
+    sample_laplace, sample_two_sided_geometric, Epsilon, GeometricMechanism, PrivacyAccountant,
+};
 use socialrec_graph::UserId;
+use socialrec_obs::span;
 
 /// The private framework bound to a clustering and a privacy level.
 #[derive(Clone, Copy)]
@@ -251,7 +254,9 @@ pub fn release_noisy_cluster_averages_with(
         prefs.num_users(),
         "partition must cover the preference graph's users"
     );
+    let _span = span!("release", clusters = c);
     if ni == 0 {
+        record_release_in_ledger(epsilon, noise, c, 0);
         return NoisyClusterAverages { values: Vec::new(), num_clusters: c, num_items: 0 };
     }
     let sizes = partition.cluster_sizes();
@@ -259,27 +264,61 @@ pub fn release_noisy_cluster_averages_with(
     // Shard 1 — raw counts, item-major (`ni × c`): each parallel work
     // item owns one item row, so the integer scatters are race-free.
     let mut counts = vec![0u32; ni * c];
-    counts.par_chunks_mut(c).enumerate().for_each(|(i, item_row)| {
-        for &v in prefs.users_of(socialrec_graph::ItemId(i as u32)) {
-            item_row[partition.cluster_of(v) as usize] += 1;
-        }
-    });
+    {
+        let _span = span!("release.counts", items = ni);
+        counts.par_chunks_mut(c).enumerate().for_each(|(i, item_row)| {
+            for &v in prefs.users_of(socialrec_graph::ItemId(i as u32)) {
+                item_row[partition.cluster_of(v) as usize] += 1;
+            }
+        });
+    }
 
     // Shard 2 — transpose to the cluster-major release layout, average,
     // and perturb, cluster row by cluster row (independent seeded RNG
     // per row so the result is reproducible regardless of scheduling).
     let mut values = vec![0.0f64; c * ni];
-    values.par_chunks_mut(ni).enumerate().for_each(|(cl, row)| {
-        let size = sizes[cl];
-        debug_assert!(size >= 1, "partitions have no empty clusters");
-        let inv = 1.0 / size as f64;
-        for (i, x) in row.iter_mut().enumerate() {
-            *x = counts[i * c + cl] as f64 * inv;
-        }
-        add_row_noise(row, noise, epsilon, inv, mix_seed(seed, cl as u64));
-    });
+    {
+        let _span = span!("release.noise", clusters = c);
+        values.par_chunks_mut(ni).enumerate().for_each(|(cl, row)| {
+            let size = sizes[cl];
+            debug_assert!(size >= 1, "partitions have no empty clusters");
+            let inv = 1.0 / size as f64;
+            for (i, x) in row.iter_mut().enumerate() {
+                *x = counts[i * c + cl] as f64 * inv;
+            }
+            add_row_noise(row, noise, epsilon, inv, mix_seed(seed, cl as u64));
+        });
+    }
 
+    record_release_in_ledger(epsilon, noise, c, ni);
     NoisyClusterAverages { values, num_clusters: c, num_items: ni }
+}
+
+/// Feed the observability ledger (only while tracing is enabled): run
+/// the release through `dp`'s accountant — one `spend_parallel(ε)` per
+/// cluster, since the per-cluster averages touch disjoint preference
+/// edges — and record the resulting total. The accountant, not this
+/// function, owns the composition arithmetic, so the ledger's ε per
+/// release provably matches the accountant's.
+fn record_release_in_ledger(epsilon: Epsilon, noise: NoiseModel, clusters: usize, items: usize) {
+    if !socialrec_obs::enabled() {
+        return;
+    }
+    let mut accountant = PrivacyAccountant::new();
+    for _ in 0..clusters {
+        accountant.spend_parallel(epsilon);
+    }
+    socialrec_obs::PrivacyLedger::global().record(socialrec_obs::ReleaseRecord {
+        epsilon: accountant.total_epsilon(),
+        clusters,
+        items,
+        noise: match noise {
+            NoiseModel::Laplace => "laplace",
+            NoiseModel::Geometric => "geometric",
+        },
+        accounted_releases: accountant.releases() as u64,
+        generation: None,
+    });
 }
 
 /// The historical sequential-scan release: one pass over every
@@ -572,6 +611,54 @@ mod tests {
         assert_eq!(
             geo_inf.noisy_cluster_averages(&inputs, 0).values,
             lap_inf.noisy_cluster_averages(&inputs, 0).values
+        );
+    }
+
+    #[test]
+    fn ledger_epsilon_matches_accountant() {
+        // Tracing on: each release must land in the global privacy
+        // ledger with ε exactly equal to dp's parallel composition over
+        // its clusters. Use a distinctive ε so records written by other
+        // tests sharing the process-global ledger can't be confused
+        // with ours, and assert on deltas rather than absolute counts.
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = LouvainStrategy::default().cluster(&s);
+        let eps = 0.734_501;
+        let fw = ClusterFramework::new(&partition, Epsilon::Finite(eps))
+            .with_noise(NoiseModel::Geometric);
+
+        let ledger = socialrec_obs::PrivacyLedger::global();
+        let before = ledger.snapshot();
+        let _ = fw.noisy_cluster_averages(&inputs, 11); // tracing off: no record
+        socialrec_obs::enable();
+        let _ = fw.noisy_cluster_averages(&inputs, 11);
+        let _ = fw.noisy_cluster_averages(&inputs, 12);
+        socialrec_obs::disable();
+        let after = ledger.snapshot();
+
+        let ours: Vec<_> = after
+            .records
+            .iter()
+            .skip(before.records.len())
+            .filter(|r| (r.epsilon - eps).abs() < 1e-12)
+            .collect();
+        assert_eq!(ours.len(), 2, "one record per traced release, none untraced");
+        let mut accountant = PrivacyAccountant::new();
+        for _ in 0..partition.num_clusters() {
+            accountant.spend_parallel(Epsilon::Finite(eps));
+        }
+        for r in &ours {
+            assert_eq!(r.epsilon, accountant.total_epsilon(), "ledger ε must match accountant");
+            assert_eq!(r.clusters, partition.num_clusters());
+            assert_eq!(r.items, p.num_items());
+            assert_eq!(r.noise, "geometric");
+            assert_eq!(r.accounted_releases, accountant.releases() as u64);
+        }
+        assert!(
+            after.cumulative_epsilon >= before.cumulative_epsilon + 2.0 * eps - 1e-9,
+            "sequential composition across rebuilds accumulates"
         );
     }
 

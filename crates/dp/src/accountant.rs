@@ -47,6 +47,18 @@ impl PrivacyAccountant {
         self.sequential_total + self.parallel_max
     }
 
+    /// The sequentially composed part of the spend (budgets added).
+    pub fn sequential_total(&self) -> f64 {
+        self.sequential_total
+    }
+
+    /// The parallel-composed part of the spend (max over disjoint
+    /// releases). This is the term the observability ledger reports per
+    /// noisy-averages release: ε regardless of cluster count.
+    pub fn parallel_max(&self) -> f64 {
+        self.parallel_max
+    }
+
     /// Number of releases recorded.
     pub fn releases(&self) -> usize {
         self.releases
@@ -97,6 +109,18 @@ mod tests {
         // A hypothetical second pass over the same data would add.
         a.spend_sequential(Epsilon::Finite(0.1));
         assert!((a.total_epsilon() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_accessors_expose_both_composition_terms() {
+        let mut a = PrivacyAccountant::new();
+        for _ in 0..8 {
+            a.spend_parallel(Epsilon::Finite(0.25));
+        }
+        a.spend_sequential(Epsilon::Finite(0.5));
+        assert!((a.parallel_max() - 0.25).abs() < 1e-12);
+        assert!((a.sequential_total() - 0.5).abs() < 1e-12);
+        assert!((a.total_epsilon() - 0.75).abs() < 1e-12);
     }
 
     #[test]

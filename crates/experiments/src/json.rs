@@ -206,6 +206,98 @@ impl ToJson for DatasetStats {
     }
 }
 
+// Observability types (the obs crate is std-only and cannot host these
+// impls itself — the trait lives here).
+impl ToJson for socialrec_obs::MetricsSnapshot {
+    /// Durations flatten to integer nanoseconds (`*_ns`). The `*_p50` /
+    /// `*_p99` values are log₂-bucket upper bounds — over-estimates by
+    /// at most a factor of two, clamped to the true `*_max` — so
+    /// consumers must treat them as `~p50` / `~p99`, never exact
+    /// quantiles.
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+        write_object(
+            out,
+            indent,
+            &[
+                ("queries", &self.queries),
+                ("batches", &self.batches),
+                ("singles", &self.singles),
+                ("cache_hits", &self.cache_hits),
+                ("cache_rebuilds", &self.cache_rebuilds),
+                ("query_mean_ns", &ns(self.query_mean)),
+                ("query_p50_ns", &ns(self.query_p50)),
+                ("query_p99_ns", &ns(self.query_p99)),
+                ("query_max_ns", &ns(self.query_max)),
+                ("batch_mean_ns", &ns(self.batch_mean)),
+                ("batch_p50_ns", &ns(self.batch_p50)),
+                ("batch_p99_ns", &ns(self.batch_p99)),
+                ("batch_max_ns", &ns(self.batch_max)),
+            ],
+        );
+    }
+}
+
+impl ToJson for socialrec_obs::ReleaseRecord {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_object(
+            out,
+            indent,
+            &[
+                ("epsilon", &self.epsilon),
+                ("clusters", &self.clusters),
+                ("items", &self.items),
+                ("noise", &self.noise),
+                ("accounted_releases", &self.accounted_releases),
+                ("generation", &self.generation),
+            ],
+        );
+    }
+}
+
+impl ToJson for socialrec_obs::LedgerSnapshot {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_object(
+            out,
+            indent,
+            &[("records", &self.records), ("cumulative_epsilon", &self.cumulative_epsilon)],
+        );
+    }
+}
+
+impl ToJson for socialrec_obs::HistogramSummary {
+    /// Same ~quantile caveat as [`socialrec_obs::MetricsSnapshot`]:
+    /// `p50_ns` / `p99_ns` are bucket upper bounds clamped to `max_ns`.
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+        write_object(
+            out,
+            indent,
+            &[
+                ("count", &self.count),
+                ("mean_ns", &ns(self.mean)),
+                ("p50_ns", &ns(self.p50)),
+                ("p99_ns", &ns(self.p99)),
+                ("max_ns", &ns(self.max)),
+            ],
+        );
+    }
+}
+
+impl ToJson for socialrec_obs::RegistrySnapshot {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_object(
+            out,
+            indent,
+            &[
+                ("counters", &self.counters),
+                ("gauges", &self.gauges),
+                ("histograms", &self.histograms),
+            ],
+        );
+    }
+}
+
 /// Implement [`ToJson`] for a struct by listing its fields:
 /// `impl_to_json!(Row { strategy, clusters, modularity });`
 #[macro_export]
@@ -253,6 +345,41 @@ mod tests {
         assert_eq!(Vec::<usize>::new().to_json_pretty(), "[]");
         assert_eq!(vec![1usize, 2].to_json_pretty(), "[\n  1,\n  2\n]");
         assert_eq!((1usize, 2usize, 0.5f64, 3usize).to_json_pretty(), "[1, 2, 0.5, 3]");
+    }
+
+    #[test]
+    fn obs_snapshots_render_with_ns_fields() {
+        let m = socialrec_obs::ServeMetrics::new();
+        m.record_batch(std::time::Duration::from_millis(3), false);
+        m.record_query(std::time::Duration::from_micros(5));
+        let json = m.snapshot().to_json_pretty();
+        for key in
+            ["\"queries\": 1", "\"batches\": 1", "\"cache_rebuilds\": 1", "\"query_p99_ns\":"]
+        {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains("\"batch_max_ns\": 3000000"));
+
+        let ledger = socialrec_obs::PrivacyLedger::new();
+        ledger.record(socialrec_obs::ReleaseRecord {
+            epsilon: 0.5,
+            clusters: 4,
+            items: 10,
+            noise: "laplace",
+            accounted_releases: 4,
+            generation: Some(9),
+        });
+        let json = ledger.snapshot().to_json_pretty();
+        assert!(json.contains("\"cumulative_epsilon\": 0.5"));
+        assert!(json.contains("\"noise\": \"laplace\""));
+        assert!(json.contains("\"generation\": 9"));
+
+        let r = socialrec_obs::MetricsRegistry::new();
+        r.counter("hits").add(2);
+        r.histogram("lat").record(std::time::Duration::from_nanos(100));
+        let json = r.snapshot().to_json_pretty();
+        assert!(json.contains("\"hits\""));
+        assert!(json.contains("\"p99_ns\":"));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Workspace-wide observability for `socialrec`, hand-rolled on `std`
+//! alone (the build environment has no registry access, so this crate
+//! is a vendored-stand-in-style layer rather than `tracing` +
+//! `metrics` + an OTLP exporter).
+//!
+//! Four pieces, one per module:
+//!
+//! * [`span!`] / [`SpanGuard`] — hierarchical wall-clock spans recorded
+//!   into per-thread buffers and drained through a global collector.
+//!   Tracing is **off by default**; a disabled [`span!`] costs one
+//!   relaxed atomic load and constructs an inert guard, so the
+//!   workspace's bit-identity and performance contracts are untouched
+//!   by instrumentation (see `DESIGN.md` §7).
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s, and the
+//!   log₂-bucketed [`LatencyHistogram`], plus a named
+//!   [`MetricsRegistry`] and the serving-layer [`ServeMetrics`]
+//!   (re-exported by `socialrec-serve` for API compatibility).
+//! * [`chrome`] — a Chrome trace-event-format JSON writer (loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>) with a structural
+//!   self-check, and [`summary`], a plain-text per-span timing table.
+//! * [`ledger`] — the [`PrivacyLedger`]: one record per differentially
+//!   private release (ε, cluster count, noise model, cache generation),
+//!   making the paper's parallel-composition argument *observable* —
+//!   each `A_w` release costs a single ε regardless of cluster count,
+//!   and repeated releases (seed changes, rebuilds) compose
+//!   sequentially into the ledger's cumulative spend.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use socialrec_obs as obs;
+//! use socialrec_obs::span;
+//!
+//! obs::enable();
+//! {
+//!     let _outer = span!("pipeline");
+//!     let _inner = span!("pipeline.stage", items = 42);
+//! } // guards drop here, recording two spans
+//! obs::disable();
+//!
+//! let events = obs::drain_events();
+//! assert!(events.iter().any(|e| e.name == "pipeline.stage"));
+//! let json = obs::chrome_trace_json(&events);
+//! obs::validate_chrome_trace(&json).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod ledger;
+mod metrics;
+mod span;
+mod summary;
+
+pub use chrome::{chrome_trace_json, validate_chrome_trace, TraceCheck};
+pub use ledger::{render_ledger, LedgerSnapshot, PrivacyLedger, ReleaseRecord};
+pub use metrics::{
+    Counter, Gauge, HistogramSummary, LatencyHistogram, MetricsRegistry, MetricsSnapshot,
+    RegistrySnapshot, ServeMetrics,
+};
+pub use span::{disable, drain_events, enable, enabled, SpanEvent, SpanGuard};
+pub use summary::{render_summary, summarize, SpanStats};

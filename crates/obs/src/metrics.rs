@@ -1,0 +1,555 @@
+//! Lock-free metric primitives and a named registry.
+//!
+//! [`Counter`], [`Gauge`], and [`LatencyHistogram`] are built on `std`
+//! atomics with relaxed ordering: each individual value is exact
+//! (fetch-add / fetch-max are atomic read-modify-writes, so no
+//! increment is ever lost), while a [snapshot](ServeMetrics::snapshot)
+//! taken *during* concurrent recording is a consistent-enough
+//! point-in-time copy rather than a linearizable cut. Once recording
+//! threads are quiescent, every snapshot total is exact — guarded by
+//! `tests/concurrency.rs`.
+//!
+//! [`ServeMetrics`] (the serving layer's counter block) lives here and
+//! is re-exported by `socialrec-serve`, so the pre-observability public
+//! API keeps working.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotone event counter (relaxed atomic adds).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge (e.g. current queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds, so 48 buckets reach ~78 hours.
+const BUCKETS: usize = 48;
+
+/// A log₂-bucketed latency histogram.
+///
+/// Recording is two relaxed atomic increments plus one atomic max, so
+/// worker threads can record from inside a parallel batch without
+/// contention beyond the cache line of their bucket.
+///
+/// # Quantile semantics
+///
+/// [`quantile`](LatencyHistogram::quantile) reports the **upper bound**
+/// of the bucket holding the rank-`q` observation — an over-estimate by
+/// at most a factor of two — clamped to the true observed
+/// [`max`](LatencyHistogram::max), so `~p99 ≤ max` holds in every
+/// report. Consumers printing these values should label them `~p50` /
+/// `~p99` (as `serve-bench` does), not as exact quantiles.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    total_nanos: AtomicU64,
+    /// True maximum observation in nanoseconds (not a bucket bound).
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    #[inline]
+    fn bucket_of(nanos: u64) -> usize {
+        // 0ns and 1ns land in bucket 0; otherwise floor(log2(nanos)).
+        (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one latency observation.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean recorded latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / n)
+    }
+
+    /// The largest observation recorded so far (zero when empty). This
+    /// is the *true* maximum, not a bucket bound.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), clamped to the true observed
+    /// [`max`](LatencyHistogram::max); zero when empty. Bucketing
+    /// bounds the error to a factor of two — plenty for spotting tail
+    /// blow-ups — and the clamp guarantees `quantile(q) ≤ max()` for
+    /// every `q`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let max = self.max_nanos.load(Ordering::Relaxed);
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = 1u64 << (i + 1).min(63);
+                return Duration::from_nanos(bound.min(max));
+            }
+        }
+        Duration::from_nanos(max)
+    }
+}
+
+/// Per-histogram roll-up inside a [`RegistrySnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: Duration,
+    /// ~p50 (bucket upper bound, clamped to `max`).
+    pub p50: Duration,
+    /// ~p99 (bucket upper bound, clamped to `max`).
+    pub p99: Duration,
+    /// True maximum observation.
+    pub max: Duration,
+}
+
+/// A get-or-create registry of named metrics.
+///
+/// Callers hold the returned `Arc` and record through it directly (the
+/// registry is only consulted at setup time, never on the hot path).
+/// Linear name lookup is deliberate: registries hold tens of metrics,
+/// not thousands, and a `Vec` keeps this crate dependency-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(&'static str, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(&'static str, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(&'static str, Arc<LatencyHistogram>)>>,
+}
+
+fn get_or_create<T: Default>(
+    slot: &Mutex<Vec<(&'static str, Arc<T>)>>,
+    name: &'static str,
+) -> Arc<T> {
+    let mut v = slot.lock().expect("metrics registry poisoned");
+    if let Some((_, m)) = v.iter().find(|(n, _)| *n == name) {
+        return Arc::clone(m);
+    }
+    let m = Arc::new(T::default());
+    v.push((name, Arc::clone(&m)));
+    m
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static R: OnceLock<MetricsRegistry> = OnceLock::new();
+        R.get_or_init(MetricsRegistry::new)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<LatencyHistogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// A point-in-time copy of every registered metric, name-sorted so
+    /// the output (and its JSON rendering) is deterministic.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = self
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, g)| (n.to_string(), g.get()))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<(String, HistogramSummary)> = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.to_string(),
+                    HistogramSummary {
+                        count: h.count(),
+                        mean: h.mean(),
+                        p50: h.quantile(0.5),
+                        p99: h.quantile(0.99),
+                        max: h.max(),
+                    },
+                )
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RegistrySnapshot { counters, gauges, histograms }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` for every histogram, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Counters for one `RecommendationServer` (re-exported by
+/// `socialrec-serve`).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Individual user queries served (batch rows and singles).
+    queries: Counter,
+    /// `recommend_batch` invocations.
+    batches: Counter,
+    /// `recommend_one` invocations (direct path; not counted as
+    /// batches, so batch counters stay meaningful at serving scale).
+    singles: Counter,
+    /// Release lookups (batch or single) answered from the cache.
+    cache_hits: Counter,
+    /// Release lookups that had to rebuild the noisy release.
+    cache_rebuilds: Counter,
+    /// Per-query utility-estimation + top-N latency.
+    query_latency: LatencyHistogram,
+    /// Whole-batch latency (release lookup + all queries).
+    batch_latency: LatencyHistogram,
+}
+
+/// A point-in-time copy of the counters, for reporting.
+///
+/// The `*_p50` / `*_p99` fields are **bucket upper bounds** from the
+/// log₂ histograms (over-estimates by at most 2×, clamped so they never
+/// exceed the matching `*_max`); `*_max` fields are true observed
+/// maxima. Report them as `~p50` / `~p99`, never as exact quantiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Individual user queries served (batch rows and singles).
+    pub queries: u64,
+    /// `recommend_batch` invocations.
+    pub batches: u64,
+    /// `recommend_one` invocations (direct single-query path).
+    pub singles: u64,
+    /// Release lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Release lookups that rebuilt the noisy release.
+    pub cache_rebuilds: u64,
+    /// Mean per-query latency.
+    pub query_mean: Duration,
+    /// ~p50 per-query latency (bucket upper bound, ≤ `query_max`).
+    pub query_p50: Duration,
+    /// ~p99 per-query latency (bucket upper bound, ≤ `query_max`).
+    pub query_p99: Duration,
+    /// Largest observed per-query latency.
+    pub query_max: Duration,
+    /// Mean batch latency.
+    pub batch_mean: Duration,
+    /// ~p50 batch latency (bucket upper bound, ≤ `batch_max`).
+    pub batch_p50: Duration,
+    /// ~p99 batch latency (bucket upper bound, ≤ `batch_max`).
+    pub batch_p99: Duration,
+    /// Largest observed batch latency.
+    pub batch_max: Duration,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// One served query (a batch row): counted and its latency
+    /// recorded.
+    pub fn record_query(&self, d: Duration) {
+        self.queries.inc();
+        self.query_latency.record(d);
+    }
+
+    /// One `recommend_batch` call: batch counter, cache outcome, and
+    /// whole-batch latency.
+    pub fn record_batch(&self, d: Duration, cache_hit: bool) {
+        self.batches.inc();
+        self.record_cache(cache_hit);
+        self.batch_latency.record(d);
+    }
+
+    /// One `recommend_one` call: counted as a query and a single, never
+    /// as a batch; its end-to-end latency (release lookup + utilities +
+    /// top-N) goes into the query histogram.
+    pub fn record_single(&self, d: Duration, cache_hit: bool) {
+        self.singles.inc();
+        self.queries.inc();
+        self.record_cache(cache_hit);
+        self.query_latency.record(d);
+    }
+
+    fn record_cache(&self, cache_hit: bool) {
+        if cache_hit {
+            self.cache_hits.inc();
+        } else {
+            self.cache_rebuilds.inc();
+        }
+    }
+
+    /// The per-query latency histogram.
+    pub fn query_latency(&self) -> &LatencyHistogram {
+        &self.query_latency
+    }
+
+    /// The per-batch latency histogram.
+    pub fn batch_latency(&self) -> &LatencyHistogram {
+        &self.batch_latency
+    }
+
+    /// Copy the counters out for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.get(),
+            batches: self.batches.get(),
+            singles: self.singles.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_rebuilds: self.cache_rebuilds.get(),
+            query_mean: self.query_latency.mean(),
+            query_p50: self.query_latency.quantile(0.5),
+            query_p99: self.query_latency.quantile(0.99),
+            query_max: self.query_latency.max(),
+            batch_mean: self.batch_latency.mean(),
+            batch_p50: self.batch_latency.quantile(0.5),
+            batch_p99: self.batch_latency.quantile(0.99),
+            batch_max: self.batch_latency.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // bucket 16
+        assert_eq!(h.count(), 100);
+        // Median sits in the 100ns bucket, the tail in the 100µs one.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(128));
+        assert_eq!(h.max(), Duration::from_micros(100));
+        assert!(h.quantile(1.0) >= Duration::from_micros(100));
+        let m = h.mean();
+        assert!(m > Duration::from_nanos(100) && m < Duration::from_micros(2));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        // All observations in one bucket: the bucket upper bound (128)
+        // would overshoot the true max (100), so the clamp must win.
+        let h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record(Duration::from_nanos(100));
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(h.quantile(q) <= h.max(), "quantile({q}) exceeds max");
+        }
+        assert_eq!(h.quantile(0.99), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_metric() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("requests");
+        let b = r.counter("requests");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let h = r.histogram("latency");
+        h.record(Duration::from_micros(10));
+        r.gauge("depth").set(2);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("requests".to_string(), 3)]);
+        assert_eq!(snap.gauges, vec![("depth".to_string(), 2)]);
+        assert_eq!(snap.histograms.len(), 1);
+        let (name, hs) = &snap.histograms[0];
+        assert_eq!(name, "latency");
+        assert_eq!(hs.count, 1);
+        assert_eq!(hs.max, Duration::from_micros(10));
+        assert!(hs.p99 <= hs.max);
+    }
+
+    #[test]
+    fn registry_snapshot_is_name_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_counts() {
+        let m = ServeMetrics::new();
+        m.record_batch(Duration::from_millis(2), false);
+        m.record_batch(Duration::from_millis(1), true);
+        for _ in 0..5 {
+            m.record_query(Duration::from_micros(3));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_rebuilds, 1);
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.singles, 0);
+        assert!(s.query_mean > Duration::ZERO);
+        assert!(s.query_p99 >= s.query_p50);
+        assert!(s.query_p99 <= s.query_max);
+        assert!(s.batch_p99 >= s.batch_p50);
+        assert!(s.batch_p99 <= s.batch_max);
+        assert_eq!(s.batch_max, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn singles_count_as_queries_not_batches() {
+        let m = ServeMetrics::new();
+        m.record_single(Duration::from_micros(7), false);
+        m.record_single(Duration::from_micros(2), true);
+        let s = m.snapshot();
+        assert_eq!(s.singles, 2);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.batches, 0, "singles must not pollute batch counters");
+        assert_eq!(s.batch_mean, Duration::ZERO);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_rebuilds, 1);
+        assert!(s.query_p50 > Duration::ZERO);
+        assert_eq!(s.query_max, Duration::from_micros(7));
+    }
+}

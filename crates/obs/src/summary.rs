@@ -1,0 +1,172 @@
+//! Plain-text hierarchical timing summary.
+//!
+//! Aggregates drained [`SpanEvent`]s per span name — count, total,
+//! mean, ~p99 (via the same log₂ [`LatencyHistogram`] the serving
+//! metrics use), and true max — and renders them as an indented table,
+//! parents above children. This is the terminal-friendly companion to
+//! the Chrome trace export: same data, no browser required.
+
+use crate::metrics::LatencyHistogram;
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Aggregate timing for one span name.
+///
+/// `p99` is a log₂ bucket upper bound (over-estimate by at most 2×,
+/// clamped to `max`); `max` is the true largest duration observed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStats {
+    /// The span name.
+    pub name: &'static str,
+    /// Number of recorded instances.
+    pub count: u64,
+    /// Sum of all durations.
+    pub total: Duration,
+    /// Mean duration.
+    pub mean: Duration,
+    /// ~p99 duration (bucket upper bound, ≤ `max`).
+    pub p99: Duration,
+    /// Largest single duration.
+    pub max: Duration,
+    /// Minimum nesting depth this span was observed at (drives the
+    /// indentation in [`render_summary`]).
+    pub depth: u16,
+}
+
+/// Aggregate events per span name, ordered by `(depth, first start)` so
+/// the rendered table reads top-down like the trace itself.
+pub fn summarize(events: &[SpanEvent]) -> Vec<SpanStats> {
+    struct Acc {
+        name: &'static str,
+        hist: LatencyHistogram,
+        total_ns: u128,
+        depth: u16,
+        first_start: u64,
+    }
+    let mut accs: Vec<Acc> = Vec::new();
+    for e in events {
+        let acc = match accs.iter_mut().find(|a| a.name == e.name) {
+            Some(a) => a,
+            None => {
+                accs.push(Acc {
+                    name: e.name,
+                    hist: LatencyHistogram::new(),
+                    total_ns: 0,
+                    depth: e.depth,
+                    first_start: e.start_ns,
+                });
+                accs.last_mut().expect("just pushed")
+            }
+        };
+        acc.hist.record(Duration::from_nanos(e.dur_ns));
+        acc.total_ns += e.dur_ns as u128;
+        acc.depth = acc.depth.min(e.depth);
+        acc.first_start = acc.first_start.min(e.start_ns);
+    }
+    accs.sort_by_key(|a| (a.depth, a.first_start));
+    accs.into_iter()
+        .map(|a| SpanStats {
+            name: a.name,
+            count: a.hist.count(),
+            total: Duration::from_nanos(a.total_ns.min(u64::MAX as u128) as u64),
+            mean: a.hist.mean(),
+            p99: a.hist.quantile(0.99),
+            max: a.hist.max(),
+            depth: a.depth,
+        })
+        .collect()
+}
+
+/// Render stats as an indented table (two spaces per nesting level).
+pub fn render_summary(stats: &[SpanStats]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "span", "count", "total", "mean", "~p99", "max"
+    );
+    for s in stats {
+        let label = format!("{}{}", "  ".repeat(s.depth as usize), s.name);
+        let _ = writeln!(
+            out,
+            "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            s.count,
+            fmt_dur(s.total),
+            fmt_dur(s.mean),
+            fmt_dur(s.p99),
+            fmt_dur(s.max)
+        );
+    }
+    out
+}
+
+/// Adaptive human-readable duration.
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, tid: u32, start_ns: u64, dur_ns: u64, depth: u16) -> SpanEvent {
+        SpanEvent { name, arg: None, tid, start_ns, dur_ns, depth }
+    }
+
+    #[test]
+    fn aggregates_per_name_ordered_by_depth_then_start() {
+        let events = vec![
+            ev("pipeline", 0, 0, 10_000, 0),
+            ev("stage.b", 0, 6_000, 3_000, 1),
+            ev("stage.a", 0, 1_000, 4_000, 1),
+            ev("stage.a", 0, 5_000, 1_000, 1),
+        ];
+        let stats = summarize(&events);
+        let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["pipeline", "stage.a", "stage.b"]);
+        let a = &stats[1];
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total, Duration::from_nanos(5_000));
+        assert_eq!(a.mean, Duration::from_nanos(2_500));
+        assert_eq!(a.max, Duration::from_nanos(4_000));
+        assert!(a.p99 <= a.max);
+        assert_eq!(a.depth, 1);
+    }
+
+    #[test]
+    fn depth_is_minimum_observed() {
+        // The same span name can appear at different depths (e.g. a
+        // restart running nested vs top-level); indent by the shallowest.
+        let events = vec![ev("x", 0, 0, 10, 2), ev("x", 0, 20, 10, 1)];
+        let stats = summarize(&events);
+        assert_eq!(stats[0].depth, 1);
+    }
+
+    #[test]
+    fn render_indents_and_lists_counts() {
+        let events = vec![ev("outer", 0, 0, 2_000_000, 0), ev("inner", 0, 10, 1_000_000, 1)];
+        let text = render_summary(&summarize(&events));
+        assert!(text.contains("outer"));
+        assert!(text.contains("  inner"), "children indent under parents:\n{text}");
+        assert!(text.contains("2.0ms"));
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("~p99"), "quantile column is labelled approximate");
+    }
+
+    #[test]
+    fn empty_summary_is_header_only() {
+        let text = render_summary(&summarize(&[]));
+        assert_eq!(text.lines().count(), 1);
+    }
+}

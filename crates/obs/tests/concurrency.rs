@@ -1,0 +1,84 @@
+//! Concurrency guard for the relaxed-ordering metrics design: hammer
+//! one `ServeMetrics` from 8 threads × 10k records and assert the
+//! snapshot is *exact* once the threads are quiescent. Counter adds and
+//! histogram bucket increments are atomic read-modify-writes, so no
+//! record may be lost — relaxed ordering only permits transient skew
+//! *during* recording, never after a join.
+
+use socialrec_obs::{MetricsRegistry, ServeMetrics};
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: usize = 10_000;
+
+#[test]
+fn serve_metrics_survive_8_threads_times_10k_records() {
+    let metrics = Arc::new(ServeMetrics::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let metrics = Arc::clone(&metrics);
+            scope.spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    // Vary latencies across buckets so conservation is
+                    // checked across the whole histogram, not one slot.
+                    let d = Duration::from_nanos(((t * RECORDS_PER_THREAD + i) as u64 % 4096) + 1);
+                    match i % 4 {
+                        0 => metrics.record_batch(d, i % 8 == 0),
+                        1 => metrics.record_single(d, i % 8 == 1),
+                        _ => metrics.record_query(d),
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * RECORDS_PER_THREAD) as u64;
+    let per_kind = total / 4; // i % 4 splits evenly: 10k per thread, 2.5k each
+    let s = metrics.snapshot();
+
+    // Exact counter totals.
+    assert_eq!(s.batches, per_kind);
+    assert_eq!(s.singles, per_kind);
+    assert_eq!(s.queries, per_kind + 2 * per_kind, "singles + plain queries");
+    assert_eq!(s.cache_hits + s.cache_rebuilds, 2 * per_kind, "one cache outcome per batch/single");
+    // Half the batches (i%8==0 of the i%4==0) and half the singles
+    // (i%8==1 of the i%4==1) hit the cache.
+    assert_eq!(s.cache_hits, per_kind);
+
+    // Conserved histogram counts: every record landed in some bucket.
+    assert_eq!(metrics.query_latency().count(), per_kind + 2 * per_kind);
+    assert_eq!(metrics.batch_latency().count(), per_kind);
+
+    // Derived stats stay internally consistent.
+    assert!(s.query_p50 <= s.query_p99);
+    assert!(s.query_p99 <= s.query_max);
+    assert!(s.query_max <= Duration::from_nanos(4096));
+    assert!(s.query_mean > Duration::ZERO);
+}
+
+#[test]
+fn registry_counters_are_exact_under_contention() {
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("hammered");
+    let hist = registry.histogram("hammered.latency");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    counter.inc();
+                    hist.record(Duration::from_nanos(i as u64 + 1));
+                }
+            });
+        }
+    });
+    let total = (THREADS * RECORDS_PER_THREAD) as u64;
+    assert_eq!(counter.get(), total);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters, vec![("hammered".to_string(), total)]);
+    let (_, hs) = &snap.histograms[0];
+    assert_eq!(hs.count, total, "histogram conserves every record");
+    assert_eq!(hs.max, Duration::from_nanos(RECORDS_PER_THREAD as u64));
+}

@@ -25,11 +25,13 @@
 mod cache;
 mod index;
 pub mod kernel;
-mod metrics;
 
 pub use cache::{partition_fingerprint, release_generation, ReleaseCache};
 pub use index::SimMassIndex;
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+// The metrics types moved to `socialrec-obs` (the workspace-wide
+// observability layer); re-exported here so the pre-obs public API
+// keeps working.
+pub use socialrec_obs::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
 
 use rayon::prelude::*;
 use socialrec_community::Partition;
@@ -37,6 +39,7 @@ use socialrec_core::private::framework::{ClusterFramework, NoiseModel, NoisyClus
 use socialrec_core::{top_n_items, RecommenderInputs, TopN, TopNRecommender};
 use socialrec_dp::Epsilon;
 use socialrec_graph::UserId;
+use socialrec_obs::span;
 use socialrec_similarity::SimilarityMatrix;
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,9 +120,18 @@ impl<'p> RecommendationServer<'p> {
         inputs: &RecommenderInputs<'_>,
         seed: u64,
     ) -> (Arc<NoisyClusterAverages>, bool) {
-        self.cache.get_or_build(self.generation_for(seed), || {
+        let generation = self.generation_for(seed);
+        let (averages, hit) = self.cache.get_or_build(generation, || {
+            let _span = span!("serve.rebuild");
             self.framework.noisy_cluster_averages(inputs, seed)
-        })
+        });
+        if !hit && socialrec_obs::enabled() {
+            // The rebuild just recorded a release in the privacy ledger
+            // (via the core release kernel); stamp it with the cache
+            // generation that consumed it.
+            socialrec_obs::PrivacyLedger::global().stamp_generation(generation);
+        }
+        (averages, hit)
     }
 
     /// Top-N recommendations for a batch of users.
@@ -143,6 +155,7 @@ impl<'p> RecommendationServer<'p> {
         n: usize,
         seed: u64,
     ) -> Vec<TopN> {
+        let _span = span!("serve.batch", users = users.len());
         let batch_start = Instant::now();
         let (averages, cache_hit) = self.release(inputs, seed);
         let ni = averages.num_items();
@@ -191,6 +204,7 @@ impl<'p> RecommendationServer<'p> {
         n: usize,
         seed: u64,
     ) -> TopN {
+        let _span = span!("serve.one");
         let start = Instant::now();
         let (averages, cache_hit) = self.release(inputs, seed);
         let mut out = Vec::new();

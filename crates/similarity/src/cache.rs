@@ -48,6 +48,7 @@ impl SimilarityMatrix {
     /// `socialrec pipeline-bench`).
     pub fn build<S: Similarity + ?Sized>(g: &SocialGraph, measure: &S) -> SimilarityMatrix {
         let n = g.num_users();
+        let _span = socialrec_obs::span!("sim.build", users = n);
         let parts = assemble_csr(
             n,
             UserId(0),

@@ -117,11 +117,13 @@ where
     let num_chunks = num_rows.div_ceil(chunk_rows);
 
     // Pass 1: fill rows into per-chunk split buffers, counting lengths.
+    let fill_span = socialrec_obs::span!("csr.fill", chunks = num_chunks);
     let chunks: Vec<(Vec<u64>, Vec<A>, Vec<B>)> = (0..num_chunks)
         .into_par_iter()
         .map_init(init, |state, c| {
             let lo = c * chunk_rows;
             let hi = ((c + 1) * chunk_rows).min(num_rows);
+            let _span = socialrec_obs::span!("csr.chunk", rows = hi - lo);
             let mut lens = Vec::with_capacity(hi - lo);
             let mut cols = Vec::new();
             let mut vals = Vec::new();
@@ -139,9 +141,11 @@ where
             (lens, cols, vals)
         })
         .collect();
+    drop(fill_span);
 
     // Pass 2: exclusive prefix sum over the row lengths, tracking the
     // element boundary of every chunk for the parallel writes below.
+    let _span = socialrec_obs::span!("csr.scatter");
     let mut offsets = Vec::with_capacity(num_rows + 1);
     offsets.push(0u64);
     let mut chunk_bounds = Vec::with_capacity(num_chunks + 1);

@@ -30,7 +30,10 @@
 //!   (Algorithm 1), the NOU/NOE baselines, the GS/LRM comparators, and
 //!   NDCG@N;
 //! * [`datasets`] — Table-1-faithful synthetic Last.fm/Flixster-like
-//!   datasets and loaders for the real file formats.
+//!   datasets and loaders for the real file formats;
+//! * [`obs`] — dependency-free observability: hierarchical spans, a
+//!   metrics registry, Chrome-trace export, and the privacy-budget
+//!   ledger (all inert until [`obs::enable`] is called).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use socialrec_datasets as datasets;
 pub use socialrec_dp as dp;
 pub use socialrec_graph as graph;
 pub use socialrec_linalg as linalg;
+pub use socialrec_obs as obs;
 pub use socialrec_similarity as similarity;
 
 /// The most common imports in one place.
