@@ -45,9 +45,16 @@ COMMANDS
   attack     Sybil-attack leakage estimate (paper §2.3)
                --social FILE  --prefs FILE  --victim U  --item I
                --epsilon E  [--trials 2000] [--measure CN]
-  serve-bench  Batch serving engine vs naive per-query throughput
+  serve-bench  Closed+open-loop load generator for the sharded,
+               coalescing serving daemon: Zipf user popularity,
+               Poisson arrivals, a hot swap under live load, exact
+               p50/p99 and coalescing-efficiency stats
                [--scale 0.15] [--seed 7] [--epsilon 0.5] [--n 10]
-               [--batches 3] [--naive-queries 200] [--measure CN]
+               [--clients 4] [--requests 400] [--shards 4]
+               [--zipf-s 1.0] [--open-rate QPS (0 = half the measured
+               closed-loop throughput)] [--measure CN]
+               [--out BENCH_serve.json]
+               [--smoke (tiny scale, no speedup gate)]
                [--trace OUT.json]
   pipeline-bench  Offline pipeline: parallel vs sequential
                sim-build -> cluster -> release -> recommend, with
@@ -57,9 +64,12 @@ COMMANDS
                [--out BENCH_pipeline.json]
                [--smoke (tiny scale, no speedup gate)]
                [--trace OUT.json]
-  validate-bench  Check a BENCH_pipeline.json artifact: pipeline marker,
-               all gated stages present, equivalence_checked == true,
-               serve metrics + privacy blocks present
+  validate-bench  Check a BENCH_pipeline.json or BENCH_serve.json
+               artifact (dispatch on the \"bench\" marker): gated
+               stages / load phases present, equivalence_checked ==
+               true, latency + coalescing + privacy fields present,
+               and the serving speedup SLO met whenever its gate was
+               bound
                [--path BENCH_pipeline.json]
   validate-trace  Check a --trace Chrome trace artifact with the
                exporter self-check; optionally require span names

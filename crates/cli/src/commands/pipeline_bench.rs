@@ -416,6 +416,9 @@ mod tests {
 
     #[test]
     fn smoke_mode_writes_valid_artifact_and_trace() {
+        // Arms the global observability layer — serialize with every
+        // other traced test in this binary.
+        let _guard = crate::commands::trace::obs_test_lock();
         let dir = std::env::temp_dir().join("socialrec-pipeline-bench-test");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("BENCH_pipeline.json");

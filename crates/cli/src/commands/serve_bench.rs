@@ -1,139 +1,542 @@
-//! `socialrec serve-bench` — throughput of the batch serving engine
-//! versus naive per-query recommendation.
+//! `socialrec serve-bench` — a closed+open-loop load generator for the
+//! sharded, coalescing serving daemon.
 //!
-//! The naive baseline answers each query the way the evaluation API
-//! does when driven one user at a time: a fresh
-//! `ClusterFramework::recommend` call per user, which re-releases the
-//! noisy averages and re-walks the similarity row on every request.
-//! The server amortizes the release across the batch (generation-keyed
-//! cache) and the similarity walk across all queries (precomputed
-//! sim-mass index), while returning bit-identical lists.
+//! The generator drives [`ShardedServer`] the way production traffic
+//! would: `--clients` concurrent threads issue single-user queries with
+//! Zipf-skewed user popularity, switching release seed halfway through
+//! so a hot swap happens under live load. Three phases are measured:
+//!
+//! 1. **Closed loop** — every client fires its next query the moment
+//!    the previous answer returns. Concurrent singles coalesce in each
+//!    shard's admission queue and ride the item-tiled kernel together.
+//! 2. **Uncoalesced baseline** — the same workload against
+//!    `RecommendationServer::recommend_one`, which pays the full kernel
+//!    walk per query. `closed_qps / uncoalesced_qps` is the coalescing
+//!    speedup the acceptance gate binds on (only where the hardware can
+//!    express concurrency: ≥ 4 cores and ≥ 4 clients, non-smoke).
+//! 3. **Open loop** — Poisson arrivals at a fixed offered rate, with
+//!    latency charged from the *scheduled* arrival instant, so queueing
+//!    delay the closed loop structurally hides shows up in the p99.
+//!
+//! Latency quantiles are exact (nearest-rank over every per-query
+//! sample), unlike the registry histograms' log₂-bucket bounds. The
+//! run spot-checks all three serving paths bitwise against
+//! `ClusterFramework::recommend` for both generations, asserts exactly
+//! one release build per generation, and writes a `BENCH_serve.json`
+//! artifact (throughput, exact p50/p99, coalescing efficiency,
+//! per-shard generation stamps) whose shape — and SLO verdict — is
+//! enforced by `socialrec validate-bench` in CI.
 
 use crate::commands::trace::TraceSink;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use socialrec_community::{ClusteringStrategy, LouvainStrategy};
 use socialrec_core::private::ClusterFramework;
-use socialrec_core::{RecommenderInputs, TopNRecommender};
+use socialrec_core::{RecommenderInputs, TopN, TopNRecommender};
 use socialrec_datasets::flixster_like;
-use socialrec_dp::Epsilon;
-use socialrec_experiments::json::ToJson;
-use socialrec_experiments::Args;
+use socialrec_dp::{Epsilon, PrivacyAccountant};
+use socialrec_experiments::{impl_to_json, json::ToJson, Args};
 use socialrec_graph::UserId;
-use socialrec_serve::RecommendationServer;
+use socialrec_serve::loadgen::{poisson_interarrival, Zipf};
+use socialrec_serve::{RecommendationServer, ShardedServer};
 use socialrec_similarity::{parse_measure, SimilarityMatrix};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// One load phase's roll-up. `p50_ns`/`p99_ns` are exact nearest-rank
+/// quantiles over every per-query latency sample.
+struct LoopStats {
+    mode: String,
+    queries: u64,
+    elapsed_ms: f64,
+    qps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+impl_to_json!(LoopStats { mode, queries, elapsed_ms, qps, p50_ns, p99_ns, max_ns });
+
+impl LoopStats {
+    fn new(mode: &str, sorted_ns: &[u64], elapsed_ms: f64) -> LoopStats {
+        LoopStats {
+            mode: mode.to_string(),
+            queries: sorted_ns.len() as u64,
+            elapsed_ms,
+            qps: sorted_ns.len() as f64 / (elapsed_ms / 1e3).max(1e-9),
+            p50_ns: percentile_ns(sorted_ns, 0.50),
+            p99_ns: percentile_ns(sorted_ns, 0.99),
+            max_ns: sorted_ns.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Coalescing efficiency of the closed-loop phase, from the daemon's
+/// per-shard counters: `mean_ride` = queries per admission batch,
+/// `coalesced_fraction` = share of queries that shared their batch.
+struct Coalescing {
+    queries: u64,
+    admissions: u64,
+    coalesced_queries: u64,
+    mean_ride: f64,
+    coalesced_fraction: f64,
+}
+
+impl_to_json!(Coalescing { queries, admissions, coalesced_queries, mean_ride, coalesced_fraction });
+
+/// The SLO verdict `validate-bench` enforces: when the gate binds
+/// (enough cores and clients, non-smoke), `met` must be true.
+struct Slo {
+    coalescing_speedup: f64,
+    speedup_gate_bound: bool,
+    met: bool,
+}
+
+impl_to_json!(Slo { coalescing_speedup, speedup_gate_bound, met });
+
+/// Privacy accounting: ε per release (dp's parallel composition over
+/// the partition's disjoint clusters) and, on traced runs, the ledger's
+/// spend count per generation (zero in untraced runs, where the ledger
+/// is disarmed; the hot swap must spend exactly once per generation).
+struct ServePrivacy {
+    epsilon_per_release: f64,
+    clusters: usize,
+    ledger_spends_generation_a: usize,
+    ledger_spends_generation_b: usize,
+}
+
+impl_to_json!(ServePrivacy {
+    epsilon_per_release,
+    clusters,
+    ledger_spends_generation_a,
+    ledger_spends_generation_b,
+});
+
+/// The `BENCH_serve.json` document.
+struct Report {
+    bench: String,
+    dataset: String,
+    scale: f64,
+    seed: u64,
+    epsilon: String,
+    measure: String,
+    top_n: usize,
+    smoke: bool,
+    threads: usize,
+    cores: usize,
+    clients: usize,
+    requests_per_client: usize,
+    shards: usize,
+    zipf_s: f64,
+    open_rate_qps: f64,
+    users: usize,
+    items: usize,
+    clusters: usize,
+    closed: LoopStats,
+    uncoalesced: LoopStats,
+    open: LoopStats,
+    coalescing: Coalescing,
+    slo: Slo,
+    release_epochs: u64,
+    shard_generations: Vec<u64>,
+    equivalence_checked: bool,
+    privacy: ServePrivacy,
+    registry: socialrec_obs::RegistrySnapshot,
+}
+
+impl_to_json!(Report {
+    bench,
+    dataset,
+    scale,
+    seed,
+    epsilon,
+    measure,
+    top_n,
+    smoke,
+    threads,
+    cores,
+    clients,
+    requests_per_client,
+    shards,
+    zipf_s,
+    open_rate_qps,
+    users,
+    items,
+    clusters,
+    closed,
+    uncoalesced,
+    open,
+    coalescing,
+    slo,
+    release_epochs,
+    shard_generations,
+    equivalence_checked,
+    privacy,
+    registry,
+});
+
+/// Exact nearest-rank quantile over a sorted latency sample.
+fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    match sorted.len() {
+        0 => 0,
+        len => sorted[(((len - 1) as f64 * q).round() as usize).min(len - 1)],
+    }
+}
+
+fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// A per-client RNG: deterministic, decorrelated across clients.
+fn client_rng(seed: u64, client: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Closed-loop drive: each client issues its next query the instant the
+/// previous answer returns, switching from `seeds.0` to `seeds.1`
+/// halfway through (the hot swap under load). Returns every per-query
+/// latency in ns, sorted, plus the phase's wall-clock ms.
+fn drive_closed<F: Fn(UserId, u64) + Sync>(
+    clients: usize,
+    requests: usize,
+    zipf: &Zipf,
+    seeds: (u64, u64),
+    serve: &F,
+) -> (Vec<u64>, f64) {
+    let t0 = Instant::now();
+    let mut lat: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut rng = client_rng(seeds.0, c);
+                    let mut lats = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let qseed = if i < requests / 2 { seeds.0 } else { seeds.1 };
+                        let u = UserId(zipf.sample(&mut rng) as u32);
+                        let t = Instant::now();
+                        serve(u, qseed);
+                        lats.push(elapsed_ns(t));
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("load client panicked")).collect()
+    });
+    lat.sort_unstable();
+    (lat, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Open-loop drive: arrivals follow a Poisson process at `rate_qps`
+/// aggregate (split evenly across clients), and latency is measured
+/// from the *scheduled* arrival instant — when the daemon falls behind
+/// the offered rate, the backlog is charged to the responses.
+fn drive_open<F: Fn(UserId, u64) + Sync>(
+    clients: usize,
+    requests: usize,
+    zipf: &Zipf,
+    seed: u64,
+    rate_qps: f64,
+    serve: &F,
+) -> (Vec<u64>, f64) {
+    let per_client = (rate_qps / clients as f64).max(1e-3);
+    let t0 = Instant::now();
+    let mut lat: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut rng = client_rng(seed ^ 0x00A1_1CE5, c);
+                    let mut lats = Vec::with_capacity(requests);
+                    let mut t_next = 0.0f64;
+                    for _ in 0..requests {
+                        t_next += poisson_interarrival(&mut rng, per_client);
+                        let target = t0 + Duration::from_secs_f64(t_next);
+                        let now = Instant::now();
+                        if target > now {
+                            std::thread::sleep(target - now);
+                        }
+                        let u = UserId(zipf.sample(&mut rng) as u32);
+                        serve(u, seed);
+                        lats.push(elapsed_ns(target));
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("load client panicked")).collect()
+    });
+    lat.sort_unstable();
+    (lat, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn same_bits(a: &TopN, b: &TopN) -> bool {
+    a.user == b.user
+        && a.items.len() == b.items.len()
+        && a.items
+            .iter()
+            .zip(&b.items)
+            .all(|((ai, au), (bi, bu))| ai == bi && au.to_bits() == bu.to_bits())
+}
+
+/// Bit-identity spot-check of every serving path — sharded batch,
+/// coalesced single, uncoalesced single — against
+/// `ClusterFramework::recommend`, for both generations.
+fn check_equivalence(
+    fw: &ClusterFramework<'_>,
+    daemon: &ShardedServer<'_>,
+    server: &RecommendationServer<'_>,
+    inputs: &RecommenderInputs<'_>,
+    sample: &[UserId],
+    n: usize,
+    seeds: [u64; 2],
+) -> Result<(), String> {
+    for seed in seeds {
+        let want = fw.recommend(inputs, sample, n, seed);
+        let batch = daemon.recommend_batch(inputs, sample, n, seed);
+        for (k, &u) in sample.iter().enumerate() {
+            if !same_bits(&batch[k], &want[k]) {
+                return Err(format!(
+                    "sharded batch diverged from the framework for {u:?} (seed {seed})"
+                ));
+            }
+            let one = daemon.recommend_one(inputs, u, n, seed);
+            if !same_bits(&one, &want[k]) {
+                return Err(format!(
+                    "coalesced single diverged from the framework for {u:?} (seed {seed})"
+                ));
+            }
+            let direct = server.recommend_one(inputs, u, n, seed);
+            if !same_bits(&direct, &want[k]) {
+                return Err(format!(
+                    "uncoalesced single diverged from the framework for {u:?} (seed {seed})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn counter_sum(snap: &socialrec_obs::RegistrySnapshot, suffix: &str) -> u64 {
+    snap.counters.iter().filter(|(n, _)| n.ends_with(suffix)).map(|(_, v)| *v).sum()
+}
 
 /// Run the command.
 pub fn run(args: &Args) -> Result<(), String> {
-    let scale = args.get_f64("scale", 0.15);
+    let smoke = args.has_flag("smoke");
+    let scale = args.get_f64("scale", if smoke { 0.004 } else { 0.15 });
     let seed = args.get_u64("seed", 7);
     let epsilon: Epsilon = args.get_str("epsilon").unwrap_or("0.5").parse()?;
     let n = args.get_usize("n", 10);
-    let batches = args.get_usize("batches", 3).max(1);
-    let naive_queries = args.get_usize("naive-queries", 200).max(1);
+    let clients = args.get_usize("clients", 4).max(1);
+    let requests = args.get_usize("requests", if smoke { 24 } else { 400 }).max(2);
+    let num_shards = args.get_usize("shards", 4).max(1);
+    let zipf_s = args.get_f64("zipf-s", 1.0);
+    let open_rate = args.get_f64("open-rate", 0.0);
     let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
+    let out_path = args.get_str("out").unwrap_or("BENCH_serve.json").to_string();
+    let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let trace = TraceSink::init(args);
 
     eprintln!("generating flixster_like(scale={scale}, seed={seed})...");
     let ds = flixster_like(scale, seed);
     let num_users = ds.social.num_users();
-    eprintln!("  {} users, {} items", num_users, ds.prefs.num_items());
+    eprintln!("  {} users, {} items, {threads} threads", num_users, ds.prefs.num_items());
 
     eprintln!("building {} similarity matrix...", measure.name());
-    let t = Instant::now();
     let sim = SimilarityMatrix::build(&ds.social, measure.as_ref());
-    eprintln!("  {:.2?} ({} entries)", t.elapsed(), sim.num_entries());
-
     eprintln!("clustering (Louvain)...");
-    let t = Instant::now();
     let partition = LouvainStrategy { restarts: 3, seed, refine: true }.cluster(&ds.social);
-    eprintln!("  {:.2?} ({} clusters)", t.elapsed(), partition.num_clusters());
+    eprintln!("  {} clusters", partition.num_clusters());
 
     let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
-    let t = Instant::now();
+    let daemon = ShardedServer::new(&partition, &sim, epsilon, num_shards);
     let server = RecommendationServer::new(&partition, &sim, epsilon);
-    eprintln!(
-        "sim-mass index: {:.2?} ({} rows, {} entries)",
-        t.elapsed(),
-        server.index().num_users(),
-        server.index().nnz()
-    );
-
-    // Naive baseline: one full recommend() call per query.
     let fw = ClusterFramework::new(&partition, epsilon);
+    let zipf = Zipf::new(num_users, zipf_s);
+    let (seed_a, seed_b) = (seed, seed.wrapping_add(1));
+    let (gen_a, gen_b) = (daemon.generation_for(seed_a), daemon.generation_for(seed_b));
+
+    // Phase 1 — closed loop against the coalescing daemon, hot swap
+    // (seed bump) halfway through each client's request stream.
+    eprintln!(
+        "closed loop: {clients} clients x {requests} coalesced singles \
+         ({} shards, hot swap mid-run)...",
+        daemon.num_shards()
+    );
+    let (lat, elapsed) = drive_closed(clients, requests, &zipf, (seed_a, seed_b), &|u, s| {
+        daemon.recommend_one(&inputs, u, n, s);
+    });
+    let closed = LoopStats::new("closed", &lat, elapsed);
+
+    let epoch = daemon.exchange().epoch();
+    if epoch != 2 {
+        return Err(format!("expected exactly one release build per generation, epoch = {epoch}"));
+    }
+    // On traced runs the ledger is armed and no other release has run
+    // since init reset it: the hot swap must have spent ε exactly once
+    // per generation, however many clients and shards raced.
+    let mut spends = [0usize; 2];
+    if trace.active() {
+        let ledger = socialrec_obs::PrivacyLedger::global().snapshot();
+        for (k, generation) in [gen_a, gen_b].into_iter().enumerate() {
+            spends[k] = ledger.records.iter().filter(|r| r.generation == Some(generation)).count();
+            if spends[k] != 1 {
+                return Err(format!(
+                    "generation {generation:#x} spent ε {} times — the hot swap must spend \
+                     exactly once per generation",
+                    spends[k]
+                ));
+            }
+        }
+    }
+
+    // Coalescing efficiency of the closed-loop phase (the snapshot is
+    // taken before any other phase adds traffic).
+    let snap = daemon.registry().snapshot();
+    let (queries, admissions) = (counter_sum(&snap, ".queries"), counter_sum(&snap, ".admissions"));
+    let coalesced_queries = counter_sum(&snap, ".coalesced");
+    let coalescing = Coalescing {
+        queries,
+        admissions,
+        coalesced_queries,
+        mean_ride: queries as f64 / admissions.max(1) as f64,
+        coalesced_fraction: coalesced_queries as f64 / queries.max(1) as f64,
+    };
+
+    // Bit-identity spot-checks across both generations and all paths.
+    let sample_n = num_users.min(32);
     let sample: Vec<UserId> =
-        (0..naive_queries).map(|k| UserId((k * num_users / naive_queries) as u32)).collect();
-    eprintln!("naive per-query baseline ({naive_queries} queries)...");
-    let t = Instant::now();
-    let mut naive_lists = Vec::with_capacity(sample.len());
-    for &u in &sample {
-        naive_lists.extend(fw.recommend(&inputs, &[u], n, seed));
-    }
-    let naive_elapsed = t.elapsed();
-    let naive_qps = sample.len() as f64 / naive_elapsed.as_secs_f64();
+        (0..sample_n).map(|k| UserId((k * num_users / sample_n) as u32)).collect();
+    eprintln!("equivalence spot-check ({sample_n} users x 2 generations x 3 paths)...");
+    check_equivalence(&fw, &daemon, &server, &inputs, &sample, n, [seed_a, seed_b])?;
 
-    // Batch serving over every user, repeated so later batches hit the
-    // release cache.
-    let users: Vec<UserId> = (0..num_users as u32).map(UserId).collect();
-    eprintln!("batch serving ({batches} batches x {num_users} users)...");
-    let t = Instant::now();
-    let mut batch_lists = Vec::new();
-    for _ in 0..batches {
-        batch_lists = server.recommend_batch(&inputs, &users, n, seed);
-    }
-    let batch_elapsed = t.elapsed();
-    let batch_qps = (batches * num_users) as f64 / batch_elapsed.as_secs_f64();
+    // Phase 2 — the uncoalesced baseline: same client count, same Zipf
+    // stream, single warm generation (generous to the baseline — it
+    // never pays a rebuild), one full kernel walk per query.
+    eprintln!("uncoalesced baseline: {clients} clients x {requests} direct singles...");
+    let (lat, elapsed) = drive_closed(clients, requests, &zipf, (seed_b, seed_b), &|u, s| {
+        server.recommend_one(&inputs, u, n, s);
+    });
+    let uncoalesced = LoopStats::new("uncoalesced", &lat, elapsed);
 
-    // Spot-check the serving contract on the sampled users.
-    for (k, &u) in sample.iter().enumerate() {
-        if batch_lists[u.index()] != naive_lists[k] {
-            return Err(format!("serving mismatch for {u:?} — results must be identical"));
-        }
+    // Phase 3 — open loop at a fixed offered rate (default: half the
+    // measured closed-loop throughput, so queueing is visible but the
+    // system is stable).
+    let open_rate_qps = if open_rate > 0.0 { open_rate } else { (closed.qps * 0.5).max(1.0) };
+    eprintln!("open loop: Poisson arrivals at {open_rate_qps:.0} queries/s aggregate...");
+    let (lat, elapsed) = drive_open(clients, requests, &zipf, seed_b, open_rate_qps, &|u, s| {
+        daemon.recommend_one(&inputs, u, n, s);
+    });
+    let open = LoopStats::new("open", &lat, elapsed);
+
+    // A final fan-out sweep touches every shard so each one's epoch
+    // cell carries a generation stamp for the artifact.
+    let all: Vec<UserId> = (0..num_users as u32).map(UserId).collect();
+    let sweep = daemon.recommend_batch(&inputs, &all, n, seed_b);
+    if sweep.len() != num_users {
+        return Err("fan-out sweep dropped responses".to_string());
+    }
+    let shard_generations: Vec<u64> = daemon
+        .shard_generations()
+        .into_iter()
+        .map(|g| g.ok_or_else(|| "a shard served no traffic even after the full sweep".to_string()))
+        .collect::<Result<_, _>>()?;
+    if shard_generations.iter().any(|&g| g != gen_b) {
+        return Err("a shard is not serving the post-swap generation after the sweep".to_string());
     }
 
-    // Single-query direct path over the same sample: hits the release
-    // cache, skips the batch fan-out, must return the exact batch rows.
-    eprintln!("single-query direct path ({} queries)...", sample.len());
-    let t = Instant::now();
-    for &u in &sample {
-        let single = server.recommend_one(&inputs, u, n, seed);
-        if single != batch_lists[u.index()] {
-            return Err(format!("recommend_one mismatch for {u:?} — must equal the batch row"));
-        }
+    let mut accountant = PrivacyAccountant::new();
+    for _ in 0..partition.num_clusters() {
+        accountant.spend_parallel(epsilon);
     }
-    let single_elapsed = t.elapsed();
-    let single_qps = sample.len() as f64 / single_elapsed.as_secs_f64();
+    let privacy = ServePrivacy {
+        epsilon_per_release: accountant.total_epsilon(),
+        clusters: partition.num_clusters(),
+        ledger_spends_generation_a: spends[0],
+        ledger_spends_generation_b: spends[1],
+    };
 
-    let snap = server.metrics().snapshot();
-    let speedup = batch_qps / naive_qps;
-    println!("serve-bench (flixster_like scale={scale}, eps={epsilon}, n={n})");
-    println!("  naive  : {naive_qps:>12.1} queries/s  ({naive_elapsed:.2?} for {naive_queries})");
+    let coalescing_speedup = closed.qps / uncoalesced.qps.max(1e-9);
+    // The speedup gate only binds where the hardware can express the
+    // concurrency being measured; equivalence is checked unconditionally.
+    let speedup_gate_bound = !smoke && cores >= 4 && clients >= 4;
+    let slo = Slo { coalescing_speedup, speedup_gate_bound, met: coalescing_speedup >= 3.0 };
+
+    let report = Report {
+        bench: "serve".to_string(),
+        dataset: ds.name.clone(),
+        scale,
+        seed,
+        epsilon: epsilon.to_string(),
+        measure: measure.name().to_string(),
+        top_n: n,
+        smoke,
+        threads,
+        cores,
+        clients,
+        requests_per_client: requests,
+        shards: daemon.num_shards(),
+        zipf_s,
+        open_rate_qps,
+        users: num_users,
+        items: ds.prefs.num_items(),
+        clusters: partition.num_clusters(),
+        closed,
+        uncoalesced,
+        open,
+        coalescing,
+        slo,
+        release_epochs: epoch,
+        shard_generations,
+        equivalence_checked: true,
+        privacy,
+        registry: daemon.registry().snapshot(),
+    };
+    let json = report.to_json_pretty();
+    std::fs::write(&out_path, format!("{json}\n"))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+
     println!(
-        "  batch  : {batch_qps:>12.1} queries/s  ({batch_elapsed:.2?} for {})",
-        batches * num_users
+        "serve-bench load generator (flixster_like scale={scale}, eps={epsilon}, \
+         {} shards, {clients} clients)",
+        report.shards
+    );
+    for s in [&report.closed, &report.uncoalesced, &report.open] {
+        println!(
+            "  {:<11}: {:>10.1} q/s   p50 {:>10} ns   p99 {:>10} ns   ({} queries)",
+            s.mode, s.qps, s.p50_ns, s.p99_ns, s.queries
+        );
+    }
+    println!(
+        "  coalescing : {:.2} mean ride, {:.0}% of singles coalesced, {} admissions",
+        report.coalescing.mean_ride,
+        report.coalescing.coalesced_fraction * 100.0,
+        report.coalescing.admissions
     );
     println!(
-        "  single : {single_qps:>12.1} queries/s  ({single_elapsed:.2?} for {})",
-        sample.len()
-    );
-    println!("  speedup: {speedup:>12.1}x");
-    println!(
-        "  metrics: {} queries ({} singles), {} batches ({} cache hits, {} rebuilds)",
-        snap.queries, snap.singles, snap.batches, snap.cache_hits, snap.cache_rebuilds
+        "  speedup    : {coalescing_speedup:.2}x coalesced vs uncoalesced singles{}",
+        if speedup_gate_bound { "" } else { " (gate not bound on this machine)" }
     );
     println!(
-        "  latency: query mean {:.2?}, ~p50 {:.2?}, ~p99 {:.2?}",
-        snap.query_mean, snap.query_p50, snap.query_p99
+        "  hot swap   : {} release builds, every shard on generation {gen_b:#x}",
+        report.release_epochs
     );
-    println!(
-        "           batch mean {:.2?}, ~p50 {:.2?}, ~p99 {:.2?}",
-        snap.batch_mean, snap.batch_p50, snap.batch_p99
-    );
-    // Machine-readable snapshot (the ~p50/~p99 fields are log₂-bucket
-    // upper bounds clamped to *_max_ns, not exact quantiles).
-    println!("metrics-json: {}", snap.to_json_pretty());
-    trace.finish(&["sim.build", "louvain.level", "release", "serve.batch", "serve.one"])?;
-    if speedup < 3.0 {
-        return Err(format!("expected >= 3x batch speedup, measured {speedup:.1}x"));
+    println!("  wrote {out_path}");
+    trace.finish(&[
+        "sim.build",
+        "louvain.level",
+        "release",
+        "serve.rebuild",
+        "serve.coalesced",
+        "serve.shard_batch",
+        "serve.one",
+    ])?;
+
+    if speedup_gate_bound && coalescing_speedup < 3.0 {
+        return Err(format!(
+            "expected >= 3x coalesced-singles throughput over the uncoalesced loop \
+             on {clients} clients ({cores} cores), measured {coalescing_speedup:.2}x"
+        ));
     }
     Ok(())
 }
@@ -143,9 +546,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn small_scale_bench_runs_and_beats_naive() {
-        // Tiny but non-degenerate: flixster_like floors at 500 users.
-        let spec = "--scale 0.004 --naive-queries 40 --batches 2 --n 5";
+    fn smoke_mode_writes_valid_artifact_and_trace() {
+        // Arms the global observability layer — serialize with every
+        // other traced test in this binary.
+        let _guard = crate::commands::trace::obs_test_lock();
+        let dir = std::env::temp_dir().join("socialrec-serve-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_serve.json");
+        let trace_out = dir.join("serve_trace.json");
+        let spec = format!("--smoke --out {} --trace {}", out.display(), trace_out.display());
         run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+
+        // The artifact must pass the real validator's serve branch.
+        let vspec = format!("--path {}", out.display());
+        crate::commands::validate_bench::run(&Args::parse_from(
+            vspec.split_whitespace().map(String::from),
+        ))
+        .unwrap();
+
+        let body = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"bench\": \"serve\"",
+            "\"mode\": \"closed\"",
+            "\"mode\": \"open\"",
+            "\"mode\": \"uncoalesced\"",
+            "\"p99_ns\"",
+            "\"mean_ride\"",
+            "\"coalesced_fraction\"",
+            "\"shard_generations\"",
+            "\"serve.shard0.generation\"",
+            "\"ledger_spends_generation_b\": 1",
+        ] {
+            assert!(body.contains(key), "artifact missing {key}: {body}");
+        }
+        let trace_body = std::fs::read_to_string(&trace_out).unwrap();
+        let check = socialrec_obs::validate_chrome_trace(&trace_body).unwrap();
+        for span in ["serve.rebuild", "serve.coalesced", "serve.shard_batch", "serve.one"] {
+            assert!(check.has_span(span), "trace missing {span}: {:?}", check.names);
+        }
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&trace_out).ok();
     }
 }

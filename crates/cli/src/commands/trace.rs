@@ -11,6 +11,16 @@
 
 use socialrec_experiments::Args;
 
+/// Serializes tests that arm the global observability layer (`--trace`
+/// resets the process-wide privacy ledger and span buffers) — two such
+/// tests overlapping in one test binary would corrupt each other's
+/// ledgers and traces.
+#[cfg(test)]
+pub fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The `--trace` state for one CLI command invocation.
 pub struct TraceSink {
     path: Option<String>,

@@ -1,14 +1,16 @@
 //! `socialrec validate-bench` — structural validation of a
-//! `BENCH_pipeline.json` artifact.
+//! `BENCH_pipeline.json` or `BENCH_serve.json` artifact.
 //!
 //! The repo deliberately has no JSON deserializer (artifacts are
 //! write-only, produced via `impl_to_json!`), so validation is
-//! substring-based: the checks assert that the document is a pipeline
-//! bench report, that every expected stage is present, and that the
-//! run-time equivalence checks actually ran. CI runs this against both
-//! the smoke-run artifact and the checked-in trajectory artifact, so a
-//! bench refactor that drops a gated stage (or stops asserting
-//! equivalence) fails the build instead of silently thinning the gate.
+//! substring-based: the checks dispatch on the `"bench"` marker, assert
+//! that every expected stage/phase is present, that the run-time
+//! equivalence checks actually ran, and — for serving artifacts — that
+//! the coalescing SLO was met whenever its gate was bound. CI runs this
+//! against both the smoke-run artifacts and the checked-in trajectory
+//! artifacts, so a bench refactor that drops a gated stage (or stops
+//! asserting equivalence) fails the build instead of silently thinning
+//! the gate.
 
 use socialrec_experiments::Args;
 
@@ -33,8 +35,8 @@ const REQUIRED_KEYS: [&str; 7] = [
 const REQUIRED_METRICS_KEYS: [&str; 5] =
     ["\"queries\"", "\"batches\"", "\"query_p99_ns\"", "\"query_max_ns\"", "\"batch_max_ns\""];
 
-/// Fields the `privacy` block must carry: the per-release ε from dp's
-/// accountant and the observability ledger's view of the run.
+/// Fields the pipeline `privacy` block must carry: the per-release ε
+/// from dp's accountant and the observability ledger's view of the run.
 const REQUIRED_PRIVACY_KEYS: [&str; 4] = [
     "\"epsilon_per_release\"",
     "\"clusters\"",
@@ -42,27 +44,73 @@ const REQUIRED_PRIVACY_KEYS: [&str; 4] = [
     "\"ledger_cumulative_epsilon\"",
 ];
 
+/// Load phases every serving artifact must report.
+const REQUIRED_SERVE_MODES: [&str; 3] = ["closed", "uncoalesced", "open"];
+
+/// Top-level keys every serving artifact must carry.
+const REQUIRED_SERVE_KEYS: [&str; 14] = [
+    "\"clients\"",
+    "\"shards\"",
+    "\"threads\"",
+    "\"cores\"",
+    "\"users\"",
+    "\"items\"",
+    "\"closed\"",
+    "\"open\"",
+    "\"uncoalesced\"",
+    "\"coalescing\"",
+    "\"slo\"",
+    "\"shard_generations\"",
+    "\"release_epochs\"",
+    "\"registry\"",
+];
+
+/// Per-phase latency/throughput fields (exact nearest-rank quantiles).
+const REQUIRED_SERVE_LATENCY_KEYS: [&str; 4] =
+    ["\"qps\"", "\"p50_ns\"", "\"p99_ns\"", "\"max_ns\""];
+
+/// Coalescing-efficiency fields from the daemon's per-shard counters.
+const REQUIRED_SERVE_COALESCING_KEYS: [&str; 4] =
+    ["\"admissions\"", "\"coalesced_queries\"", "\"mean_ride\"", "\"coalesced_fraction\""];
+
+/// Fields the serving `privacy` block must carry (the ledger spend
+/// counts are the one-ε-per-generation hot-swap evidence on traced
+/// runs).
+const REQUIRED_SERVE_PRIVACY_KEYS: [&str; 4] = [
+    "\"epsilon_per_release\"",
+    "\"clusters\"",
+    "\"ledger_spends_generation_a\"",
+    "\"ledger_spends_generation_b\"",
+];
+
 /// Run the command.
 pub fn run(args: &Args) -> Result<(), String> {
     let path = args.get_str("path").unwrap_or("BENCH_pipeline.json").to_string();
     let body = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-    validate(&body).map_err(|e| format!("{path}: {e}"))?;
-    println!("validate-bench: {path} ok ({} stages)", REQUIRED_STAGES.len());
+    let kind = validate(&body).map_err(|e| format!("{path}: {e}"))?;
+    println!("validate-bench: {path} ok ({kind})");
     Ok(())
 }
 
-fn validate(body: &str) -> Result<(), String> {
+fn validate(body: &str) -> Result<&'static str, String> {
     if !body.trim_start().starts_with('{') {
         return Err("not a JSON object".to_string());
     }
-    if !body.contains("\"bench\": \"pipeline\"") {
-        return Err("missing `\"bench\": \"pipeline\"` marker".to_string());
-    }
     if !body.contains("\"equivalence_checked\": true") {
         return Err("equivalence_checked is not true — the bench must assert \
-             sequential/parallel bit-identity at run time"
+             bit-identity against the reference path at run time"
             .to_string());
     }
+    if body.contains("\"bench\": \"pipeline\"") {
+        validate_pipeline(body).map(|()| "pipeline")
+    } else if body.contains("\"bench\": \"serve\"") {
+        validate_serve(body).map(|()| "serve")
+    } else {
+        Err("missing `\"bench\": \"pipeline\"` or `\"bench\": \"serve\"` marker".to_string())
+    }
+}
+
+fn validate_pipeline(body: &str) -> Result<(), String> {
     for key in REQUIRED_KEYS {
         if !body.contains(key) {
             return Err(format!("missing top-level key {key}"));
@@ -82,6 +130,47 @@ fn validate(body: &str) -> Result<(), String> {
         if !body.contains(key) {
             return Err(format!("missing privacy field {key}"));
         }
+    }
+    Ok(())
+}
+
+fn validate_serve(body: &str) -> Result<(), String> {
+    for key in REQUIRED_SERVE_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    for mode in REQUIRED_SERVE_MODES {
+        if !body.contains(&format!("\"mode\": \"{mode}\"")) {
+            return Err(format!("missing load phase entry for {mode:?}"));
+        }
+    }
+    for key in REQUIRED_SERVE_LATENCY_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing load-phase latency field {key}"));
+        }
+    }
+    for key in REQUIRED_SERVE_COALESCING_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing coalescing field {key}"));
+        }
+    }
+    for key in REQUIRED_SERVE_PRIVACY_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing privacy field {key}"));
+        }
+    }
+    if !body.contains("serve.shard0.generation") {
+        return Err("missing per-shard generation stamps in the registry block".to_string());
+    }
+    if !body.contains("\"coalescing_speedup\"") {
+        return Err("missing slo field \"coalescing_speedup\"".to_string());
+    }
+    // The SLO wire-through: when the bench declared its speedup gate
+    // bound (enough cores and clients, non-smoke), the artifact must
+    // also record that the >= 3x target was met.
+    if body.contains("\"speedup_gate_bound\": true") && !body.contains("\"met\": true") {
+        return Err("speedup gate was bound but the >= 3x coalescing SLO was not met".to_string());
     }
     Ok(())
 }
@@ -108,9 +197,36 @@ mod tests {
         )
     }
 
+    fn valid_serve_body() -> String {
+        let phase = |mode: &str| {
+            format!(
+                "{{ \"mode\": \"{mode}\", \"queries\": 96, \"qps\": 100.0, \
+                 \"p50_ns\": 1000, \"p99_ns\": 2000, \"max_ns\": 3000 }}"
+            )
+        };
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"threads\": 1,\n  \"cores\": 8,\n  \
+             \"clients\": 4,\n  \"shards\": 4,\n  \"users\": 10,\n  \"items\": 20,\n  \
+             \"closed\": {},\n  \"uncoalesced\": {},\n  \"open\": {},\n  \
+             \"coalescing\": {{ \"queries\": 96, \"admissions\": 40, \
+             \"coalesced_queries\": 70, \"mean_ride\": 2.4, \"coalesced_fraction\": 0.73 }},\n  \
+             \"slo\": {{ \"coalescing_speedup\": 3.5, \"speedup_gate_bound\": true, \
+             \"met\": true }},\n  \
+             \"release_epochs\": 2,\n  \"shard_generations\": [7, 7, 7, 7],\n  \
+             \"equivalence_checked\": true,\n  \
+             \"privacy\": {{ \"epsilon_per_release\": 0.5, \"clusters\": 3, \
+             \"ledger_spends_generation_a\": 1, \"ledger_spends_generation_b\": 1 }},\n  \
+             \"registry\": {{ \"gauges\": [[\"serve.shard0.generation\", 7]] }}\n}}\n",
+            phase("closed"),
+            phase("uncoalesced"),
+            phase("open"),
+        )
+    }
+
     #[test]
-    fn accepts_complete_artifact() {
-        validate(&valid_body()).unwrap();
+    fn accepts_complete_artifacts() {
+        assert_eq!(validate(&valid_body()).unwrap(), "pipeline");
+        assert_eq!(validate(&valid_serve_body()).unwrap(), "serve");
     }
 
     #[test]
@@ -119,19 +235,52 @@ mod tests {
         assert!(validate(&no_recommend).unwrap_err().contains("recommend"));
         let no_equiv = valid_body().replace("\"equivalence_checked\": true", "");
         assert!(validate(&no_equiv).unwrap_err().contains("equivalence_checked"));
-        let wrong_bench = valid_body().replace("\"bench\": \"pipeline\"", "\"bench\": \"serve\"");
-        assert!(validate(&wrong_bench).unwrap_err().contains("marker"));
+        let no_marker = valid_body().replace("\"bench\": \"pipeline\"", "\"bench\": \"x\"");
+        assert!(validate(&no_marker).unwrap_err().contains("marker"));
         assert!(validate("[]").unwrap_err().contains("JSON object"));
+    }
+
+    #[test]
+    fn rejects_thinned_serve_artifacts() {
+        // A pipeline body relabeled as serve lacks every serving field.
+        let relabeled = valid_body().replace("\"bench\": \"pipeline\"", "\"bench\": \"serve\"");
+        assert!(validate(&relabeled).is_err());
+
+        let no_p99 = valid_serve_body().replace("\"p99_ns\"", "\"pXX_ns\"");
+        assert!(validate(&no_p99).unwrap_err().contains("p99_ns"));
+        let no_open = valid_serve_body().replace("\"mode\": \"open\"", "\"mode\": \"x\"");
+        assert!(validate(&no_open).unwrap_err().contains("open"));
+        let no_ride = valid_serve_body().replace("\"mean_ride\"", "\"ride\"");
+        assert!(validate(&no_ride).unwrap_err().contains("mean_ride"));
+        let no_stamp = valid_serve_body().replace("serve.shard0.generation", "serve.shard0.gen");
+        assert!(validate(&no_stamp).unwrap_err().contains("generation stamps"));
+        let no_spends =
+            valid_serve_body().replace("\"ledger_spends_generation_a\"", "\"spends_a\"");
+        assert!(validate(&no_spends).unwrap_err().contains("ledger_spends_generation_a"));
+    }
+
+    #[test]
+    fn rejects_bound_but_unmet_speedup_slo() {
+        let unmet = valid_serve_body().replace("\"met\": true", "\"met\": false");
+        assert!(validate(&unmet).unwrap_err().contains("SLO was not met"));
+        // An unbound gate (e.g. a 1-core runner) is fine either way.
+        let unbound =
+            unmet.replace("\"speedup_gate_bound\": true", "\"speedup_gate_bound\": false");
+        assert_eq!(validate(&unbound).unwrap(), "serve");
     }
 
     #[test]
     fn validates_file_via_args() {
         let dir = std::env::temp_dir().join("socialrec-validate-bench-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("BENCH_pipeline.json");
-        std::fs::write(&path, valid_body()).unwrap();
-        let spec = format!("--path {}", path.display());
-        run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
-        std::fs::remove_file(&path).ok();
+        for (name, body) in
+            [("BENCH_pipeline.json", valid_body()), ("BENCH_serve.json", valid_serve_body())]
+        {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            let spec = format!("--path {}", path.display());
+            run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+            std::fs::remove_file(&path).ok();
+        }
     }
 }

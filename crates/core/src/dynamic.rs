@@ -28,6 +28,29 @@ use socialrec_community::Partition;
 use socialrec_dp::{Epsilon, PrivacyAccountant};
 use socialrec_graph::UserId;
 
+/// A decay ratio validated to lie in the open interval `(0, 1)`.
+///
+/// Validation happens **here, at construction** — a serving loop
+/// querying [`BudgetSchedule::epsilon_for`] can never hit a mid-serve
+/// panic from a malformed schedule; an invalid ratio fails fast where
+/// the schedule is configured.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct DecayRatio(f64);
+
+impl DecayRatio {
+    /// Validate `ratio ∈ (0, 1)` (finite). Returns `None` otherwise —
+    /// including NaN, ±∞, 0, and 1, each of which would make the
+    /// geometric series degenerate or the budget sum diverge.
+    pub fn new(ratio: f64) -> Option<DecayRatio> {
+        (ratio.is_finite() && 0.0 < ratio && ratio < 1.0).then_some(DecayRatio(ratio))
+    }
+
+    /// The validated ratio.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
 /// How the total budget is split across snapshot releases.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BudgetSchedule {
@@ -38,15 +61,24 @@ pub enum BudgetSchedule {
         releases: usize,
     },
     /// Geometric decay: release `t` (0-based) gets
-    /// `ε_total · (1 - ratio) · ratio^t`. Never exhausts the budget.
+    /// `ε_total · (1 - ratio) · ratio^t`. Exhausts only when the
+    /// per-release share underflows `f64` to zero.
     Decay {
-        /// Decay ratio in `(0, 1)`; e.g. 0.5 halves the budget each
-        /// release.
-        ratio: f64,
+        /// Decay ratio; e.g. 0.5 halves the budget each release.
+        ratio: DecayRatio,
     },
 }
 
 impl BudgetSchedule {
+    /// A geometric-decay schedule, validating the ratio up front.
+    /// Returns an error for any ratio outside the open interval
+    /// `(0, 1)`.
+    pub fn decay(ratio: f64) -> Result<BudgetSchedule, String> {
+        DecayRatio::new(ratio)
+            .map(|ratio| BudgetSchedule::Decay { ratio })
+            .ok_or_else(|| format!("decay ratio must be in (0, 1), got {ratio}"))
+    }
+
     /// The ε allotted to the `t`-th release (0-based), or `None` when
     /// the schedule has nothing left to give.
     pub fn epsilon_for(&self, t: usize, total: Epsilon) -> Option<Epsilon> {
@@ -61,8 +93,13 @@ impl BudgetSchedule {
                     }
                 }
                 BudgetSchedule::Decay { ratio } => {
-                    assert!((0.0..1.0).contains(&ratio) && ratio > 0.0, "ratio must be in (0,1)");
-                    Epsilon::new(e * (1.0 - ratio) * ratio.powi(t as i32))
+                    // `powf(t as f64)` instead of `powi(t as i32)`: a
+                    // `usize` beyond `i32::MAX` used to wrap negative
+                    // and *grow* the share without bound. `powf`
+                    // monotonically underflows to 0 instead, and
+                    // `Epsilon::new` maps that to `None` (schedule
+                    // exhausted by underflow).
+                    Epsilon::new(e * (1.0 - ratio.get()) * ratio.get().powf(t as f64))
                 }
             },
         }
@@ -204,7 +241,7 @@ mod tests {
 
     #[test]
     fn decay_schedule_sums_below_total() {
-        let sched = BudgetSchedule::Decay { ratio: 0.5 };
+        let sched = BudgetSchedule::decay(0.5).unwrap();
         let total = Epsilon::Finite(2.0);
         let sum: f64 = (0..50).map(|t| sched.epsilon_for(t, total).unwrap().value()).sum();
         assert!(sum <= 2.0 + 1e-9, "decay overspends: {sum}");
@@ -213,6 +250,44 @@ mod tests {
         let e0 = sched.epsilon_for(0, total).unwrap().value();
         let e1 = sched.epsilon_for(1, total).unwrap().value();
         assert!(e0 > e1);
+    }
+
+    #[test]
+    fn decay_ratio_validates_at_construction_not_per_query() {
+        for bad in [0.0, 1.0, -0.5, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(DecayRatio::new(bad).is_none(), "ratio {bad} must be rejected");
+            let err = BudgetSchedule::decay(bad).unwrap_err();
+            assert!(err.contains("(0, 1)"), "{err}");
+        }
+        let ok = BudgetSchedule::decay(0.25).unwrap();
+        assert_eq!(ok, BudgetSchedule::Decay { ratio: DecayRatio::new(0.25).unwrap() });
+        assert_eq!(DecayRatio::new(0.25).unwrap().get(), 0.25);
+    }
+
+    #[test]
+    fn decay_huge_t_underflows_instead_of_wrapping() {
+        // Pre-fix, `ratio.powi(t as i32)` wrapped `t` past `i32::MAX`
+        // into a *negative* exponent, growing the per-release ε without
+        // bound — an over-spend, the worst possible failure for a
+        // privacy budget. `powf` underflows monotonically to 0, which
+        // `epsilon_for` reports as an exhausted schedule.
+        let sched = BudgetSchedule::decay(0.5).unwrap();
+        let total = Epsilon::Finite(1.0);
+        let e0 = sched.epsilon_for(0, total).unwrap().value();
+        for t in [1 << 31, 1 << 32, usize::MAX] {
+            match sched.epsilon_for(t, total) {
+                None => {} // underflowed to zero: exhausted, never over-spent
+                Some(eps) => {
+                    assert!(eps.value() <= e0, "huge t must never out-spend release 0");
+                }
+            }
+        }
+        // And the tail is monotone non-increasing across the old wrap
+        // boundary.
+        let before = sched.epsilon_for((i32::MAX as usize) - 1, total);
+        let after = sched.epsilon_for(i32::MAX as usize + 1, total);
+        let val = |e: Option<Epsilon>| e.map_or(0.0, |e| e.value());
+        assert!(val(after) <= val(before));
     }
 
     #[test]
@@ -246,7 +321,7 @@ mod tests {
             Snapshot { partition: &partition, inputs: RecommenderInputs { prefs: &p, sim: &sim } };
         let users: Vec<UserId> = (0..6).map(UserId).collect();
         let mut dynrec =
-            DynamicRecommender::new(Epsilon::Finite(1.0), BudgetSchedule::Decay { ratio: 0.5 });
+            DynamicRecommender::new(Epsilon::Finite(1.0), BudgetSchedule::decay(0.5).unwrap());
         let mut last_eps = f64::INFINITY;
         for t in 0..10 {
             let r = dynrec.release(&snap, &users, 2, t).unwrap();

@@ -73,7 +73,7 @@ pub mod weighted;
 
 pub use attack::{estimate_leakage, LeakageEstimate, SybilAttack};
 pub use clustering::cluster_by_similarity;
-pub use dynamic::{BudgetSchedule, DynamicRecommender, Release, Snapshot};
+pub use dynamic::{BudgetSchedule, DecayRatio, DynamicRecommender, Release, Snapshot};
 pub use exact::ExactRecommender;
 pub use hybrid::HybridRecommender;
 pub use metrics::{mean_ndcg, per_user_ndcg, precision_recall_at_n};

@@ -195,19 +195,19 @@ pub struct HistogramSummary {
 ///
 /// Callers hold the returned `Arc` and record through it directly (the
 /// registry is only consulted at setup time, never on the hot path).
-/// Linear name lookup is deliberate: registries hold tens of metrics,
-/// not thousands, and a `Vec` keeps this crate dependency-free.
+/// Names are owned `String`s so dynamically shaped components (e.g. one
+/// counter per serving shard: `"serve.shard3.queries"`) can register
+/// themselves. Linear name lookup is deliberate: registries hold tens
+/// of metrics, not thousands, and a `Vec` keeps this crate
+/// dependency-free.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<Vec<(&'static str, Arc<Counter>)>>,
-    gauges: Mutex<Vec<(&'static str, Arc<Gauge>)>>,
-    histograms: Mutex<Vec<(&'static str, Arc<LatencyHistogram>)>>,
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<LatencyHistogram>)>>,
 }
 
-fn get_or_create<T: Default>(
-    slot: &Mutex<Vec<(&'static str, Arc<T>)>>,
-    name: &'static str,
-) -> Arc<T> {
+fn get_or_create<T: Default>(slot: &Mutex<Vec<(String, Arc<T>)>>, name: String) -> Arc<T> {
     let mut v = slot.lock().expect("metrics registry poisoned");
     if let Some((_, m)) = v.iter().find(|(n, _)| *n == name) {
         return Arc::clone(m);
@@ -230,18 +230,18 @@ impl MetricsRegistry {
     }
 
     /// The counter named `name`, created on first use.
-    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        get_or_create(&self.counters, name)
+    pub fn counter(&self, name: impl Into<String>) -> Arc<Counter> {
+        get_or_create(&self.counters, name.into())
     }
 
     /// The gauge named `name`, created on first use.
-    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
-        get_or_create(&self.gauges, name)
+    pub fn gauge(&self, name: impl Into<String>) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name.into())
     }
 
     /// The histogram named `name`, created on first use.
-    pub fn histogram(&self, name: &'static str) -> Arc<LatencyHistogram> {
-        get_or_create(&self.histograms, name)
+    pub fn histogram(&self, name: impl Into<String>) -> Arc<LatencyHistogram> {
+        get_or_create(&self.histograms, name.into())
     }
 
     /// A point-in-time copy of every registered metric, name-sorted so
@@ -503,6 +503,20 @@ mod tests {
         assert_eq!(hs.count, 1);
         assert_eq!(hs.max, Duration::from_micros(10));
         assert!(hs.p99 <= hs.max);
+    }
+
+    #[test]
+    fn registry_accepts_owned_names() {
+        // Per-shard metrics build their names at runtime.
+        let r = MetricsRegistry::new();
+        for shard in 0..3 {
+            r.counter(format!("serve.shard{shard}.queries")).add(shard + 1);
+        }
+        let again = r.counter("serve.shard1.queries".to_string());
+        assert_eq!(again.get(), 2, "owned and rebuilt names must alias");
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 3);
+        assert_eq!(snap.counters[0].0, "serve.shard0.queries");
     }
 
     #[test]

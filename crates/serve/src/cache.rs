@@ -53,20 +53,53 @@ pub fn release_generation(
     h.finish()
 }
 
+/// Lock a mutex, recovering from poisoning.
+///
+/// A panic inside a release builder must not brick the server: the
+/// protected state is only ever written *after* a successful build, so
+/// a poisoned guard still holds consistent data and can be adopted
+/// as-is. (Pre-fix, every later query died on
+/// `.expect("release cache poisoned")` — a permanently disabled
+/// server.)
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A one-slot, generation-stamped cache of the noisy release.
 ///
 /// Holding a single slot is deliberate: a serving deployment pins one
 /// release per (partition, ε, seed) configuration, and a seed change
 /// means a *new* DP release whose predecessor must not be served again.
+///
+/// # Concurrency
+///
+/// The slot lock is only ever held for a pointer copy, never across a
+/// build: generation **hits complete while a miss is mid-build**. A
+/// separate build lock serializes builders (double-checked on entry, so
+/// two racing misses for the same generation produce one build), and a
+/// panicking builder poisons nothing observable — the panic propagates
+/// to the query that triggered the build, and the next query simply
+/// rebuilds.
 #[derive(Debug, Default)]
 pub struct ReleaseCache {
     slot: Mutex<Option<(u64, Arc<NoisyClusterAverages>)>>,
+    /// Serializes builds only; the slot stays lockable (and servable)
+    /// for the whole duration of a rebuild.
+    build: Mutex<()>,
 }
 
 impl ReleaseCache {
     /// An empty cache.
     pub fn new() -> ReleaseCache {
         ReleaseCache::default()
+    }
+
+    fn lookup(&self, generation: u64) -> Option<Arc<NoisyClusterAverages>> {
+        let slot = lock_recovering(&self.slot);
+        match slot.as_ref() {
+            Some((gen, averages)) if *gen == generation => Some(Arc::clone(averages)),
+            _ => None,
+        }
     }
 
     /// The noisy release for `generation`, building it with `build` on
@@ -77,25 +110,29 @@ impl ReleaseCache {
         generation: u64,
         build: impl FnOnce() -> NoisyClusterAverages,
     ) -> (Arc<NoisyClusterAverages>, bool) {
-        let mut slot = self.slot.lock().expect("release cache poisoned");
-        if let Some((gen, averages)) = slot.as_ref() {
-            if *gen == generation {
-                return (Arc::clone(averages), true);
-            }
+        if let Some(averages) = self.lookup(generation) {
+            return (averages, true);
+        }
+        // Miss: serialize builders, then re-check — a racing miss for
+        // the same generation may have built while we waited, and its
+        // result must be reused (single-build semantics).
+        let _builder = lock_recovering(&self.build);
+        if let Some(averages) = self.lookup(generation) {
+            return (averages, true);
         }
         let averages = Arc::new(build());
-        *slot = Some((generation, Arc::clone(&averages)));
+        *lock_recovering(&self.slot) = Some((generation, Arc::clone(&averages)));
         (averages, false)
     }
 
     /// The generation currently cached, if any.
     pub fn generation(&self) -> Option<u64> {
-        self.slot.lock().expect("release cache poisoned").as_ref().map(|(g, _)| *g)
+        lock_recovering(&self.slot).as_ref().map(|(g, _)| *g)
     }
 
     /// Drop the cached release.
     pub fn invalidate(&self) {
-        *self.slot.lock().expect("release cache poisoned") = None;
+        *lock_recovering(&self.slot) = None;
     }
 }
 
@@ -148,5 +185,99 @@ mod tests {
 
         cache.invalidate();
         assert_eq!(cache.generation(), None);
+    }
+
+    fn tiny_release() -> NoisyClusterAverages {
+        use socialrec_core::private::framework::release_noisy_cluster_averages;
+        use socialrec_graph::preference::preference_graph_from_edges;
+        let partition = Partition::from_assignment(&[0, 0, 1]);
+        let prefs = preference_graph_from_edges(3, 2, &[(0, 0), (1, 1), (2, 0)]).unwrap();
+        release_noisy_cluster_averages(&partition, &prefs, Epsilon::Finite(1.0), 3)
+    }
+
+    /// Satellite regression: a generation hit must complete while a
+    /// miss for another generation is mid-build — the pre-fix cache
+    /// held the slot mutex across the whole build, stalling every
+    /// concurrent query for the full rebuild duration.
+    #[test]
+    fn hits_complete_while_a_miss_is_mid_build() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let cache = ReleaseCache::new();
+        cache.get_or_build(1, tiny_release);
+
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let cache = &cache;
+        std::thread::scope(|s| {
+            // A miss for generation 2 that blocks inside build() until
+            // told to finish.
+            s.spawn(move || {
+                cache.get_or_build(2, || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    tiny_release()
+                });
+            });
+            entered_rx.recv().unwrap();
+            // The build is now in progress; generation-1 hits must be
+            // served immediately. (A regression re-blocks this thread
+            // forever; the send below would never run and the builder
+            // would deadlock the test, not just fail it slowly.)
+            let (hit, was_hit) = cache.get_or_build(1, || panic!("hit path must not rebuild"));
+            assert!(was_hit);
+            assert!(hit.num_items() > 0);
+            assert_eq!(cache.generation(), Some(1), "swap happens only after the build");
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(cache.generation(), Some(1), "builder still running, slot untouched");
+            release_tx.send(()).unwrap();
+        });
+        assert_eq!(cache.generation(), Some(2), "finished build swaps the slot");
+    }
+
+    /// Satellite regression: a panic inside the release builder used to
+    /// poison the slot mutex, after which every later query died on
+    /// `.expect("release cache poisoned")`. The panic must propagate to
+    /// the triggering query only; the next query rebuilds.
+    #[test]
+    fn panicking_builder_does_not_brick_the_cache() {
+        let cache = ReleaseCache::new();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(7, || panic!("builder exploded"));
+        }));
+        assert!(boom.is_err(), "builder panic propagates to the triggering query");
+        assert_eq!(cache.generation(), None, "failed build must not populate the slot");
+
+        // The server is not bricked: the same generation rebuilds fine,
+        // hits keep working, and invalidate still functions.
+        let (a, hit) = cache.get_or_build(7, tiny_release);
+        assert!(!hit);
+        let (b, hit) = cache.get_or_build(7, || panic!("must hit now"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        cache.invalidate();
+        assert_eq!(cache.generation(), None);
+    }
+
+    /// Two racing misses for the same generation must produce exactly
+    /// one build (double-checked build lock).
+    #[test]
+    fn racing_misses_build_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ReleaseCache::new();
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get_or_build(9, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        tiny_release()
+                    })
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "one build per generation");
+        assert_eq!(cache.generation(), Some(9));
     }
 }

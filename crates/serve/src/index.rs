@@ -139,6 +139,26 @@ impl SimMassIndex {
     pub fn nnz(&self) -> usize {
         self.clusters.len()
     }
+
+    /// An owned copy of rows `[lo, hi)`, rebased so the slice's user
+    /// `0` is this index's user `lo` — the per-shard index of the
+    /// sharded server. The masses are copied bytes (no re-accumulation),
+    /// so serving through a slice preserves the floating-point contract
+    /// verbatim.
+    ///
+    /// Panics if `lo > hi` or `hi` exceeds the user count.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> SimMassIndex {
+        assert!(lo <= hi && hi <= self.num_users(), "slice out of bounds");
+        let base = self.offsets[lo];
+        let offsets: Vec<u64> = self.offsets[lo..=hi].iter().map(|&o| o - base).collect();
+        let (start, end) = (self.offsets[lo] as usize, self.offsets[hi] as usize);
+        SimMassIndex {
+            offsets,
+            clusters: self.clusters[start..end].to_vec(),
+            masses: self.masses[start..end].to_vec(),
+            num_clusters: self.num_clusters,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +234,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn slice_rows_rebases_and_preserves_bits() {
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let partition = Partition::from_assignment(&[0, 1, 0, 1, 0, 1]);
+        let full = SimMassIndex::build(&sim, &partition);
+        // Shard-style cover: [0,2), [2,4), [4,6).
+        for lo in [0usize, 2, 4] {
+            let slice = full.slice_rows(lo, lo + 2);
+            assert_eq!(slice.num_users(), 2);
+            assert_eq!(slice.num_clusters(), full.num_clusters());
+            for local in 0..2u32 {
+                let (gc, gm) = full.row(UserId(lo as u32 + local));
+                let (sc, sm) = slice.row(UserId(local));
+                assert_eq!(gc, sc);
+                for (a, b) in gm.iter().zip(sm) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "sliced mass differs bitwise");
+                }
+            }
+        }
+        // Degenerate slices are fine; out-of-bounds is not.
+        assert_eq!(full.slice_rows(3, 3).num_users(), 0);
+        assert_eq!(full.slice_rows(0, 6).nnz(), full.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_rows_rejects_out_of_bounds() {
+        let s = social_graph_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let idx = SimMassIndex::build(&sim, &Partition::singletons(3));
+        let _ = idx.slice_rows(1, 4);
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! * [`ServeMetrics`] — atomic counters and log-bucketed latency
 //!   histograms, recorded lock-free from inside the parallel batch.
 //!
+//! On top of the single-server building blocks sits the concurrent
+//! serving daemon, [`ShardedServer`]: user-partitioned shards (each
+//! owning a rebased slice of the index), flat-combining admission that
+//! coalesces concurrent single queries into kernel batches
+//! ([`coalesce`]), and epoch-based hot-swap of rebuilt releases under
+//! live traffic ([`hotswap`]). [`loadgen`] holds the Zipf/Poisson
+//! samplers `serve-bench` drives it with.
+//!
 //! [`RecommendationServer::recommend_batch`] is **bit-identical** to
 //! [`ClusterFramework::recommend`] for the same inputs: the index
 //! replays the framework's exact floating-point accumulation order
@@ -23,11 +31,18 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod coalesce;
+pub mod hotswap;
 mod index;
 pub mod kernel;
+pub mod loadgen;
+mod shard;
 
 pub use cache::{partition_fingerprint, release_generation, ReleaseCache};
+pub use coalesce::AdmissionQueue;
+pub use hotswap::{EpochCell, ReleaseExchange};
 pub use index::SimMassIndex;
+pub use shard::ShardedServer;
 // The metrics types moved to `socialrec-obs` (the workspace-wide
 // observability layer); re-exported here so the pre-obs public API
 // keeps working.

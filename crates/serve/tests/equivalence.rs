@@ -1,8 +1,10 @@
-//! The serving contract: `RecommendationServer::recommend_batch` must
-//! be **bit-identical** to `ClusterFramework::recommend` — same items,
-//! same order, same utility bits — across seeds, noise models, and
-//! degenerate partitions. The index and release cache are pure
-//! post-processing rearrangements, so any divergence is a bug.
+//! The serving contract: every serving path — `RecommendationServer`'s
+//! batches, and the sharded daemon's fan-out and coalescing admission —
+//! must be **bit-identical** to `ClusterFramework::recommend`: same
+//! items, same order, same utility bits, across seeds, noise models,
+//! and degenerate partitions. The index, release cache, shard slices,
+//! and admission batching are pure post-processing rearrangements, so
+//! any divergence is a bug.
 
 use socialrec_community::{ClusteringStrategy, LouvainStrategy, Partition};
 use socialrec_core::private::framework::{ClusterFramework, NoiseModel};
@@ -10,7 +12,7 @@ use socialrec_core::{RecommenderInputs, TopN, TopNRecommender};
 use socialrec_datasets::lastfm_like_scaled;
 use socialrec_dp::Epsilon;
 use socialrec_graph::UserId;
-use socialrec_serve::RecommendationServer;
+use socialrec_serve::{RecommendationServer, ShardedServer};
 use socialrec_similarity::{Measure, SimilarityMatrix};
 
 fn assert_bit_identical(got: &[TopN], want: &[TopN]) {
@@ -82,4 +84,85 @@ fn partial_and_reordered_batches_still_match() {
     let got = server.recommend_batch(&inputs, &users, 25, 5);
     let want = fw.recommend(&inputs, &users, 25, 5);
     assert_bit_identical(&got, &want);
+}
+
+#[test]
+fn sharded_daemon_is_bit_identical_to_framework() {
+    let ds = lastfm_like_scaled(0.06, 21);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let n_users = ds.social.num_users();
+    let users: Vec<UserId> = (0..n_users as u32).map(UserId).collect();
+
+    let louvain = LouvainStrategy::default().cluster(&ds.social);
+    let partitions: Vec<(&str, Partition)> = vec![
+        ("louvain", louvain),
+        ("singletons", Partition::singletons(n_users)),
+        ("one_cluster", Partition::one_cluster(n_users)),
+    ];
+    for (name, partition) in &partitions {
+        for noise in [NoiseModel::Laplace, NoiseModel::Geometric] {
+            let epsilon = Epsilon::Finite(0.3);
+            let fw = ClusterFramework::new(partition, epsilon).with_noise(noise);
+            for num_shards in [1, 4, 7] {
+                let daemon =
+                    ShardedServer::new(partition, &sim, epsilon, num_shards).with_noise(noise);
+                for seed in [0u64, 0xDEAD_BEEF] {
+                    let want = fw.recommend(&inputs, &users, 10, seed);
+                    let got = daemon.recommend_batch(&inputs, &users, 10, seed);
+                    assert_bit_identical(&got, &want);
+                }
+                assert_eq!(
+                    daemon.exchange().epoch(),
+                    2,
+                    "{name}/{num_shards} shards: one build per seed, shared across shards"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coalescing_admission_is_bit_identical_to_framework() {
+    // Drive the admission queue from many threads at once so leaders
+    // genuinely coalesce batches, then check every answer against the
+    // uncoalesced reference. Mixed n and repeated users included.
+    let ds = lastfm_like_scaled(0.05, 77);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::AdamicAdar);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&ds.social);
+    let epsilon = Epsilon::Finite(0.2);
+    let fw = ClusterFramework::new(&partition, epsilon);
+    let daemon = ShardedServer::new(&partition, &sim, epsilon, 4);
+    let n_users = ds.social.num_users() as u32;
+    let seed = 11u64;
+
+    let all: Vec<UserId> = (0..n_users).map(UserId).collect();
+    let want = fw.recommend(&inputs, &all, 10, seed);
+
+    std::thread::scope(|s| {
+        for t in 0..8u32 {
+            let (daemon, inputs, want) = (&daemon, &inputs, &want);
+            s.spawn(move || {
+                for i in 0..(n_users / 2) {
+                    let u = UserId((i * 7 + t * 13) % n_users);
+                    let top = daemon.recommend_one(inputs, u, 10, seed);
+                    let reference = want.iter().find(|w| w.user == u).unwrap();
+                    // Clamp the reference to this query's n (10 = same).
+                    assert_bit_identical(
+                        std::slice::from_ref(&top),
+                        std::slice::from_ref(reference),
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(daemon.exchange().epoch(), 1, "coalesced singles share one release build");
+
+    // The per-shard counters must conserve: every submitted query
+    // served exactly once.
+    let snap = daemon.registry().snapshot();
+    let served: u64 =
+        snap.counters.iter().filter(|(n, _)| n.ends_with(".queries")).map(|(_, v)| *v).sum();
+    assert_eq!(served, 8 * (n_users as u64 / 2));
 }

@@ -1,0 +1,162 @@
+//! Concurrent-serving stress: N threads issue mixed `recommend_one` /
+//! `recommend_batch` traffic across a live generation change (a seed
+//! bump mid-run) and every answer is checked bitwise against the
+//! per-seed `ClusterFramework` reference. A bit-match proves the
+//! response was computed wholly from its own seed's release — a
+//! mixed-generation response cannot reproduce either reference — and a
+//! returned answer per issued query proves nothing was dropped. After
+//! the run, per-shard counters must conserve (every issued query
+//! counted exactly once) and the privacy ledger must show exactly one ε
+//! spend per generation, however many threads and shards raced.
+//!
+//! Like `thread_matrix.rs`, the scheduler width is latched per process,
+//! so the matrix test re-runs this binary as a child per
+//! `SOCIALREC_THREADS ∈ {1, 2, 8}`.
+
+use socialrec_community::{ClusteringStrategy, LouvainStrategy};
+use socialrec_core::private::framework::ClusterFramework;
+use socialrec_core::{RecommenderInputs, TopN, TopNRecommender};
+use socialrec_datasets::lastfm_like_scaled;
+use socialrec_dp::Epsilon;
+use socialrec_graph::UserId;
+use socialrec_serve::ShardedServer;
+use socialrec_similarity::{Measure, SimilarityMatrix};
+
+const THREADS: u32 = 8;
+const ITERS: u32 = 30;
+const SEED_A: u64 = 5;
+const SEED_B: u64 = 6;
+const TOP_N: usize = 8;
+
+fn assert_bits_match(got: &TopN, want: &TopN, seed: u64) {
+    assert_eq!(got.user, want.user);
+    assert_eq!(got.items.len(), want.items.len(), "user {:?} seed {seed}", got.user);
+    for ((gi, gu), (wi, wu)) in got.items.iter().zip(&want.items) {
+        assert_eq!(gi, wi, "item differs for {:?} under seed {seed}", got.user);
+        assert_eq!(
+            gu.to_bits(),
+            wu.to_bits(),
+            "utility bits differ for {:?} under seed {seed} — response mixed generations?",
+            got.user
+        );
+    }
+}
+
+fn run_stress() {
+    // Enable observability so the release kernel writes ledger records
+    // (the ε-spend assertions need them).
+    socialrec_obs::enable();
+
+    let ds = lastfm_like_scaled(0.05, 33);
+    let sim = SimilarityMatrix::build(&ds.social, &Measure::CommonNeighbors);
+    let inputs = RecommenderInputs { prefs: &ds.prefs, sim: &sim };
+    let partition = LouvainStrategy::default().cluster(&ds.social);
+    let epsilon = Epsilon::Finite(0.4);
+    let n_users = ds.social.num_users() as u32;
+    let all: Vec<UserId> = (0..n_users).map(UserId).collect();
+
+    // Per-seed references (these also write ledger records; they stay
+    // unstamped, so the per-generation stamp counts below are exact).
+    let fw = ClusterFramework::new(&partition, epsilon);
+    let want_a = fw.recommend(&inputs, &all, TOP_N, SEED_A);
+    let want_b = fw.recommend(&inputs, &all, TOP_N, SEED_B);
+
+    let daemon = ShardedServer::new(&partition, &sim, epsilon, 4);
+    let gen_a = daemon.generation_for(SEED_A);
+    let gen_b = daemon.generation_for(SEED_B);
+
+    // Prime generation A so the mid-run swap is the only in-flight
+    // build while traffic runs.
+    let primed = daemon.recommend_one(&inputs, UserId(0), TOP_N, SEED_A);
+    assert_bits_match(&primed, &want_a[0], SEED_A);
+
+    // Mixed single/batch traffic; the seed bump halfway through each
+    // thread's loop is the hot swap under load.
+    let issued: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (daemon, inputs, all, want_a, want_b) =
+                    (&daemon, &inputs, &all, &want_a, &want_b);
+                s.spawn(move || {
+                    let mut issued = 0u64;
+                    for i in 0..ITERS {
+                        let (seed, want) =
+                            if i < ITERS / 2 { (SEED_A, want_a) } else { (SEED_B, want_b) };
+                        if (i + t) % 3 == 0 {
+                            // A small scattered batch.
+                            let lo = ((t * 17 + i * 5) % n_users) as usize;
+                            let hi = (lo + 5).min(n_users as usize);
+                            let users = &all[lo..hi];
+                            let got = daemon.recommend_batch(inputs, users, TOP_N, seed);
+                            assert_eq!(got.len(), users.len(), "dropped batch rows");
+                            for g in &got {
+                                assert_bits_match(g, &want[g.user.index()], seed);
+                            }
+                            issued += users.len() as u64;
+                        } else {
+                            let u = UserId((t * 13 + i * 7) % n_users);
+                            let got = daemon.recommend_one(inputs, u, TOP_N, seed);
+                            assert_bits_match(&got, &want[u.index()], seed);
+                            issued += 1;
+                        }
+                    }
+                    issued
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress worker panicked")).sum()
+    });
+
+    // Exactly one release build per generation, daemon-wide.
+    assert_eq!(daemon.exchange().epoch(), 2, "one build per generation");
+    assert_eq!(daemon.exchange().retained(), vec![gen_a, gen_b]);
+
+    // A final quiescent full sweep on the new generation: still
+    // bit-identical, and it deterministically leaves every shard's
+    // epoch cell on the post-swap generation (mid-run, a straggling
+    // seed-A query may legitimately be the last traffic a shard sees).
+    let sweep = daemon.recommend_batch(&inputs, &all, TOP_N, SEED_B);
+    for g in &sweep {
+        assert_bits_match(g, &want_b[g.user.index()], SEED_B);
+    }
+
+    // Counter conservation: every issued query (plus the priming single
+    // and the final sweep) is counted exactly once across the shards.
+    let snap = daemon.registry().snapshot();
+    let counted: u64 =
+        snap.counters.iter().filter(|(n, _)| n.ends_with(".queries")).map(|(_, v)| *v).sum();
+    assert_eq!(counted, issued + 1 + n_users as u64, "per-shard query counters must conserve");
+    let admissions: u64 =
+        snap.counters.iter().filter(|(n, _)| n.ends_with(".admissions")).map(|(_, v)| *v).sum();
+    assert!(admissions >= 1, "coalescing admission must have run");
+
+    // Ledger: exactly one ε spend stamped per generation.
+    let ledger = socialrec_obs::PrivacyLedger::global().snapshot();
+    for (gen, label) in [(gen_a, "A"), (gen_b, "B")] {
+        let spends = ledger.records.iter().filter(|r| r.generation == Some(gen)).count();
+        assert_eq!(spends, 1, "generation {label} must spend ε exactly once");
+    }
+    // Every shard ends on the post-swap generation (all shards saw
+    // seed-B traffic).
+    assert_eq!(daemon.shard_generations(), vec![Some(gen_b); daemon.num_shards()]);
+}
+
+/// The stress run under whatever `SOCIALREC_THREADS` is ambient.
+#[test]
+fn stress_under_ambient_threads() {
+    run_stress();
+}
+
+/// Re-run the stress test in a child process per scheduler width.
+#[test]
+fn stress_matrix_across_thread_counts() {
+    let exe = std::env::current_exe().expect("test binary path");
+    for threads in ["1", "2", "8"] {
+        let status = std::process::Command::new(&exe)
+            .args(["--exact", "stress_under_ambient_threads"])
+            .env("SOCIALREC_THREADS", threads)
+            .status()
+            .expect("spawn matrix child");
+        assert!(status.success(), "stress failed under SOCIALREC_THREADS={threads}");
+    }
+}

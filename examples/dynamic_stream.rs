@@ -41,7 +41,10 @@ fn main() {
 
     for (label, schedule) in [
         ("uniform over 6 releases", BudgetSchedule::Uniform { releases: 6 }),
-        ("geometric decay (ratio 0.5)", BudgetSchedule::Decay { ratio: 0.5 }),
+        (
+            "geometric decay (ratio 0.5)",
+            BudgetSchedule::decay(0.5).expect("0.5 is a valid decay ratio"),
+        ),
     ] {
         println!("\nschedule: {label}, total eps = {total}");
         println!("{:<6}{:>12}{:>14}{:>12}", "t", "eps spent", "total spent", "NDCG@10");

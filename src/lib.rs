@@ -74,7 +74,7 @@ pub mod prelude {
     };
     pub use socialrec_core::attack::{estimate_leakage, LeakageEstimate, SybilAttack};
     pub use socialrec_core::cluster_by_similarity;
-    pub use socialrec_core::dynamic::{BudgetSchedule, DynamicRecommender, Snapshot};
+    pub use socialrec_core::dynamic::{BudgetSchedule, DecayRatio, DynamicRecommender, Snapshot};
     pub use socialrec_core::private::{
         ClusterFramework, GroupAndSmooth, LowRankMechanism, NoiseModel, NoiseOnEdges,
         NoiseOnUtility,
