@@ -7,6 +7,7 @@ pub mod evaluate;
 pub mod generate;
 pub mod pipeline_bench;
 pub mod recommend;
+pub mod scale_bench;
 pub mod serve_bench;
 pub mod stats;
 pub mod trace;
@@ -64,12 +65,23 @@ COMMANDS
                [--out BENCH_pipeline.json]
                [--smoke (tiny scale, no speedup gate)]
                [--trace OUT.json]
-  validate-bench  Check a BENCH_pipeline.json or BENCH_serve.json
-               artifact (dispatch on the \"bench\" marker): gated
-               stages / load phases present, equivalence_checked ==
-               true, latency + coalescing + privacy fields present,
-               and the serving speedup SLO met whenever its gate was
-               bound
+  scale-bench  Million-user data path: stream-build the similarity and
+               sim-mass artifacts in bounded memory, serve sampled
+               queries off the mmap'd files, sweep users x {build time,
+               peak/anon RSS via the obs memory gauge, query p50/p99},
+               with sampled from-scratch row-equivalence checks
+               [--users 1000000 (comma-separated sweep)]
+               [--value-kind f32|f64] [--queries 2000] [--epsilon 0.5]
+               [--n 10] [--seed 7] [--chunk-rows N] [--measure CN]
+               [--dir DIR (artifact dir)] [--keep (retain artifacts)]
+               [--out BENCH_scale.json]
+               [--smoke (20k users)]
+  validate-bench  Check a BENCH_pipeline.json, BENCH_serve.json, or
+               BENCH_scale.json artifact (dispatch on the \"bench\"
+               marker): gated stages / load phases / sweep points
+               present, equivalence_checked == true, latency +
+               coalescing + privacy + memory fields present, and the
+               serving speedup SLO met whenever its gate was bound
                [--path BENCH_pipeline.json]
   validate-trace  Check a --trace Chrome trace artifact with the
                exporter self-check; optionally require span names

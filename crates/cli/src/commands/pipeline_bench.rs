@@ -91,6 +91,9 @@ struct Report {
     equivalence_checked: bool,
     serve_metrics: socialrec_obs::MetricsSnapshot,
     privacy: PrivacyReport,
+    /// Process memory at the end of the run (`null` off Linux); the
+    /// peak covers every stage above.
+    memory: Option<socialrec_obs::MemorySample>,
 }
 
 impl_to_json!(Report {
@@ -115,6 +118,7 @@ impl_to_json!(Report {
     equivalence_checked,
     serve_metrics,
     privacy,
+    memory,
 });
 
 fn ms(t: Instant) -> f64 {
@@ -331,6 +335,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         equivalence_checked: true,
         serve_metrics,
         privacy,
+        memory: socialrec_obs::sample_memory(),
     };
     let json = report.to_json_pretty();
     std::fs::write(&out_path, format!("{json}\n"))
@@ -444,6 +449,7 @@ mod tests {
             "\"epsilon_per_release\"",
             "\"ledger_releases\"",
             "\"ledger_cumulative_epsilon\"",
+            "\"memory\"",
         ] {
             assert!(body.contains(key), "artifact missing {key}: {body}");
         }

@@ -1,0 +1,552 @@
+//! `socialrec scale-bench` — the million-user data-path benchmark:
+//! generate a planted-partition dataset, stream the similarity matrix
+//! and the sim-mass index straight to mmap-able artifacts in bounded
+//! memory, then serve sampled queries off the mapped artifacts and
+//! sweep users × {build time, peak RSS, query p50/p99}.
+//!
+//! The point of this bench is the *memory shape*, not the speedup: at
+//! no stage is the O(similarity-entries) matrix materialized on the
+//! heap. The offline builds go through [`StreamingCsrWriter`]-backed
+//! paths (bounded by the macro-chunk size), and serving reads the
+//! artifacts through `mmap`, so the page cache — not the process heap —
+//! holds the row data. `memory.anon_bytes` (RssAnon) is therefore the
+//! honest bounded-memory metric: it excludes resident file pages the
+//! kernel can reclaim at will, while `rss_bytes`/`peak_rss_bytes` show
+//! the conventional (pessimistic) view.
+//!
+//! Every sweep point also re-derives a deterministic sample of rows
+//! from scratch — fresh similarity sets against the social graph, and
+//! dense-scratch sim-mass accumulation against the mapped similarity
+//! rows — and requires the artifacts to match under the [`ValueKind`]
+//! contract (bit-identical for f64; `(x as f32)` bits for compact
+//! artifacts). The checked-in `BENCH_scale.json` is validated by
+//! `socialrec validate-bench` in CI.
+//!
+//! [`StreamingCsrWriter`]: socialrec_similarity::StreamingCsrWriter
+
+use socialrec_community::Partition;
+use socialrec_core::private::{release_noisy_cluster_averages_with, NoiseModel};
+use socialrec_core::top_n_items;
+use socialrec_datasets::{scale_dataset, ScaleConfig};
+use socialrec_dp::Epsilon;
+use socialrec_experiments::{impl_to_json, json::ToJson, Args};
+use socialrec_graph::UserId;
+use socialrec_serve::kernel::utilities_block_tiled;
+use socialrec_serve::SimMassIndex;
+use socialrec_similarity::{
+    parse_measure, write_similarity_artifact_streaming, MappedSimilarity, RowVals, SimScratch,
+    SimilarityRows, ValueKind,
+};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Rows re-derived from scratch per sweep point for the runtime
+/// equivalence check (spread evenly over the user range).
+const EQUIV_SAMPLES: usize = 32;
+
+/// One sweep point of the scale benchmark.
+struct Point {
+    users: usize,
+    social_edges: usize,
+    clusters: usize,
+    sim_entries: u64,
+    simmass_entries: u64,
+    sim_artifact_bytes: u64,
+    simmass_artifact_bytes: u64,
+    generate_ms: f64,
+    sim_build_ms: f64,
+    simmass_build_ms: f64,
+    release_ms: f64,
+    queries: usize,
+    query_p50_ns: u64,
+    query_p99_ns: u64,
+    /// Process memory right after this point's query phase (`null` off
+    /// Linux). `anon_bytes` is the bounded-memory metric; `rss_bytes`
+    /// also counts resident (reclaimable) mapped artifact pages.
+    memory: Option<socialrec_obs::MemorySample>,
+}
+
+impl_to_json!(Point {
+    users,
+    social_edges,
+    clusters,
+    sim_entries,
+    simmass_entries,
+    sim_artifact_bytes,
+    simmass_artifact_bytes,
+    generate_ms,
+    sim_build_ms,
+    simmass_build_ms,
+    release_ms,
+    queries,
+    query_p50_ns,
+    query_p99_ns,
+    memory,
+});
+
+/// The `BENCH_scale.json` document.
+struct Report {
+    bench: String,
+    seed: u64,
+    epsilon: String,
+    measure: String,
+    value_kind: String,
+    top_n: usize,
+    chunk_rows: usize,
+    smoke: bool,
+    threads: usize,
+    points: Vec<Point>,
+    equivalence_checked: bool,
+    /// End-of-run process memory (`null` off Linux); the peak covers
+    /// every sweep point above.
+    memory: Option<socialrec_obs::MemorySample>,
+}
+
+impl_to_json!(Report {
+    bench,
+    seed,
+    epsilon,
+    measure,
+    value_kind,
+    top_n,
+    chunk_rows,
+    smoke,
+    threads,
+    points,
+    equivalence_checked,
+    memory,
+});
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// The deterministic user sample used for queries and equivalence
+/// checks (splitmix over the slot index, like the dataset generator).
+fn sample_users(n: usize, count: usize, seed: u64) -> Vec<UserId> {
+    let mut x = seed ^ 0x5CA1_EB01;
+    (0..count)
+        .map(|i| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut h = x ^ i as u64;
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            UserId(((h ^ (h >> 31)) % n as u64) as u32)
+        })
+        .collect()
+}
+
+/// Check that a stored value matches a freshly computed f64 under the
+/// [`ValueKind`] contract: exact bits for f64 artifacts, and the bits
+/// of `(fresh as f32)` (round-to-nearest-even at write time, widened
+/// exactly on read) for compact artifacts.
+fn value_matches(fresh: f64, stored: RowVals<'_>, i: usize) -> bool {
+    match stored {
+        RowVals::F64(v) => v[i].to_bits() == fresh.to_bits(),
+        RowVals::F32(v) => v[i].to_bits() == (fresh as f32).to_bits(),
+    }
+}
+
+/// Recompute `EQUIV_SAMPLES` similarity rows from the social graph and
+/// require the streamed artifact to match them.
+fn check_sim_rows(
+    ds: &socialrec_datasets::ScaleDataset,
+    measure: &dyn socialrec_similarity::Similarity,
+    mapped: &MappedSimilarity,
+    seed: u64,
+) -> Result<(), String> {
+    let n = ds.social.num_users();
+    let mut scratch = SimScratch::new(n);
+    let mut fresh = Vec::new();
+    for u in sample_users(n, EQUIV_SAMPLES, seed ^ 0x51) {
+        measure.similarity_set(&ds.social, u, &mut scratch, &mut fresh);
+        let (users, vals) = mapped.row_vals(u);
+        if users.len() != fresh.len() {
+            return Err(format!(
+                "similarity artifact row {u:?} has {} entries, fresh build has {}",
+                users.len(),
+                fresh.len()
+            ));
+        }
+        for (i, &(v, s)) in fresh.iter().enumerate() {
+            if users[i] != v || !value_matches(s, vals, i) {
+                return Err(format!(
+                    "similarity artifact row {u:?} diverges from the fresh build at entry {i}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Re-accumulate `EQUIV_SAMPLES` sim-mass rows from the mapped
+/// similarity artifact (the exact input the streamed build consumed)
+/// and require the sim-mass artifact to match them.
+fn check_simmass_rows(
+    mapped_sim: &MappedSimilarity,
+    partition: &Partition,
+    index: &SimMassIndex,
+    seed: u64,
+) -> Result<(), String> {
+    let n = mapped_sim.num_users();
+    let mut dense = vec![0.0f64; partition.num_clusters()];
+    for u in sample_users(n, EQUIV_SAMPLES, seed ^ 0x52) {
+        let (users, vals) = mapped_sim.row_vals(u);
+        match vals {
+            RowVals::F64(ss) => {
+                for (&v, &s) in users.iter().zip(ss) {
+                    dense[partition.cluster_of(v) as usize] += s;
+                }
+            }
+            RowVals::F32(ss) => {
+                for (&v, &s) in users.iter().zip(ss) {
+                    dense[partition.cluster_of(v) as usize] += f64::from(s);
+                }
+            }
+        }
+        let (clusters, masses) = index.row_vals(u);
+        let mut i = 0usize;
+        for (cl, slot) in dense.iter_mut().enumerate() {
+            let mass = *slot;
+            *slot = 0.0;
+            if mass == 0.0 {
+                continue;
+            }
+            if i >= clusters.len() || clusters[i] as usize != cl || !value_matches(mass, masses, i)
+            {
+                return Err(format!(
+                    "sim-mass artifact row {u:?} diverges from dense accumulation at cluster {cl}"
+                ));
+            }
+            i += 1;
+        }
+        if i != clusters.len() {
+            return Err(format!(
+                "sim-mass artifact row {u:?} has {} extra entries",
+                clusters.len() - i
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn artifact_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Run one sweep point, leaving no artifacts behind unless `keep`.
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    users: usize,
+    seed: u64,
+    epsilon: Epsilon,
+    measure: &dyn socialrec_similarity::Similarity,
+    value_kind: ValueKind,
+    chunk_rows: usize,
+    queries: usize,
+    top_n: usize,
+    dir: &Path,
+    keep: bool,
+) -> Result<Point, String> {
+    let err =
+        |stage: &'static str| move |e: std::io::Error| format!("{stage} ({users} users): {e}");
+
+    eprintln!("[{users} users] generating planted-partition dataset...");
+    let t = Instant::now();
+    let ds = scale_dataset(&ScaleConfig { num_users: users, seed, ..Default::default() });
+    let partition = Partition::from_assignment(&ds.community);
+    let generate_ms = ms(t);
+    eprintln!(
+        "  {generate_ms:.0} ms: {} edges, {} clusters",
+        ds.social.num_edges(),
+        partition.num_clusters()
+    );
+
+    // Offline stage 1 — similarity, streamed to the artifact in
+    // macro-chunks. Heap high-water: one chunk of rows, not the matrix.
+    let sim_path = dir.join(format!("sim-{users}.srcsr"));
+    let t = Instant::now();
+    let stats =
+        write_similarity_artifact_streaming(&ds.social, measure, &sim_path, value_kind, chunk_rows)
+            .map_err(err("sim stream-build"))?;
+    let sim_build_ms = ms(t);
+    eprintln!(
+        "  sim stream-build: {sim_build_ms:.0} ms, {} entries, {} chunks, {} MiB on disk",
+        stats.num_entries,
+        stats.chunks,
+        artifact_len(&sim_path) >> 20
+    );
+    let mapped_sim = MappedSimilarity::open(&sim_path).map_err(err("sim artifact open"))?;
+
+    // Offline stage 2 — sim-mass, streamed from the *mapped* similarity
+    // artifact: neither matrix is ever heap-resident.
+    let mass_path = dir.join(format!("simmass-{users}.srcsr"));
+    let t = Instant::now();
+    let simmass_entries = SimMassIndex::stream_build_artifact(
+        &mapped_sim,
+        &partition,
+        &mass_path,
+        value_kind,
+        chunk_rows,
+    )
+    .map_err(err("sim-mass stream-build"))?;
+    let simmass_build_ms = ms(t);
+    eprintln!(
+        "  sim-mass stream-build: {simmass_build_ms:.0} ms, {simmass_entries} entries, {} MiB on disk",
+        artifact_len(&mass_path) >> 20
+    );
+    let index = SimMassIndex::open_artifact(&mass_path).map_err(err("sim-mass artifact open"))?;
+
+    // Serving inputs: the A_w release is clusters x items — O(users)
+    // nowhere — and the index is served straight off the mapping.
+    let t = Instant::now();
+    let averages = release_noisy_cluster_averages_with(
+        &partition,
+        &ds.prefs,
+        epsilon,
+        NoiseModel::Laplace,
+        seed,
+    );
+    let release_ms = ms(t);
+    eprintln!(
+        "  A_w release: {release_ms:.0} ms ({} clusters x {} items)",
+        partition.num_clusters(),
+        averages.num_items()
+    );
+
+    // Query phase: per-user utilities + top-N off the mapped index.
+    let query_users = sample_users(users, queries.max(1), seed ^ 0x9E);
+    let mut utilities = Vec::new();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(query_users.len());
+    let mut lists = 0usize;
+    for &u in &query_users {
+        let t = Instant::now();
+        utilities_block_tiled(&averages, &index, &[u], 512, &mut utilities);
+        let list = top_n_items(&utilities, top_n);
+        latencies_ns.push(t.elapsed().as_nanos() as u64);
+        lists += usize::from(!list.is_empty());
+    }
+    if lists == 0 {
+        return Err(format!("all {queries} sampled queries returned empty lists"));
+    }
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * p) as usize];
+    let (query_p50_ns, query_p99_ns) = (pct(0.50), pct(0.99));
+    eprintln!(
+        "  queries: {} served, p50 {:.1} us, p99 {:.1} us",
+        query_users.len(),
+        query_p50_ns as f64 / 1e3,
+        query_p99_ns as f64 / 1e3
+    );
+
+    // Runtime equivalence: artifacts vs from-scratch rows.
+    check_sim_rows(&ds, measure, &mapped_sim, seed)?;
+    check_simmass_rows(&mapped_sim, &partition, &index, seed)?;
+
+    // The obs gauge is the acceptance artifact: peak/current/anon RSS
+    // land in the global registry and in the JSON point.
+    let memory = socialrec_obs::record_memory_gauges(
+        socialrec_obs::MetricsRegistry::global(),
+        "scale_bench",
+    );
+    if let Some(m) = memory {
+        eprintln!(
+            "  memory: {} MiB anon (bounded-memory metric), {} MiB rss, {} MiB peak",
+            m.anon_bytes >> 20,
+            m.rss_bytes >> 20,
+            m.peak_rss_bytes >> 20
+        );
+    }
+
+    let point = Point {
+        users,
+        social_edges: ds.social.num_edges(),
+        clusters: partition.num_clusters(),
+        sim_entries: stats.num_entries,
+        simmass_entries,
+        sim_artifact_bytes: artifact_len(&sim_path),
+        simmass_artifact_bytes: artifact_len(&mass_path),
+        generate_ms,
+        sim_build_ms,
+        simmass_build_ms,
+        release_ms,
+        queries: query_users.len(),
+        query_p50_ns,
+        query_p99_ns,
+        memory,
+    };
+    drop(index);
+    drop(mapped_sim);
+    if !keep {
+        std::fs::remove_file(&sim_path).ok();
+        std::fs::remove_file(&mass_path).ok();
+    }
+    Ok(point)
+}
+
+/// Run the command.
+pub fn run(args: &Args) -> Result<(), String> {
+    let smoke = args.has_flag("smoke");
+    let seed = args.get_u64("seed", 7);
+    let epsilon: Epsilon = args.get_str("epsilon").unwrap_or("0.5").parse()?;
+    let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
+    let top_n = args.get_usize("n", 10);
+    let queries = args.get_usize("queries", if smoke { 200 } else { 2000 });
+    let chunk_rows = args.get_usize("chunk-rows", 0);
+    let keep = args.has_flag("keep");
+    let out_path = args.get_str("out").unwrap_or("BENCH_scale.json").to_string();
+    let value_kind = match args.get_str("value-kind").unwrap_or("f32") {
+        "f32" => ValueKind::F32,
+        "f64" => ValueKind::F64,
+        other => return Err(format!("unknown --value-kind {other:?} (expected f32 or f64)")),
+    };
+    let default_users = if smoke { "20000".to_string() } else { "1000000".to_string() };
+    let sweep: Vec<usize> = args
+        .get_str("users")
+        .unwrap_or(&default_users)
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad --users entry {s:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if sweep.is_empty() {
+        return Err("--users must name at least one sweep point".to_string());
+    }
+
+    let dir = args.get_str("dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("socialrec-scale-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+
+    let threads = rayon::current_num_threads();
+    let mut points = Vec::with_capacity(sweep.len());
+    for &users in &sweep {
+        points.push(run_point(
+            users,
+            seed,
+            epsilon,
+            measure.as_ref(),
+            value_kind,
+            chunk_rows,
+            queries,
+            top_n,
+            &dir,
+            keep,
+        )?);
+    }
+    if !keep {
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    let report = Report {
+        bench: "scale".to_string(),
+        seed,
+        epsilon: epsilon.to_string(),
+        measure: measure.name().to_string(),
+        value_kind: match value_kind {
+            ValueKind::F32 => "f32".to_string(),
+            ValueKind::F64 => "f64".to_string(),
+        },
+        top_n,
+        chunk_rows,
+        smoke,
+        threads,
+        points,
+        equivalence_checked: true,
+        memory: socialrec_obs::sample_memory(),
+    };
+    let json = report.to_json_pretty();
+    std::fs::write(&out_path, format!("{json}\n"))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+
+    println!(
+        "scale-bench ({} value artifacts, eps={epsilon}, {threads} threads)",
+        report.value_kind
+    );
+    for p in &report.points {
+        println!(
+            "  {:>9} users: sim {:>8.0} ms  mass {:>7.0} ms  p99 {:>7.1} us  anon {:>5} MiB",
+            p.users,
+            p.sim_build_ms,
+            p.simmass_build_ms,
+            p.query_p99_ns as f64 / 1e3,
+            p.memory.map(|m| m.anon_bytes >> 20).unwrap_or(0),
+        );
+    }
+    println!("  wrote {out_path}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_writes_valid_artifact() {
+        let dir = std::env::temp_dir().join("socialrec-scale-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_scale.json");
+        let spec = format!(
+            "--smoke --users 3000,5000 --queries 50 --out {} --dir {}",
+            out.display(),
+            dir.join("artifacts").display()
+        );
+        run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.trim_start().starts_with('{'), "artifact must be a JSON object");
+        for key in [
+            "\"bench\"",
+            "\"scale\"",
+            "\"points\"",
+            "\"users\"",
+            "\"sim_build_ms\"",
+            "\"simmass_build_ms\"",
+            "\"query_p50_ns\"",
+            "\"query_p99_ns\"",
+            "\"sim_artifact_bytes\"",
+            "\"value_kind\"",
+            "\"equivalence_checked\"",
+            "\"memory\"",
+            "\"anon_bytes\"",
+        ] {
+            assert!(body.contains(key), "artifact missing {key}: {body}");
+        }
+        // Two sweep points requested, two recorded.
+        assert_eq!(body.matches("\"query_p99_ns\"").count(), 2);
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn f64_artifacts_also_pass_equivalence() {
+        let dir = std::env::temp_dir().join("socialrec-scale-bench-test-f64");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_scale.json");
+        let spec = format!(
+            "--smoke --users 2000 --queries 25 --value-kind f64 --out {} --dir {}",
+            out.display(),
+            dir.join("artifacts").display()
+        );
+        run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.contains("\"value_kind\": \"f64\""), "{body}");
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn rejects_bad_value_kind_and_empty_sweep() {
+        let e =
+            run(&Args::parse_from("--smoke --value-kind f16".split_whitespace().map(String::from)))
+                .unwrap_err();
+        assert!(e.contains("value-kind"), "{e}");
+        let e = run(&Args::parse_from("--smoke --users nope".split_whitespace().map(String::from)))
+            .unwrap_err();
+        assert!(e.contains("--users"), "{e}");
+    }
+
+    #[test]
+    fn sampled_users_are_deterministic_and_in_range() {
+        let a = sample_users(1000, 64, 7);
+        let b = sample_users(1000, 64, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|u| u.index() < 1000));
+        assert_ne!(a, sample_users(1000, 64, 8), "seed must matter");
+    }
+}

@@ -141,6 +141,8 @@ struct Report {
     equivalence_checked: bool,
     privacy: ServePrivacy,
     registry: socialrec_obs::RegistrySnapshot,
+    /// Process memory at the end of the run (`null` off Linux).
+    memory: Option<socialrec_obs::MemorySample>,
 }
 
 impl_to_json!(Report {
@@ -172,6 +174,7 @@ impl_to_json!(Report {
     equivalence_checked,
     privacy,
     registry,
+    memory,
 });
 
 /// Exact nearest-rank quantile over a sorted latency sample.
@@ -491,6 +494,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         equivalence_checked: true,
         privacy,
         registry: daemon.registry().snapshot(),
+        memory: socialrec_obs::sample_memory(),
     };
     let json = report.to_json_pretty();
     std::fs::write(&out_path, format!("{json}\n"))
@@ -576,6 +580,7 @@ mod tests {
             "\"shard_generations\"",
             "\"serve.shard0.generation\"",
             "\"ledger_spends_generation_b\": 1",
+            "\"memory\"",
         ] {
             assert!(body.contains(key), "artifact missing {key}: {body}");
         }

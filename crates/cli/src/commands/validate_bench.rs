@@ -1,5 +1,6 @@
 //! `socialrec validate-bench` — structural validation of a
-//! `BENCH_pipeline.json` or `BENCH_serve.json` artifact.
+//! `BENCH_pipeline.json`, `BENCH_serve.json`, or `BENCH_scale.json`
+//! artifact.
 //!
 //! The repo deliberately has no JSON deserializer (artifacts are
 //! write-only, produced via `impl_to_json!`), so validation is
@@ -17,8 +18,10 @@ use socialrec_experiments::Args;
 /// Stages every pipeline artifact must report, in pipeline order.
 const REQUIRED_STAGES: [&str; 4] = ["sim-build", "cluster", "release", "recommend"];
 
-/// Top-level keys every pipeline artifact must carry.
-const REQUIRED_KEYS: [&str; 7] = [
+/// Top-level keys every pipeline artifact must carry. `memory` is the
+/// process-memory sample (`null` off Linux, but the key must exist so
+/// thinning the report is loud).
+const REQUIRED_KEYS: [&str; 8] = [
     "\"stages\"",
     "\"threads\"",
     "\"end_to_end_speedup\"",
@@ -26,6 +29,7 @@ const REQUIRED_KEYS: [&str; 7] = [
     "\"items\"",
     "\"serve_metrics\"",
     "\"privacy\"",
+    "\"memory\"",
 ];
 
 /// Fields the `serve_metrics` block (a `MetricsSnapshot` via `ToJson`)
@@ -48,7 +52,8 @@ const REQUIRED_PRIVACY_KEYS: [&str; 4] = [
 const REQUIRED_SERVE_MODES: [&str; 3] = ["closed", "uncoalesced", "open"];
 
 /// Top-level keys every serving artifact must carry.
-const REQUIRED_SERVE_KEYS: [&str; 14] = [
+const REQUIRED_SERVE_KEYS: [&str; 15] = [
+    "\"memory\"",
     "\"clients\"",
     "\"shards\"",
     "\"threads\"",
@@ -83,6 +88,32 @@ const REQUIRED_SERVE_PRIVACY_KEYS: [&str; 4] = [
     "\"ledger_spends_generation_b\"",
 ];
 
+/// Top-level keys every scale artifact must carry.
+const REQUIRED_SCALE_KEYS: [&str; 7] = [
+    "\"points\"",
+    "\"value_kind\"",
+    "\"chunk_rows\"",
+    "\"threads\"",
+    "\"epsilon\"",
+    "\"measure\"",
+    "\"memory\"",
+];
+
+/// Per-sweep-point fields: the build timings, the mapped-serving
+/// latency quantiles, and the artifact sizes that prove the builds
+/// actually streamed to disk.
+const REQUIRED_SCALE_POINT_KEYS: [&str; 9] = [
+    "\"users\"",
+    "\"social_edges\"",
+    "\"sim_entries\"",
+    "\"simmass_entries\"",
+    "\"sim_artifact_bytes\"",
+    "\"simmass_artifact_bytes\"",
+    "\"sim_build_ms\"",
+    "\"simmass_build_ms\"",
+    "\"query_p99_ns\"",
+];
+
 /// Run the command.
 pub fn run(args: &Args) -> Result<(), String> {
     let path = args.get_str("path").unwrap_or("BENCH_pipeline.json").to_string();
@@ -105,9 +136,34 @@ fn validate(body: &str) -> Result<&'static str, String> {
         validate_pipeline(body).map(|()| "pipeline")
     } else if body.contains("\"bench\": \"serve\"") {
         validate_serve(body).map(|()| "serve")
+    } else if body.contains("\"bench\": \"scale\"") {
+        validate_scale(body).map(|()| "scale")
     } else {
-        Err("missing `\"bench\": \"pipeline\"` or `\"bench\": \"serve\"` marker".to_string())
+        Err("missing `\"bench\": \"pipeline\"`, `\"bench\": \"serve\"`, or \
+             `\"bench\": \"scale\"` marker"
+            .to_string())
     }
+}
+
+fn validate_scale(body: &str) -> Result<(), String> {
+    for key in REQUIRED_SCALE_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    for key in REQUIRED_SCALE_POINT_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing sweep-point field {key}"));
+        }
+    }
+    // The memory gauge is the whole point of the sweep: at least one
+    // point must carry a real sample (a Linux runner produced it), or
+    // the artifact must mark every sample null (non-Linux) — but the
+    // per-point key itself may never disappear.
+    if !body.contains("\"anon_bytes\"") && !body.contains("\"memory\": null") {
+        return Err("no memory sample and no explicit null — the RSS gauge was dropped".to_string());
+    }
+    Ok(())
 }
 
 fn validate_pipeline(body: &str) -> Result<(), String> {
@@ -193,7 +249,7 @@ mod tests {
              \"items\": 20,\n  \"stages\": [\n{stages}  ],\n  \
              \"end_to_end_speedup\": 1.0,\n  \"equivalence_checked\": true,\n  \
              \"serve_metrics\": {{\n{metrics}  }},\n  \
-             \"privacy\": {{\n{privacy}  }}\n}}\n"
+             \"privacy\": {{\n{privacy}  }},\n  \"memory\": null\n}}\n"
         )
     }
 
@@ -216,10 +272,23 @@ mod tests {
              \"equivalence_checked\": true,\n  \
              \"privacy\": {{ \"epsilon_per_release\": 0.5, \"clusters\": 3, \
              \"ledger_spends_generation_a\": 1, \"ledger_spends_generation_b\": 1 }},\n  \
-             \"registry\": {{ \"gauges\": [[\"serve.shard0.generation\", 7]] }}\n}}\n",
+             \"registry\": {{ \"gauges\": [[\"serve.shard0.generation\", 7]] }},\n  \
+             \"memory\": null\n}}\n",
             phase("closed"),
             phase("uncoalesced"),
             phase("open"),
+        )
+    }
+
+    fn valid_scale_body() -> String {
+        let point: String =
+            REQUIRED_SCALE_POINT_KEYS.iter().map(|k| format!("      {k}: 1,\n")).collect();
+        format!(
+            "{{\n  \"bench\": \"scale\",\n  \"epsilon\": \"0.5\",\n  \"measure\": \"CN\",\n  \
+             \"value_kind\": \"f32\",\n  \"chunk_rows\": 0,\n  \"threads\": 1,\n  \
+             \"points\": [\n    {{\n{point}      \"memory\": {{ \"rss_bytes\": 1, \
+             \"peak_rss_bytes\": 2, \"anon_bytes\": 1 }}\n    }}\n  ],\n  \
+             \"equivalence_checked\": true,\n  \"memory\": null\n}}\n"
         )
     }
 
@@ -227,6 +296,23 @@ mod tests {
     fn accepts_complete_artifacts() {
         assert_eq!(validate(&valid_body()).unwrap(), "pipeline");
         assert_eq!(validate(&valid_serve_body()).unwrap(), "serve");
+        assert_eq!(validate(&valid_scale_body()).unwrap(), "scale");
+    }
+
+    #[test]
+    fn rejects_thinned_scale_artifacts() {
+        let no_p99 = valid_scale_body().replace("\"query_p99_ns\"", "\"pXX\"");
+        assert!(validate(&no_p99).unwrap_err().contains("query_p99_ns"));
+        let no_bytes = valid_scale_body().replace("\"sim_artifact_bytes\"", "\"b\"");
+        assert!(validate(&no_bytes).unwrap_err().contains("sim_artifact_bytes"));
+        let no_kind = valid_scale_body().replace("\"value_kind\"", "\"vk\"");
+        assert!(validate(&no_kind).unwrap_err().contains("value_kind"));
+        // Drop both the real sample and the explicit nulls: the gauge
+        // is gone and validation must say so.
+        let no_memory = valid_scale_body()
+            .replace("\"anon_bytes\"", "\"a\"")
+            .replace("\"memory\": null", "\"memory\": 0");
+        assert!(validate(&no_memory).unwrap_err().contains("RSS gauge"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
         "evaluate" => commands::evaluate::run(&args),
         "attack" => commands::attack::run(&args),
         "serve-bench" => commands::serve_bench::run(&args),
+        "scale-bench" => commands::scale_bench::run(&args),
         "pipeline-bench" => commands::pipeline_bench::run(&args),
         "validate-bench" => commands::validate_bench::run(&args),
         "validate-trace" => commands::validate_trace::run(&args),

@@ -22,15 +22,20 @@
 //!   Flixster file formats, applying the paper's §6.1 preprocessing
 //!   (weight thresholding, binarization, main-component extraction), so
 //!   anyone holding the original files can run the experiments on them.
+//! * [`scale`] — a bounded-memory block-community generator for the
+//!   million-user scale benchmarks, where the Table-1 generators are
+//!   too expensive and a planted partition replaces Louvain.
 
 #![warn(missing_docs)]
 
 pub mod loaders;
 pub mod preprocess;
+pub mod scale;
 pub mod synthetic;
 
 pub use loaders::{load_flixster, load_hetrec_lastfm};
 pub use preprocess::{build_dataset, PreprocessOptions};
+pub use scale::{scale_dataset, ScaleConfig, ScaleDataset};
 pub use synthetic::{
     flixster_like, generate_preferences, generate_preferences_social, lastfm_like,
     lastfm_like_scaled, Dataset, PreferenceGenConfig,

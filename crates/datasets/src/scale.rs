@@ -1,0 +1,230 @@
+//! Million-user synthetic datasets for the scale benchmarks.
+//!
+//! The Table-1 generators in [`crate::synthetic`] model the *paper's*
+//! datasets (Flixster tops out at 137k users) with hash sets, rejection
+//! sampling, and triadic-closure passes — faithful, but neither cheap
+//! nor meant to scale past a few hundred thousand users. The scale
+//! benchmark needs 1M–10M users with a *known* community structure, a
+//! bounded degree, and O(edges) generation cost, so it can measure the
+//! offline→serving data path rather than the generator.
+//!
+//! [`scale_dataset`] builds exactly that:
+//!
+//! * users are split into contiguous **blocks** (the planted
+//!   communities, also returned as the ready-made partition — the scale
+//!   bench measures the data path, not Louvain);
+//! * each user draws a fixed number of in-block friends by splitmix
+//!   hashing (bounded degree ⇒ bounded similarity-row length, so the
+//!   similarity artifact grows linearly in users);
+//! * a deterministic fraction of edges crosses into the next block, so
+//!   per-user similarity mass spreads over several clusters and the
+//!   sim-mass index rows are not degenerate;
+//! * preferences are block-affine over a modest item catalog, so the
+//!   `A_w` release stays `clusters × items` no matter how many users
+//!   the sweep point has.
+//!
+//! Everything is a pure function of `(num_users, seed)` — no RNG state
+//! is threaded between users, so any slice of the dataset can be
+//! regenerated independently (that is what the scale bench's sampled
+//! row-equivalence checks rely on).
+
+use socialrec_graph::preference::{PreferenceGraph, PreferenceGraphBuilder};
+use socialrec_graph::social::{SocialGraph, SocialGraphBuilder};
+use socialrec_graph::{ItemId, UserId};
+
+/// Configuration for [`scale_dataset`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Total users.
+    pub num_users: usize,
+    /// Users per planted community block (last block may be ragged).
+    pub block_size: usize,
+    /// Friends drawn per user (the realized mean degree is close to
+    /// twice this, since draws are undirected and deduplicated).
+    pub friends_per_user: usize,
+    /// Every `cross_every`-th draw targets the next block instead of
+    /// the user's own (0 disables cross-block edges).
+    pub cross_every: usize,
+    /// Item catalog size (independent of the user count).
+    pub num_items: usize,
+    /// Preference edges per user.
+    pub items_per_user: usize,
+    /// Seed for the whole dataset.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            num_users: 1_000_000,
+            block_size: 1024,
+            friends_per_user: 6,
+            cross_every: 4,
+            num_items: 2048,
+            items_per_user: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// A scale-bench dataset: graph, preferences, and the planted
+/// block-community assignment (one entry per user).
+#[derive(Clone, Debug)]
+pub struct ScaleDataset {
+    /// The public social graph.
+    pub social: SocialGraph,
+    /// The private preference graph.
+    pub prefs: PreferenceGraph,
+    /// Planted community of each user (`u / block_size`).
+    pub community: Vec<u32>,
+    /// Human-readable label.
+    pub name: String,
+}
+
+/// splitmix64 — the workspace's stock deterministic mixer.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The `k`-th friend draw of user `u`: `Some((u, v))` unless the draw
+/// self-collides (those are simply dropped — degree is a target, not an
+/// invariant). Pure in `(cfg, u, k)`.
+#[inline]
+fn friend_edge(cfg: &ScaleConfig, u: usize, k: usize) -> Option<(u32, u32)> {
+    let n = cfg.num_users;
+    let bs = cfg.block_size.max(2);
+    let block = u / bs;
+    let num_blocks = n.div_ceil(bs);
+    let h = mix(cfg.seed ^ ((u as u64) << 20) ^ k as u64);
+    let target_block = if cfg.cross_every > 0 && k % cfg.cross_every == cfg.cross_every - 1 {
+        (block + 1) % num_blocks
+    } else {
+        block
+    };
+    let b0 = target_block * bs;
+    let blen = bs.min(n - b0);
+    let v = b0 + (h as usize) % blen;
+    if v == u {
+        None
+    } else {
+        Some((u as u32, v as u32))
+    }
+}
+
+/// Generate the dataset. Memory is O(edges) for the graph plus
+/// O(users) for the assignment — there is no rejection sampling, no
+/// hash sets, and no per-user state.
+pub fn scale_dataset(cfg: &ScaleConfig) -> ScaleDataset {
+    let n = cfg.num_users;
+    assert!(n > 0, "num_users must be positive");
+    assert!(cfg.block_size >= 2, "blocks need at least 2 users");
+    let _span = socialrec_obs::span!("scale.generate", users = n);
+
+    let mut builder = SocialGraphBuilder::new(n);
+    for u in 0..n {
+        for k in 0..cfg.friends_per_user {
+            if let Some((a, b)) = friend_edge(cfg, u, k) {
+                builder.add_edge(UserId(a), UserId(b)).expect("generated ids in range");
+            }
+        }
+    }
+    let social = builder.build();
+
+    let mut prefs = PreferenceGraphBuilder::new(n, cfg.num_items);
+    for u in 0..n {
+        let block = (u / cfg.block_size) as u64;
+        for j in 0..cfg.items_per_user.min(cfg.num_items) {
+            // Half the picks are block-affine (communities share
+            // items), half are global; duplicates dedup at build.
+            let h = mix(cfg.seed ^ 0xF00D ^ ((u as u64) << 8) ^ j as u64);
+            let item = if j % 2 == 0 {
+                let span = (cfg.num_items / 8).max(1);
+                ((block as usize * 37) % cfg.num_items + (h as usize) % span) % cfg.num_items
+            } else {
+                (h as usize) % cfg.num_items
+            };
+            prefs.add_edge(UserId(u as u32), ItemId(item as u32)).expect("ids in range");
+        }
+    }
+    let prefs = prefs.build();
+
+    let community: Vec<u32> = (0..n).map(|u| (u / cfg.block_size) as u32).collect();
+    ScaleDataset { social, prefs, community, name: format!("scale(users={n},seed={})", cfg.seed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let cfg = ScaleConfig { num_users: 5000, ..Default::default() };
+        let a = scale_dataset(&cfg);
+        let b = scale_dataset(&cfg);
+        assert_eq!(a.social, b.social);
+        assert_eq!(a.prefs, b.prefs);
+        assert_eq!(a.community, b.community);
+        assert_eq!(a.social.num_users(), 5000);
+        assert_eq!(a.community.len(), 5000);
+        // ~6 draws per user, undirected, minus collisions.
+        let mean = a.social.mean_degree();
+        assert!((6.0..14.0).contains(&mean), "mean degree {mean}");
+        // Blocks of 1024 → 5 communities, last one ragged.
+        assert_eq!(*a.community.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn degree_is_bounded() {
+        let cfg = ScaleConfig { num_users: 8192, ..Default::default() };
+        let ds = scale_dataset(&cfg);
+        // Each user draws 6 and can be drawn by at most block-many
+        // others, but hashing spreads draws: the max degree must stay
+        // far below the block size (bounded similarity rows).
+        assert!(
+            ds.social.max_degree() < 64,
+            "max degree {} is not bounded",
+            ds.social.max_degree()
+        );
+    }
+
+    #[test]
+    fn cross_block_edges_exist_and_spread_mass() {
+        let cfg = ScaleConfig { num_users: 4096, ..Default::default() };
+        let ds = scale_dataset(&cfg);
+        let crossing = ds
+            .social
+            .edges()
+            .filter(|&(u, v)| ds.community[u.index()] != ds.community[v.index()])
+            .count();
+        assert!(crossing > 0, "cross-block edges required for multi-cluster sim mass");
+        let total = ds.social.num_edges();
+        assert!((crossing as f64) < 0.5 * total as f64, "crossing should be the minority");
+    }
+
+    #[test]
+    fn preferences_cover_users_and_stay_in_catalog() {
+        let cfg = ScaleConfig { num_users: 2000, num_items: 512, ..Default::default() };
+        let ds = scale_dataset(&cfg);
+        assert_eq!(ds.prefs.num_users(), 2000);
+        assert_eq!(ds.prefs.num_items(), 512);
+        let with_items = (0..2000u32).filter(|&u| !ds.prefs.items_of(UserId(u)).is_empty()).count();
+        assert!(with_items > 1900, "almost every user should have preferences: {with_items}");
+    }
+
+    #[test]
+    fn ragged_final_block_is_well_formed() {
+        let cfg = ScaleConfig { num_users: 1024 * 2 + 100, block_size: 1024, ..Default::default() };
+        let ds = scale_dataset(&cfg);
+        assert_eq!(*ds.community.last().unwrap(), 2);
+        // Users in the ragged 100-user block still get friends.
+        let ragged_start = 2048usize;
+        let with_friends = (ragged_start..ds.social.num_users())
+            .filter(|&u| ds.social.degree(UserId(u as u32)) > 0)
+            .count();
+        assert_eq!(with_friends, 100);
+    }
+}

@@ -238,6 +238,27 @@ impl ToJson for socialrec_obs::MetricsSnapshot {
     }
 }
 
+impl ToJson for socialrec_obs::MemorySample {
+    /// Raw byte counts plus derived MiB floats for human readers; the
+    /// `anon_bytes` figure is the "bounded memory" metric — it excludes
+    /// reclaimable file-backed (mmap) pages. See `socialrec_obs::memory`.
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+        write_object(
+            out,
+            indent,
+            &[
+                ("rss_bytes", &self.rss_bytes),
+                ("peak_rss_bytes", &self.peak_rss_bytes),
+                ("anon_bytes", &self.anon_bytes),
+                ("rss_mib", &mib(self.rss_bytes)),
+                ("peak_rss_mib", &mib(self.peak_rss_bytes)),
+                ("anon_mib", &mib(self.anon_bytes)),
+            ],
+        );
+    }
+}
+
 impl ToJson for socialrec_obs::ReleaseRecord {
     fn write_json(&self, out: &mut String, indent: usize) {
         write_object(

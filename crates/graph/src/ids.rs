@@ -7,14 +7,19 @@ use std::fmt;
 
 /// Identifier of a user node in the social / preference graphs.
 ///
-/// Dense: valid ids are `0..num_users`.
+/// Dense: valid ids are `0..num_users`. `repr(transparent)` guarantees
+/// the layout of a bare `u32`, so zero-copy readers may reinterpret a
+/// `&[u32]` loaded from an on-disk artifact as a `&[UserId]`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct UserId(pub u32);
 
 /// Identifier of an item node in the preference graph.
 ///
-/// Dense: valid ids are `0..num_items`.
+/// Dense: valid ids are `0..num_items`. `repr(transparent)` for the
+/// same zero-copy reason as [`UserId`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct ItemId(pub u32);
 
 impl UserId {

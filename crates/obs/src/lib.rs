@@ -48,12 +48,14 @@
 
 mod chrome;
 mod ledger;
+mod memory;
 mod metrics;
 mod span;
 mod summary;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, TraceCheck};
 pub use ledger::{render_ledger, LedgerSnapshot, PrivacyLedger, ReleaseRecord};
+pub use memory::{record_memory_gauges, sample_memory, MemorySample};
 pub use metrics::{
     Counter, Gauge, HistogramSummary, LatencyHistogram, MetricsRegistry, MetricsSnapshot,
     RegistrySnapshot, ServeMetrics,

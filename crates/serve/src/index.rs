@@ -12,11 +12,33 @@
 //! `(cluster, Σ sim)` pairs, collapsing the per-query cost to one
 //! sparse axpy per *touched cluster* (`O(C_u)` rows) instead of one
 //! accumulation per similar user.
+//!
+//! # Row storage
+//!
+//! The index rows live in one of two backings behind one access path
+//! ([`row_vals`](SimMassIndex::row_vals)):
+//!
+//! * **Heap** — the flat CSR arrays built in RAM, the original form;
+//! * **Mapped** — a zero-copy window onto a
+//!   [`CsrArtifact`] file (see `socialrec_similarity::artifact`),
+//!   shared via `Arc` so sharding never duplicates the backing bytes.
+//!
+//! Heap [`slice_rows`](SimMassIndex::slice_rows) copies (the historical
+//! rebased-slice semantics); mapped `slice_rows` just narrows the
+//! window. Serving code cannot tell the difference — the equivalence
+//! tests pin that both backings return identical row bits.
 
+use rayon::prelude::*;
 use socialrec_community::Partition;
 use socialrec_graph::UserId;
+use socialrec_similarity::artifact::{
+    write_csr_artifact, ArtifactKind, CsrArtifact, StreamingCsrWriter, ValueKind,
+};
 use socialrec_similarity::csr::assemble_csr;
-use socialrec_similarity::SimilarityMatrix;
+use socialrec_similarity::{RowVals, SimilarityRows};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// CSR of per-user `(cluster, similarity mass)` pairs.
 ///
@@ -33,29 +55,42 @@ use socialrec_similarity::SimilarityMatrix;
 /// its dense scratch. Serving through this index is therefore
 /// bit-identical to the reference path, not merely close.
 ///
+/// A **compact (f32) artifact** relaxes this per DESIGN.md §6e: each
+/// stored mass is the f64 mass rounded once to f32 at write time, and
+/// widening on read is exact — so serving a compact index is
+/// bit-identical to serving [`quantized`](SimMassIndex::quantized) of
+/// the full-precision index, which the tests verify exactly.
+///
 /// [`ClusterFramework::utility_estimates_into`]:
 ///     socialrec_core::private::ClusterFramework::utility_estimates_into
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct SimMassIndex {
-    offsets: Vec<u64>,
-    clusters: Vec<u32>,
-    masses: Vec<f64>,
+    repr: Repr,
     num_clusters: usize,
 }
 
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Flat CSR arrays owned in RAM.
+    Heap { offsets: Vec<u64>, clusters: Vec<u32>, masses: Vec<f64> },
+    /// A window of `rows` rows starting at artifact row `base`. The
+    /// artifact is shared, so slicing is O(1) and allocation-free.
+    Mapped { art: Arc<CsrArtifact>, base: usize, rows: usize },
+}
+
 impl SimMassIndex {
-    /// Build the index for every user, in parallel.
+    /// Build the index for every user, in parallel, from any similarity
+    /// row store (heap matrix or mapped artifact).
     ///
     /// Assembly is the two-pass CSR build of `socialrec_similarity::csr`:
     /// each worker reuses one dense cluster scratch and appends rows
-    /// straight into its chunk buffer — the per-user row `Vec` the
-    /// first-generation builder allocated is gone entirely — then the
-    /// flat arrays are written with direct-slot parallel copies.
-    /// Bit-identical to [`build_reference`](SimMassIndex::build_reference)
-    /// for any thread count.
+    /// straight into its chunk buffer, then the flat arrays are written
+    /// with direct-slot parallel copies. Bit-identical to
+    /// [`build_reference`](SimMassIndex::build_reference) for any
+    /// thread count.
     ///
     /// Panics if `sim` and `partition` disagree on the user count.
-    pub fn build(sim: &SimilarityMatrix, partition: &Partition) -> SimMassIndex {
+    pub fn build<R: SimilarityRows + ?Sized>(sim: &R, partition: &Partition) -> SimMassIndex {
         let n = sim.num_users();
         assert_eq!(n, partition.num_users(), "partition must cover the similarity matrix's users");
         let nc = partition.num_clusters();
@@ -65,11 +100,7 @@ impl SimMassIndex {
             0.0f64,
             || vec![0.0f64; nc],
             |scratch: &mut Vec<f64>, u, cols, vals| {
-                let (users, scores) = sim.row(UserId(u as u32));
-                // Accumulate in neighbor order (FP contract above).
-                for (&v, &s) in users.iter().zip(scores) {
-                    scratch[partition.cluster_of(v) as usize] += s;
-                }
+                accumulate_row(sim, partition, UserId(u as u32), scratch);
                 for (cl, m) in scratch.iter_mut().enumerate() {
                     if *m != 0.0 {
                         cols.push(cl as u32);
@@ -80,9 +111,7 @@ impl SimMassIndex {
             },
         );
         SimMassIndex {
-            offsets: parts.offsets,
-            clusters: parts.cols,
-            masses: parts.vals,
+            repr: Repr::Heap { offsets: parts.offsets, clusters: parts.cols, masses: parts.vals },
             num_clusters: nc,
         }
     }
@@ -91,7 +120,10 @@ impl SimMassIndex {
     /// thread, one dense scratch, row-major push-down. Retained so the
     /// equivalence tests (and the thread-count matrix) can prove the
     /// parallel two-pass assembly produces the same bytes.
-    pub fn build_reference(sim: &SimilarityMatrix, partition: &Partition) -> SimMassIndex {
+    pub fn build_reference<R: SimilarityRows + ?Sized>(
+        sim: &R,
+        partition: &Partition,
+    ) -> SimMassIndex {
         let n = sim.num_users();
         assert_eq!(n, partition.num_users(), "partition must cover the similarity matrix's users");
         let nc = partition.num_clusters();
@@ -101,10 +133,7 @@ impl SimMassIndex {
         let mut clusters = Vec::new();
         let mut masses = Vec::new();
         for u in 0..n as u32 {
-            let (users, scores) = sim.row(UserId(u));
-            for (&v, &s) in users.iter().zip(scores) {
-                scratch[partition.cluster_of(v) as usize] += s;
-            }
+            accumulate_row(sim, partition, UserId(u), &mut scratch);
             for (cl, m) in scratch.iter_mut().enumerate() {
                 if *m != 0.0 {
                     clusters.push(cl as u32);
@@ -114,20 +143,56 @@ impl SimMassIndex {
             }
             offsets.push(clusters.len() as u64);
         }
-        SimMassIndex { offsets, clusters, masses, num_clusters: nc }
+        SimMassIndex { repr: Repr::Heap { offsets, clusters, masses }, num_clusters: nc }
     }
 
-    /// The `(clusters, masses)` row for one user.
+    /// The `(clusters, masses)` row for one user, f64 only.
+    ///
+    /// Works for every heap index and for full-precision (f64) mapped
+    /// artifacts. **Panics** on a compact (f32) artifact — those rows
+    /// exist only at f32 width; use [`row_vals`](SimMassIndex::row_vals),
+    /// which every serving path goes through.
     #[inline]
     pub fn row(&self, u: UserId) -> (&[u32], &[f64]) {
-        let lo = self.offsets[u.index()] as usize;
-        let hi = self.offsets[u.index() + 1] as usize;
-        (&self.clusters[lo..hi], &self.masses[lo..hi])
+        let (clusters, vals) = self.row_vals(u);
+        match vals {
+            RowVals::F64(masses) => (clusters, masses),
+            RowVals::F32(_) => {
+                panic!("compact (f32) sim-mass artifact has no f64 rows; use row_vals")
+            }
+        }
+    }
+
+    /// The `(clusters, masses)` row for one user at whatever width the
+    /// backing stores — the universal access path (see [`RowVals`]).
+    #[inline]
+    pub fn row_vals(&self, u: UserId) -> (&[u32], RowVals<'_>) {
+        match &self.repr {
+            Repr::Heap { offsets, clusters, masses } => {
+                let lo = offsets[u.index()] as usize;
+                let hi = offsets[u.index() + 1] as usize;
+                (&clusters[lo..hi], RowVals::F64(&masses[lo..hi]))
+            }
+            Repr::Mapped { art, base, rows } => {
+                assert!(u.index() < *rows, "user {u:?} outside this index window");
+                let (lo, hi) = art.row_range(base + u.index());
+                let clusters = &art.cols()[lo..hi];
+                let vals = match (art.vals_f64(), art.vals_f32()) {
+                    (Some(v), _) => RowVals::F64(&v[lo..hi]),
+                    (_, Some(v)) => RowVals::F32(&v[lo..hi]),
+                    _ => unreachable!("artifact has exactly one value section"),
+                };
+                (clusters, vals)
+            }
+        }
     }
 
     /// Number of indexed users.
     pub fn num_users(&self) -> usize {
-        self.offsets.len() - 1
+        match &self.repr {
+            Repr::Heap { offsets, .. } => offsets.len() - 1,
+            Repr::Mapped { rows, .. } => *rows,
+        }
     }
 
     /// Number of clusters in the underlying partition.
@@ -137,27 +202,263 @@ impl SimMassIndex {
 
     /// Total stored `(cluster, mass)` pairs.
     pub fn nnz(&self) -> usize {
-        self.clusters.len()
+        match &self.repr {
+            Repr::Heap { clusters, .. } => clusters.len(),
+            Repr::Mapped { art, base, rows } => {
+                let offsets = art.offsets();
+                (offsets[base + rows] - offsets[*base]) as usize
+            }
+        }
     }
 
-    /// An owned copy of rows `[lo, hi)`, rebased so the slice's user
-    /// `0` is this index's user `lo` — the per-shard index of the
-    /// sharded server. The masses are copied bytes (no re-accumulation),
-    /// so serving through a slice preserves the floating-point contract
-    /// verbatim.
+    /// Whether the rows are served zero-copy from a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            Repr::Heap { .. } => false,
+            Repr::Mapped { art, .. } => art.is_mapped(),
+        }
+    }
+
+    /// Storage width of the masses ([`ValueKind::F64`] for heap).
+    pub fn value_kind(&self) -> ValueKind {
+        match &self.repr {
+            Repr::Heap { .. } => ValueKind::F64,
+            Repr::Mapped { art, .. } => art.header().value_kind,
+        }
+    }
+
+    /// Rows `[lo, hi)` rebased so the result's user `0` is this index's
+    /// user `lo` — the per-shard index of the sharded server.
+    ///
+    /// Heap backing: an owned copy of the rows (copied bytes, no
+    /// re-accumulation, so the floating-point contract is preserved
+    /// verbatim). Mapped backing: the same shared artifact with a
+    /// narrowed window — O(1), no bytes duplicated, which is what lets
+    /// a million-user daemon shard without re-materializing the index.
     ///
     /// Panics if `lo > hi` or `hi` exceeds the user count.
     pub fn slice_rows(&self, lo: usize, hi: usize) -> SimMassIndex {
         assert!(lo <= hi && hi <= self.num_users(), "slice out of bounds");
-        let base = self.offsets[lo];
-        let offsets: Vec<u64> = self.offsets[lo..=hi].iter().map(|&o| o - base).collect();
-        let (start, end) = (self.offsets[lo] as usize, self.offsets[hi] as usize);
+        match &self.repr {
+            Repr::Heap { offsets, clusters, masses } => {
+                let base = offsets[lo];
+                let new_offsets: Vec<u64> = offsets[lo..=hi].iter().map(|&o| o - base).collect();
+                let (start, end) = (offsets[lo] as usize, offsets[hi] as usize);
+                SimMassIndex {
+                    repr: Repr::Heap {
+                        offsets: new_offsets,
+                        clusters: clusters[start..end].to_vec(),
+                        masses: masses[start..end].to_vec(),
+                    },
+                    num_clusters: self.num_clusters,
+                }
+            }
+            Repr::Mapped { art, base, .. } => SimMassIndex {
+                repr: Repr::Mapped { art: Arc::clone(art), base: base + lo, rows: hi - lo },
+                num_clusters: self.num_clusters,
+            },
+        }
+    }
+
+    /// The full-precision index with every mass pre-rounded through f32
+    /// (`(m as f32) as f64`) — the exact reference a compact (f32)
+    /// artifact serves. Serving from an f32 artifact is bit-identical
+    /// to serving this, which is how the compact-value contract is
+    /// tested without any tolerance.
+    pub fn quantized(&self) -> SimMassIndex {
+        let n = self.num_users();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut clusters = Vec::new();
+        let mut masses = Vec::new();
+        for u in 0..n as u32 {
+            let (cls, vals) = self.row_vals(UserId(u));
+            clusters.extend_from_slice(cls);
+            for i in 0..vals.len() {
+                masses.push((vals.get(i) as f32) as f64);
+            }
+            offsets.push(clusters.len() as u64);
+        }
         SimMassIndex {
-            offsets,
-            clusters: self.clusters[start..end].to_vec(),
-            masses: self.masses[start..end].to_vec(),
+            repr: Repr::Heap { offsets, clusters, masses },
             num_clusters: self.num_clusters,
         }
+    }
+
+    /// Write this index as an mmap-able artifact file (kind
+    /// [`ArtifactKind::SimMass`], `meta` = cluster count). With
+    /// [`ValueKind::F32`] the masses are quantized per the documented
+    /// compact-value contract.
+    pub fn write_artifact(&self, path: &Path, value_kind: ValueKind) -> io::Result<()> {
+        let n = self.num_users();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for u in 0..n as u32 {
+            let (cls, row) = self.row_vals(UserId(u));
+            cols.extend_from_slice(cls);
+            for i in 0..row.len() {
+                vals.push(row.get(i));
+            }
+            offsets.push(cols.len() as u64);
+        }
+        write_csr_artifact(
+            path,
+            ArtifactKind::SimMass,
+            value_kind,
+            self.num_clusters as u64,
+            &offsets,
+            &cols,
+            &vals,
+        )
+    }
+
+    /// Build the index row-by-row from any similarity store and stream
+    /// it straight into an artifact at `path`, never materializing the
+    /// index in RAM — the bounded-memory companion to
+    /// [`build`](SimMassIndex::build) +
+    /// [`write_artifact`](SimMassIndex::write_artifact), and
+    /// byte-identical to that pair (rows are accumulated by the same
+    /// dense-scratch walk in the same order). `chunk_rows = 0` picks a
+    /// default. Returns the entry count written.
+    pub fn stream_build_artifact<R: SimilarityRows + ?Sized>(
+        sim: &R,
+        partition: &Partition,
+        path: &Path,
+        value_kind: ValueKind,
+        chunk_rows: usize,
+    ) -> io::Result<u64> {
+        let n = sim.num_users();
+        assert_eq!(n, partition.num_users(), "partition must cover the similarity matrix's users");
+        let nc = partition.num_clusters();
+        let chunk_rows = if chunk_rows == 0 { 8192 } else { chunk_rows };
+        let _span = socialrec_obs::span!("simmass.stream_build", users = n);
+        let mut writer =
+            StreamingCsrWriter::create(path, ArtifactKind::SimMass, value_kind, nc as u64, n)?;
+        // Dense cluster scratch is O(clusters) per worker; pool across
+        // chunks like the similarity streamer does.
+        let pool: Mutex<Vec<Vec<f64>>> = Mutex::new(Vec::new());
+        let mut entries = 0u64;
+        for lo in (0..n).step_by(chunk_rows.max(1)) {
+            let hi = (lo + chunk_rows).min(n);
+            let workers = rayon::current_num_threads().max(1);
+            let sub = (hi - lo).div_ceil(workers * 4).max(16);
+            let ranges: Vec<(usize, usize)> =
+                (lo..hi).step_by(sub).map(|a| (a, (a + sub).min(hi))).collect();
+            let pieces: Vec<(Vec<u64>, Vec<u32>, Vec<f64>)> = ranges
+                .par_iter()
+                .map(|&(a, b)| {
+                    let mut scratch = pool
+                        .lock()
+                        .expect("scratch pool")
+                        .pop()
+                        .unwrap_or_else(|| vec![0.0f64; nc]);
+                    let mut lens = Vec::with_capacity(b - a);
+                    let mut cols = Vec::new();
+                    let mut vals = Vec::new();
+                    for u in a..b {
+                        accumulate_row(sim, partition, UserId(u as u32), &mut scratch);
+                        let before = cols.len();
+                        for (cl, m) in scratch.iter_mut().enumerate() {
+                            if *m != 0.0 {
+                                cols.push(cl as u32);
+                                vals.push(*m);
+                            }
+                            *m = 0.0;
+                        }
+                        lens.push((cols.len() - before) as u64);
+                    }
+                    pool.lock().expect("scratch pool").push(scratch);
+                    (lens, cols, vals)
+                })
+                .collect();
+            for (lens, cols, vals) in &pieces {
+                let mut at = 0usize;
+                for &len in lens {
+                    let len = len as usize;
+                    writer.push_row(&cols[at..at + len], &vals[at..at + len])?;
+                    at += len;
+                    entries += len as u64;
+                }
+            }
+        }
+        writer.finish()?;
+        Ok(entries)
+    }
+
+    /// Open an artifact written by
+    /// [`write_artifact`](SimMassIndex::write_artifact) or
+    /// [`stream_build_artifact`](SimMassIndex::stream_build_artifact),
+    /// memory-mapping where supported.
+    pub fn open_artifact(path: &Path) -> io::Result<SimMassIndex> {
+        Self::from_artifact(CsrArtifact::open(path)?)
+    }
+
+    /// Open through the heap-copy backing (tests; non-mmap platforms).
+    pub fn open_artifact_owned(path: &Path) -> io::Result<SimMassIndex> {
+        Self::from_artifact(CsrArtifact::open_owned(path)?)
+    }
+
+    /// Wrap a validated artifact, checking it holds a sim-mass index.
+    pub fn from_artifact(art: CsrArtifact) -> io::Result<SimMassIndex> {
+        if art.header().kind != ArtifactKind::SimMass {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("artifact holds {:?}, not a sim-mass index", art.header().kind),
+            ));
+        }
+        let num_clusters = art.header().meta as usize;
+        let rows = art.num_rows();
+        Ok(SimMassIndex { repr: Repr::Mapped { art: Arc::new(art), base: 0, rows }, num_clusters })
+    }
+}
+
+/// Accumulate `u`'s per-cluster similarity mass into `scratch` — the
+/// one shared walk of every builder, so heap and streaming builds are
+/// additions-for-additions identical. The f32 arm widens exactly, so a
+/// mass index rebuilt *from* a compact similarity artifact accumulates
+/// exactly the quantized scores.
+#[inline]
+fn accumulate_row<R: SimilarityRows + ?Sized>(
+    sim: &R,
+    partition: &Partition,
+    u: UserId,
+    scratch: &mut [f64],
+) {
+    let (users, scores) = sim.row_vals(u);
+    match scores {
+        RowVals::F64(ss) => {
+            for (&v, &s) in users.iter().zip(ss) {
+                scratch[partition.cluster_of(v) as usize] += s;
+            }
+        }
+        RowVals::F32(ss) => {
+            for (&v, &s) in users.iter().zip(ss) {
+                scratch[partition.cluster_of(v) as usize] += f64::from(s);
+            }
+        }
+    }
+}
+
+impl PartialEq for SimMassIndex {
+    /// Logical equality: same shape and bit-identical rows, regardless
+    /// of backing (heap vs mapped) — f32-backed masses compare at their
+    /// widened value.
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_users() != other.num_users()
+            || self.num_clusters != other.num_clusters
+            || self.nnz() != other.nnz()
+        {
+            return false;
+        }
+        (0..self.num_users() as u32).all(|u| {
+            let (ca, va) = self.row_vals(UserId(u));
+            let (cb, vb) = other.row_vals(UserId(u));
+            ca == cb
+                && va.len() == vb.len()
+                && (0..va.len()).all(|i| va.get(i).to_bits() == vb.get(i).to_bits())
+        })
     }
 }
 
@@ -165,7 +466,13 @@ impl SimMassIndex {
 mod tests {
     use super::*;
     use socialrec_graph::social::social_graph_from_edges;
-    use socialrec_similarity::Measure;
+    use socialrec_similarity::{Measure, SimilarityMatrix};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("socialrec-index-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.srart", std::process::id()))
+    }
 
     #[test]
     fn matches_dense_scratch_accumulation() {
@@ -207,7 +514,8 @@ mod tests {
             assert!(cls.windows(2).all(|w| w[0] < w[1]), "clusters not ascending");
             assert!(ms.iter().all(|&m| m != 0.0));
         }
-        assert_eq!(idx.nnz(), idx.masses.len());
+        let total: usize = (0..5u32).map(|u| idx.row(UserId(u)).0.len()).sum();
+        assert_eq!(idx.nnz(), total);
     }
 
     #[test]
@@ -226,12 +534,7 @@ mod tests {
             ] {
                 let par = SimMassIndex::build(&sim, &partition);
                 let refr = SimMassIndex::build_reference(&sim, &partition);
-                assert_eq!(par.offsets, refr.offsets);
-                assert_eq!(par.clusters, refr.clusters);
-                assert_eq!(par.masses.len(), refr.masses.len());
-                for (a, b) in par.masses.iter().zip(&refr.masses) {
-                    assert_eq!(a.to_bits(), b.to_bits(), "mass differs bitwise");
-                }
+                assert_eq!(par, refr, "two-pass build differs from reference");
             }
         }
     }
@@ -261,6 +564,164 @@ mod tests {
         // Degenerate slices are fine; out-of-bounds is not.
         assert_eq!(full.slice_rows(3, 3).num_users(), 0);
         assert_eq!(full.slice_rows(0, 6).nnz(), full.nnz());
+    }
+
+    /// Satellite coverage: the shard-shaped boundary cases — an empty
+    /// shard, a single-user shard, and a final ragged shard — on both
+    /// backings.
+    #[test]
+    fn slice_rows_boundary_cases_on_both_backings() {
+        let s = social_graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (0, 3), (2, 5)],
+        )
+        .unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = Partition::from_assignment(&[0, 1, 2, 0, 1, 2, 0]);
+        let heap = SimMassIndex::build(&sim, &partition);
+        let path = temp_path("slice-bounds");
+        heap.write_artifact(&path, ValueKind::F64).unwrap();
+        let mapped = SimMassIndex::open_artifact(&path).unwrap();
+
+        for full in [&heap, &mapped] {
+            // Empty shard: zero users anywhere in the range, nnz 0.
+            for at in [0usize, 3, 7] {
+                let empty = full.slice_rows(at, at);
+                assert_eq!(empty.num_users(), 0);
+                assert_eq!(empty.nnz(), 0);
+            }
+            // Single-user shard: one row, bits preserved, local id 0.
+            for at in [0usize, 4, 6] {
+                let one = full.slice_rows(at, at + 1);
+                assert_eq!(one.num_users(), 1);
+                let (gc, gv) = full.row_vals(UserId(at as u32));
+                let (sc, sv) = one.row_vals(UserId(0));
+                assert_eq!(gc, sc);
+                for i in 0..gv.len() {
+                    assert_eq!(gv.get(i).to_bits(), sv.get(i).to_bits());
+                }
+            }
+            // Final ragged shard: chunk 3 over 7 users → [6, 7).
+            let ragged = full.slice_rows(6, 7);
+            assert_eq!(ragged.num_users(), 1);
+            let (gc, _) = full.row_vals(UserId(6));
+            let (sc, _) = ragged.row_vals(UserId(0));
+            assert_eq!(gc, sc);
+        }
+        // Mapped slices share the backing and stay O(1): a sub-slice of
+        // a slice still answers correctly.
+        let nested = mapped.slice_rows(2, 7).slice_rows(3, 5);
+        let (gc, _) = mapped.row_vals(UserId(5));
+        let (nc2, _) = nested.row_vals(UserId(0));
+        assert_eq!(gc, nc2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_index_equals_heap_index_and_f32_equals_quantized() {
+        let s = social_graph_from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4), (0, 4), (2, 6)],
+        )
+        .unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let partition = Partition::from_assignment(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let heap = SimMassIndex::build(&sim, &partition);
+
+        let p64 = temp_path("eq-f64");
+        let p32 = temp_path("eq-f32");
+        heap.write_artifact(&p64, ValueKind::F64).unwrap();
+        heap.write_artifact(&p32, ValueKind::F32).unwrap();
+
+        // Full precision: mapped == heap exactly, both open paths.
+        for opened in [
+            SimMassIndex::open_artifact(&p64).unwrap(),
+            SimMassIndex::open_artifact_owned(&p64).unwrap(),
+        ] {
+            assert_eq!(opened.num_clusters(), heap.num_clusters());
+            assert_eq!(opened, heap);
+            assert_eq!(opened.value_kind(), ValueKind::F64);
+        }
+
+        // Compact: mapped f32 == quantized heap exactly (the §6e
+        // contract), and row() panics while row_vals serves.
+        let compact = SimMassIndex::open_artifact(&p32).unwrap();
+        assert_eq!(compact.value_kind(), ValueKind::F32);
+        assert_eq!(compact, heap.quantized());
+        std::fs::remove_file(&p64).ok();
+        std::fs::remove_file(&p32).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "use row_vals")]
+    fn f64_row_access_panics_on_compact_artifact() {
+        let s = social_graph_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let idx = SimMassIndex::build(&sim, &Partition::singletons(3));
+        let path = temp_path("row-panic");
+        idx.write_artifact(&path, ValueKind::F32).unwrap();
+        let compact = SimMassIndex::open_artifact(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let _ = compact.row(UserId(0));
+    }
+
+    #[test]
+    fn stream_build_matches_materialized_write_byte_for_byte() {
+        let mut edges: Vec<(u32, u32)> = (0..50u32).map(|u| (u, (u + 1) % 50)).collect();
+        edges.extend((0..25u32).map(|u| (u, u + 25)));
+        let s = social_graph_from_edges(50, &edges).unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition =
+            Partition::from_assignment(&(0..50).map(|u| (u % 6) as u32).collect::<Vec<_>>());
+        let heap = SimMassIndex::build(&sim, &partition);
+        let reference = temp_path("stream-ref");
+        heap.write_artifact(&reference, ValueKind::F64).unwrap();
+        let want = std::fs::read(&reference).unwrap();
+        for chunk_rows in [1, 7, 50, 0] {
+            let p = temp_path(&format!("stream-{chunk_rows}"));
+            let entries = SimMassIndex::stream_build_artifact(
+                &sim,
+                &partition,
+                &p,
+                ValueKind::F64,
+                chunk_rows,
+            )
+            .unwrap();
+            assert_eq!(entries as usize, heap.nnz());
+            assert_eq!(std::fs::read(&p).unwrap(), want, "chunk_rows={chunk_rows}");
+            std::fs::remove_file(&p).ok();
+        }
+        std::fs::remove_file(&reference).ok();
+    }
+
+    #[test]
+    fn build_from_mapped_similarity_matches_build_from_heap() {
+        let s = social_graph_from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (6, 7),
+                (7, 8),
+                (8, 6),
+                (2, 3),
+                (5, 6),
+            ],
+        )
+        .unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::AdamicAdar);
+        let partition = Partition::from_assignment(&[0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        let sim_path = temp_path("mapped-sim");
+        sim.write_artifact(&sim_path, ValueKind::F64).unwrap();
+        let mapped_sim = socialrec_similarity::MappedSimilarity::open(&sim_path).unwrap();
+        let from_heap = SimMassIndex::build(&sim, &partition);
+        let from_mapped = SimMassIndex::build(&mapped_sim, &partition);
+        assert_eq!(from_heap, from_mapped, "index must not depend on the similarity backing");
+        std::fs::remove_file(&sim_path).ok();
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use crate::SimMassIndex;
 use socialrec_core::private::framework::NoisyClusterAverages;
 use socialrec_graph::UserId;
+use socialrec_similarity::RowVals;
 
 /// Items per tile: 512 f64 = 4 KiB, so the destination tile plus one
 /// streaming release-row tile sit comfortably in a 32 KiB L1d.
@@ -50,13 +51,44 @@ pub fn utilities_into_reference(
     u: UserId,
     out: &mut Vec<f64>,
 ) {
+    let ni = averages.num_items();
     out.clear();
-    out.resize(averages.num_items(), 0.0);
-    let (clusters, masses) = index.row(u);
-    for (&cl, &mass) in clusters.iter().zip(masses) {
-        let row = averages.cluster_row(cl);
-        for (x, &w) in out.iter_mut().zip(row) {
-            *x += mass * w;
+    out.resize(ni, 0.0);
+    let (clusters, masses) = index.row_vals(u);
+    axpy_tile(averages, clusters, masses, 0, ni, out);
+}
+
+/// The shared inner loop: accumulate one user's cluster masses against
+/// the release-row slice `[t0, t1)` into `dst`. The width match happens
+/// **once per row**, outside the per-entry loop; the f32 arm widens
+/// each mass exactly, so a compact index accumulates the same bits the
+/// pre-quantized f64 index would (see [`SimMassIndex::quantized`]).
+#[inline]
+fn axpy_tile(
+    averages: &NoisyClusterAverages,
+    clusters: &[u32],
+    masses: RowVals<'_>,
+    t0: usize,
+    t1: usize,
+    dst: &mut [f64],
+) {
+    match masses {
+        RowVals::F64(ms) => {
+            for (&cl, &mass) in clusters.iter().zip(ms) {
+                let row = &averages.cluster_row(cl)[t0..t1];
+                for (x, &w) in dst.iter_mut().zip(row) {
+                    *x += mass * w;
+                }
+            }
+        }
+        RowVals::F32(ms) => {
+            for (&cl, &m) in clusters.iter().zip(ms) {
+                let mass = f64::from(m);
+                let row = &averages.cluster_row(cl)[t0..t1];
+                for (x, &w) in dst.iter_mut().zip(row) {
+                    *x += mass * w;
+                }
+            }
         }
     }
 }
@@ -85,13 +117,8 @@ pub fn utilities_block_tiled(
         for (k, &u) in users.iter().enumerate() {
             let base = k * ni;
             let dst = &mut out[base + t0..base + t1];
-            let (clusters, masses) = index.row(u);
-            for (&cl, &mass) in clusters.iter().zip(masses) {
-                let row = &averages.cluster_row(cl)[t0..t1];
-                for (x, &w) in dst.iter_mut().zip(row) {
-                    *x += mass * w;
-                }
-            }
+            let (clusters, masses) = index.row_vals(u);
+            axpy_tile(averages, clusters, masses, t0, t1, dst);
         }
         t0 = t1;
     }
@@ -173,6 +200,57 @@ mod tests {
         utilities_block_tiled(&averages, &index, &[UserId(12)], 16, &mut out);
         assert_eq!(out.len(), averages.num_items());
         assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    /// Tentpole equivalence: serving from an mmap-backed index is
+    /// bit-identical to serving from the heap index (f64 artifact), and
+    /// serving from a compact f32 artifact is bit-identical to serving
+    /// the pre-quantized heap index — the DESIGN.md §6e contract, with
+    /// zero tolerance.
+    #[test]
+    fn mapped_and_compact_indexes_serve_identical_bits() {
+        use socialrec_similarity::ValueKind;
+        let (sim, partition, averages) = fixture();
+        let heap = SimMassIndex::build(&sim, &partition);
+        let dir = std::env::temp_dir().join("socialrec-kernel-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p64 = dir.join(format!("k64-{}.srart", std::process::id()));
+        let p32 = dir.join(format!("k32-{}.srart", std::process::id()));
+        heap.write_artifact(&p64, ValueKind::F64).unwrap();
+        heap.write_artifact(&p32, ValueKind::F32).unwrap();
+        let mapped = SimMassIndex::open_artifact(&p64).unwrap();
+        let compact = SimMassIndex::open_artifact(&p32).unwrap();
+        let quantized = heap.quantized();
+
+        let users: Vec<UserId> = (0..13u32).map(UserId).collect();
+        let ni = averages.num_items();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for tile in [1, 16, 37, 10_000] {
+            for chunk in users.chunks(USER_BLOCK) {
+                utilities_block_tiled(&averages, &heap, chunk, tile, &mut a);
+                utilities_block_tiled(&averages, &mapped, chunk, tile, &mut b);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "mapped f64 diverged at tile={tile}");
+                }
+                utilities_block_tiled(&averages, &quantized, chunk, tile, &mut a);
+                utilities_block_tiled(&averages, &compact, chunk, tile, &mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "compact f32 diverged at tile={tile}");
+                }
+            }
+        }
+        // Reference path too, through row_vals.
+        for &u in &users {
+            utilities_into_reference(&averages, &quantized, u, &mut a);
+            utilities_into_reference(&averages, &compact, u, &mut b);
+            assert_eq!(a.len(), ni);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "reference path diverged for {u:?}");
+            }
+        }
+        std::fs::remove_file(&p64).ok();
+        std::fs::remove_file(&p32).ok();
     }
 
     #[test]

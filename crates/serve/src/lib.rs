@@ -81,11 +81,29 @@ impl<'p> RecommendationServer<'p> {
         sim: &SimilarityMatrix,
         epsilon: Epsilon,
     ) -> RecommendationServer<'p> {
+        Self::from_index(partition, SimMassIndex::build(sim, partition), epsilon)
+    }
+
+    /// Build a server around a prebuilt [`SimMassIndex`] — typically
+    /// one opened zero-copy from an artifact file
+    /// ([`SimMassIndex::open_artifact`]). The index must cover exactly
+    /// `partition`'s users and have been built against that partition.
+    pub fn from_index(
+        partition: &'p Partition,
+        index: SimMassIndex,
+        epsilon: Epsilon,
+    ) -> RecommendationServer<'p> {
+        assert_eq!(index.num_users(), partition.num_users(), "index must cover the partition");
+        assert_eq!(
+            index.num_clusters(),
+            partition.num_clusters(),
+            "index was built against a different partition"
+        );
         let framework = ClusterFramework::new(partition, epsilon);
         RecommendationServer {
             framework,
             fingerprint: partition_fingerprint(partition),
-            index: SimMassIndex::build(sim, partition),
+            index,
             cache: ReleaseCache::new(),
             metrics: ServeMetrics::new(),
         }

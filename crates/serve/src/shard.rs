@@ -107,8 +107,28 @@ impl<'p> ShardedServer<'p> {
         epsilon: Epsilon,
         num_shards: usize,
     ) -> ShardedServer<'p> {
+        Self::from_index(partition, SimMassIndex::build(sim, partition), epsilon, num_shards)
+    }
+
+    /// Build a daemon from a prebuilt [`SimMassIndex`] — typically one
+    /// opened from an mmap-able artifact
+    /// ([`SimMassIndex::open_artifact`]), in which case the per-shard
+    /// `slice_rows` calls are O(1) windows over the shared mapping and
+    /// no index bytes are duplicated. The index must cover exactly
+    /// `partition`'s users and have been built against that partition.
+    pub fn from_index(
+        partition: &'p Partition,
+        full: SimMassIndex,
+        epsilon: Epsilon,
+        num_shards: usize,
+    ) -> ShardedServer<'p> {
         let n = partition.num_users();
-        let full = SimMassIndex::build(sim, partition);
+        assert_eq!(full.num_users(), n, "index must cover the partition's users");
+        assert_eq!(
+            full.num_clusters(),
+            partition.num_clusters(),
+            "index was built against a different partition"
+        );
         let chunk = n.div_ceil(num_shards.clamp(1, n.max(1))).max(1);
         let registry = Arc::new(MetricsRegistry::new());
         let shards = (0..n.div_ceil(chunk))
@@ -407,6 +427,45 @@ mod tests {
             let got = daemon.recommend_batch(&inputs, &users, 3, 42);
             assert_bits(&got, &want);
         }
+    }
+
+    /// Tentpole: a daemon sharding an mmap-backed index (O(1) window
+    /// slices over one shared mapping) answers bit-identically to the
+    /// heap-built daemon, for single queries and batches alike.
+    #[test]
+    fn mmap_backed_daemon_matches_heap_daemon_bitwise() {
+        use socialrec_similarity::ValueKind;
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::from_assignment(&[0, 0, 1, 1, 0, 1]);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+
+        let full = SimMassIndex::build(&sim, &partition);
+        let dir = std::env::temp_dir().join("socialrec-shard-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("daemon-{}.srart", std::process::id()));
+        full.write_artifact(&path, ValueKind::F64).unwrap();
+
+        for num_shards in [1, 3, 6] {
+            let heap = ShardedServer::new(&partition, &sim, Epsilon::Finite(0.5), num_shards);
+            let mapped_index = SimMassIndex::open_artifact(&path).unwrap();
+            let mapped = ShardedServer::from_index(
+                &partition,
+                mapped_index,
+                Epsilon::Finite(0.5),
+                num_shards,
+            );
+            let want = heap.recommend_batch(&inputs, &users, 3, 42);
+            let got = mapped.recommend_batch(&inputs, &users, 3, 42);
+            assert_bits(&got, &want);
+            for &u in &users {
+                let one = mapped.recommend_one(&inputs, u, 3, 42);
+                let row = want.iter().find(|t| t.user == u).unwrap();
+                assert_bits(std::slice::from_ref(&one), std::slice::from_ref(row));
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

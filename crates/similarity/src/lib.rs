@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod adamic_adar;
+pub mod artifact;
 pub mod cache;
 pub mod common_neighbors;
 pub mod csr;
@@ -27,16 +28,23 @@ pub mod extended;
 pub mod graph_distance;
 pub mod katz;
 pub mod measure;
+pub mod mmap;
 pub mod scratch;
+pub mod store;
+pub mod stream;
 
 pub use adamic_adar::AdamicAdar;
+pub use artifact::{ArtifactKind, CsrArtifact, StreamingCsrWriter, ValueKind};
 pub use cache::SimilarityMatrix;
 pub use common_neighbors::CommonNeighbors;
 pub use extended::{HubPromoted, Jaccard, PreferentialAttachment, ResourceAllocation, Salton};
 pub use graph_distance::GraphDistance;
 pub use katz::Katz;
 pub use measure::{parse_measure, Measure};
+pub use mmap::MappedBytes;
 pub use scratch::SimScratch;
+pub use store::{MappedSimilarity, RowVals, SimilarityRows};
+pub use stream::{write_similarity_artifact_streaming, StreamBuildStats};
 
 use socialrec_graph::{SocialGraph, UserId};
 

@@ -1,0 +1,247 @@
+//! Read-only memory mapping with a heap fallback.
+//!
+//! The million-user data path serves similarity rows and mass rows
+//! straight out of on-disk artifacts ([`crate::artifact`]). On 64-bit
+//! unix the artifact file is `mmap`ed — the kernel pages rows in on
+//! demand and can reclaim them under pressure, so resident *anonymous*
+//! memory stays bounded no matter how large the matrix is. Everywhere
+//! else (and in tests that pin the "one code path" property) the file
+//! is read into an 8-byte-aligned heap buffer instead; both variants
+//! hand out the same `&[u8]`, so no caller can tell them apart.
+//!
+//! The workspace vendors no `libc`: the two syscalls are declared by
+//! hand against the platform C library every Rust binary already links.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Raw bindings to the platform C library's mapping calls. Declared by
+/// hand (no `libc` crate in the vendored dependency set); the constants
+/// are identical across Linux and the BSDs / macOS for this subset.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+enum Inner {
+    /// A live `mmap` region (unmapped on drop).
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped { ptr: *const u8, len: usize },
+    /// The whole file copied into an 8-byte-aligned heap buffer
+    /// (`Vec<u64>` so the allocation's alignment is guaranteed).
+    Owned { buf: Vec<u64>, len: usize },
+}
+
+// The mapped pointer is read-only for the lifetime of the value and the
+// backing pages are never handed out mutably.
+unsafe impl Send for MappedBytes {}
+unsafe impl Sync for MappedBytes {}
+
+/// An immutable byte buffer backed by either a memory-mapped file or an
+/// owned heap copy; see the module docs.
+///
+/// The bytes are always at least 8-byte aligned (pages on the mapped
+/// path, a `u64` allocation on the owned path), which is what lets the
+/// artifact layer reinterpret sections as `&[u64]` / `&[f64]` without
+/// copying.
+pub struct MappedBytes {
+    inner: Inner,
+}
+
+impl MappedBytes {
+    /// Map `path` read-only. Falls back to [`open_owned`] on platforms
+    /// without the mmap binding and for empty files (a zero-length
+    /// mapping is an error on Linux).
+    ///
+    /// [`open_owned`]: MappedBytes::open_owned
+    pub fn open(path: &Path) -> io::Result<MappedBytes> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::fd::AsRawFd;
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(MappedBytes { inner: Inner::Owned { buf: Vec::new(), len: 0 } });
+            }
+            if len > usize::MAX as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "file too large to map into the address space",
+                ));
+            }
+            let len = len as usize;
+            // SAFETY: fd is a valid open file, len > 0, and we request a
+            // fresh private read-only mapping at a kernel-chosen address.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == sys::map_failed() {
+                return Err(io::Error::last_os_error());
+            }
+            // The fd can be closed once the mapping exists; the kernel
+            // keeps the file pinned through the mapping itself.
+            drop(file);
+            Ok(MappedBytes { inner: Inner::Mapped { ptr: ptr as *const u8, len } })
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            Self::open_owned(path)
+        }
+    }
+
+    /// Read `path` fully into an aligned heap buffer — the non-mmap
+    /// variant of [`open`](MappedBytes::open), also used by tests to
+    /// prove both backings serve identical bytes.
+    pub fn open_owned(path: &Path) -> io::Result<MappedBytes> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "file too large"));
+        }
+        let len = len as usize;
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: a u64 buffer of ceil(len/8) words holds at least `len`
+        // bytes, and u64 has no invalid byte patterns.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(MappedBytes { inner: Inner::Owned { buf, len } })
+    }
+
+    /// The mapped (or copied) file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            // SAFETY: the mapping is live until drop and read-only.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned { buf, len } => {
+                // SAFETY: the buffer holds at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    /// Whether this buffer is a live file mapping (false: heap copy).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped { .. } => true,
+            Inner::Owned { .. } => false,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: the pointer/length pair came from a successful
+            // mmap and is unmapped exactly once.
+            unsafe {
+                sys::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBytes")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("socialrec-mmap-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn mapped_and_owned_serve_identical_bytes() {
+        let path = temp_path("identical");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+
+        let mapped = MappedBytes::open(&path).unwrap();
+        let owned = MappedBytes::open_owned(&path).unwrap();
+        assert_eq!(mapped.bytes(), payload.as_slice());
+        assert_eq!(owned.bytes(), payload.as_slice());
+        assert!(!owned.is_mapped());
+        // On 64-bit unix the default open really maps.
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(mapped.is_mapped());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn buffers_are_eight_byte_aligned() {
+        let path = temp_path("aligned");
+        File::create(&path).unwrap().write_all(&[1u8; 37]).unwrap();
+        for m in [MappedBytes::open(&path).unwrap(), MappedBytes::open_owned(&path).unwrap()] {
+            assert_eq!(m.bytes().as_ptr() as usize % 8, 0, "mapped={}", m.is_mapped());
+            assert_eq!(m.len(), 37);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_fine() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let m = MappedBytes::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped(), "empty files use the owned backing");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(MappedBytes::open(Path::new("/nonexistent/socialrec-x")).is_err());
+    }
+}
