@@ -9,6 +9,7 @@ pub mod pipeline_bench;
 pub mod recommend;
 pub mod scale_bench;
 pub mod serve_bench;
+pub mod simd_info;
 pub mod stats;
 pub mod trace;
 pub mod validate_bench;

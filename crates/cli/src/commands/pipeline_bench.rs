@@ -15,6 +15,7 @@
 
 use crate::commands::trace::TraceSink;
 use socialrec_community::{Louvain, LouvainResult};
+use socialrec_core::private::NoisyClusterAverages;
 use socialrec_core::private::{
     release_noisy_cluster_averages_reference, release_noisy_cluster_averages_with,
     ClusterFramework, NoiseModel,
@@ -23,10 +24,17 @@ use socialrec_core::{top_n_items_reference, RecommenderInputs, TopN};
 use socialrec_datasets::flixster_like;
 use socialrec_dp::{Epsilon, PrivacyAccountant};
 use socialrec_experiments::{impl_to_json, json::ToJson, Args};
-use socialrec_graph::UserId;
-use socialrec_serve::RecommendationServer;
-use socialrec_similarity::{parse_measure, SimilarityMatrix};
+use socialrec_graph::{SocialGraph, UserId};
+use socialrec_serve::kernel::{utilities_block_tiled, ITEM_TILE, USER_BLOCK};
+use socialrec_serve::{RecommendationServer, SimMassIndex};
+use socialrec_simd::Isa;
+use socialrec_similarity::{parse_measure, Similarity, SimilarityMatrix};
 use std::time::Instant;
+
+/// Minimum per-kernel speedup the SIMD acceptance gate demands on an
+/// AVX2 machine (non-smoke, no scalar override): at least one ported
+/// kernel must measurably beat its scalar-forced baseline.
+const SIMD_GATE_SPEEDUP: f64 = 1.1;
 
 /// One pipeline stage's sequential-vs-parallel timing.
 struct Stage {
@@ -49,11 +57,99 @@ impl Stage {
 
 impl_to_json!(Stage { stage, sequential_ms, parallel_ms, speedup });
 
+/// One grid point of the `--tune` ITEM_TILE × USER_BLOCK sweep.
+struct TunePoint {
+    item_tile: usize,
+    user_block: usize,
+    ms: f64,
+}
+
+impl_to_json!(TunePoint { item_tile, user_block, ms });
+
+/// The `--tune` sweep result: the full grid plus the winning
+/// configuration, next to the compiled-in defaults so a future PR can
+/// see at a glance whether the constants still match the hardware.
+struct TuneReport {
+    grid: Vec<TunePoint>,
+    best_item_tile: usize,
+    best_user_block: usize,
+    best_ms: f64,
+    default_item_tile: usize,
+    default_user_block: usize,
+}
+
+impl_to_json!(TuneReport {
+    grid,
+    best_item_tile,
+    best_user_block,
+    best_ms,
+    default_item_tile,
+    default_user_block,
+});
+
+/// One vectorized kernel's measured speedup against its scalar-forced
+/// baseline (same workload, same process, `socialrec_simd::force`).
+struct SimdKernel {
+    kernel: String,
+    scalar_ms: f64,
+    simd_ms: f64,
+    speedup: f64,
+}
+
+impl_to_json!(SimdKernel { kernel, scalar_ms, simd_ms, speedup });
+
+/// The run's SIMD dispatch record: what the CPU supports, what tier the
+/// kernels actually ran on, any `SOCIALREC_SIMD` override, and the
+/// per-kernel scalar-vs-SIMD attribution. `gate_bound` is true on
+/// non-smoke AVX2 machines, where `gate_met` must report a measured
+/// kernel-level speedup (enforced by `validate-bench`).
+struct SimdReport {
+    detected: String,
+    active: String,
+    requested: Option<String>,
+    kernels: Vec<SimdKernel>,
+    gate_bound: bool,
+    gate_met: bool,
+}
+
+impl_to_json!(SimdReport { detected, active, requested, kernels, gate_bound, gate_met });
+
+/// One span's aggregate in the `hotspots` block: flamegraph-style
+/// per-stage attribution from `crates/obs`, published with every run so
+/// perf PRs can cite before/after numbers from the artifact alone.
+struct Hotspot {
+    span: String,
+    count: u64,
+    total_ms: f64,
+    mean_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    depth: u16,
+}
+
+impl_to_json!(Hotspot { span, count, total_ms, mean_us, p99_us, max_us, depth });
+
+fn hotspots_from(events: &[socialrec_obs::SpanEvent]) -> Vec<Hotspot> {
+    socialrec_obs::summarize(events)
+        .iter()
+        .map(|s| Hotspot {
+            span: s.name.to_string(),
+            count: s.count,
+            total_ms: s.total.as_secs_f64() * 1e3,
+            mean_us: s.mean.as_secs_f64() * 1e6,
+            p99_us: s.p99.as_secs_f64() * 1e6,
+            max_us: s.max.as_secs_f64() * 1e6,
+            depth: s.depth,
+        })
+        .collect()
+}
+
 /// Privacy accounting for the bench run: ε per `A_w` release as `dp`'s
 /// accountant computes it (parallel composition over the partition's
 /// disjoint clusters), plus what the observability ledger actually
-/// recorded when the run was traced (`--trace`); the `ledger_*` fields
-/// are zero in untraced runs, where the ledger is disarmed.
+/// recorded. Since the bench arms the span layer even untraced (to
+/// publish the `hotspots` block), the `ledger_*` fields are live in
+/// every run.
 struct PrivacyReport {
     epsilon_per_release: f64,
     clusters: usize,
@@ -91,6 +187,12 @@ struct Report {
     equivalence_checked: bool,
     serve_metrics: socialrec_obs::MetricsSnapshot,
     privacy: PrivacyReport,
+    /// SIMD dispatch + per-kernel scalar-vs-SIMD attribution.
+    simd: SimdReport,
+    /// `--tune` sweep (`null` when the flag was not given).
+    tune: Option<TuneReport>,
+    /// Per-span aggregates for the whole run (always present).
+    hotspots: Vec<Hotspot>,
     /// Process memory at the end of the run (`null` off Linux); the
     /// peak covers every stage above.
     memory: Option<socialrec_obs::MemorySample>,
@@ -118,6 +220,9 @@ impl_to_json!(Report {
     equivalence_checked,
     serve_metrics,
     privacy,
+    simd,
+    tune,
+    hotspots,
     memory,
 });
 
@@ -151,9 +256,18 @@ pub fn run(args: &Args) -> Result<(), String> {
     let reps = args.get_usize("reps", if smoke { 1 } else { 2 }).max(1);
     let n = args.get_usize("n", 10);
     let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
+    let tune_requested = args.has_flag("tune");
     let out_path = args.get_str("out").unwrap_or("BENCH_pipeline.json").to_string();
     let threads = rayon::current_num_threads();
     let trace = TraceSink::init(args);
+    if !trace.active() {
+        // Arm the span layer even untraced so every run publishes the
+        // `hotspots` attribution block (same reset discipline as a
+        // traced run: stale events and ledger records are discarded).
+        socialrec_obs::PrivacyLedger::global().reset();
+        let _ = socialrec_obs::drain_events();
+        socialrec_obs::enable();
+    }
 
     eprintln!("generating flixster_like(scale={scale}, seed={seed})...");
     let ds = flixster_like(scale, seed);
@@ -261,6 +375,30 @@ pub fn run(args: &Args) -> Result<(), String> {
     eprintln!("  {recommend_par_ms:.0} ms ({} lists)", par_lists.len());
     check_recommend_equivalence(&seq_lists, &par_lists)?;
 
+    // SIMD attribution: re-run the two dominant kernels scalar-forced
+    // and on the dispatched tier, in this same process, asserting
+    // bit-identity between the two (the §6d contract at bench scale).
+    let index = socialrec_serve::SimMassIndex::build(&sim, &partition);
+    let averages = fw.noisy_cluster_averages(&inputs, seed);
+    let simd =
+        simd_attribution(&ds.social, measure.as_ref(), &averages, &index, &users, reps, smoke)?;
+
+    // `--tune`: sweep the blocked kernel's ITEM_TILE × USER_BLOCK grid
+    // over the full user population and record the winner.
+    let tune =
+        if tune_requested { Some(tune_sweep(&averages, &index, &users, reps)) } else { None };
+
+    // Close the span stream (writing the trace artifact if requested)
+    // and fold the events into the hotspots block.
+    let traced = trace.active();
+    let events = if traced {
+        trace.finish_collect(&["sim.build", "louvain.level", "release", "serve.batch"])?
+    } else {
+        socialrec_obs::disable();
+        socialrec_obs::drain_events()
+    };
+    let hotspots = hotspots_from(&events);
+
     let stages = vec![
         Stage::new("sim-build", sim_seq_ms, sim_par_ms),
         Stage::new("cluster", cluster_seq_ms, cluster_par_ms),
@@ -280,7 +418,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
     let epsilon_per_release = accountant.total_epsilon();
     let ledger = socialrec_obs::PrivacyLedger::global().snapshot();
-    if trace.active() {
+    if traced {
         // Acceptance check: every ledger record written for this
         // partition must carry exactly the accountant's ε. (Records are
         // matched by cluster count so concurrent test processes cannot
@@ -335,6 +473,9 @@ pub fn run(args: &Args) -> Result<(), String> {
         equivalence_checked: true,
         serve_metrics,
         privacy,
+        simd,
+        tune,
+        hotspots,
         memory: socialrec_obs::sample_memory(),
     };
     let json = report.to_json_pretty();
@@ -349,8 +490,35 @@ pub fn run(args: &Args) -> Result<(), String> {
         );
     }
     println!("  end-to-end speedup: {end_speedup:.2}x on {threads} threads");
+    println!(
+        "  simd: detected {}, active {}{}",
+        report.simd.detected,
+        report.simd.active,
+        match &report.simd.requested {
+            Some(r) => format!(" (requested {r})"),
+            None => String::new(),
+        }
+    );
+    for k in &report.simd.kernels {
+        println!(
+            "    {:<14}: {:>8.0} ms scalar  {:>8.0} ms simd  ({:.2}x)",
+            k.kernel, k.scalar_ms, k.simd_ms, k.speedup
+        );
+    }
     println!("  wrote {out_path}");
-    trace.finish(&["sim.build", "louvain.level", "release", "serve.batch"])?;
+
+    // SIMD acceptance gate: on an AVX2 machine running vectorized (no
+    // override, not smoke), at least one ported kernel must measurably
+    // beat its scalar-forced baseline in this same artifact.
+    if report.simd.gate_bound && !report.simd.gate_met {
+        let detail: Vec<String> =
+            report.simd.kernels.iter().map(|k| format!("{} {:.2}x", k.kernel, k.speedup)).collect();
+        return Err(format!(
+            "AVX2 active but no kernel reached {SIMD_GATE_SPEEDUP}x over its \
+             scalar-forced baseline: {}",
+            detail.join(", ")
+        ));
+    }
 
     // The acceptance gate only binds where the hardware can express
     // parallelism (SOCIALREC_THREADS may oversubscribe a smaller
@@ -415,6 +583,144 @@ fn check_recommend_equivalence(seq: &[TopN], par: &[TopN]) -> Result<(), String>
     Ok(())
 }
 
+/// Kernel-level SIMD attribution: re-run the two dominant vectorized
+/// kernels scalar-forced and on the run's dispatched tier, in this same
+/// process via `socialrec_simd::force`, timing both and asserting
+/// bit-identity between them (the DESIGN.md §6d contract exercised at
+/// bench scale). The active tier is restored before returning.
+fn simd_attribution(
+    social: &SocialGraph,
+    measure: &dyn Similarity,
+    averages: &NoisyClusterAverages,
+    index: &SimMassIndex,
+    users: &[UserId],
+    reps: usize,
+    smoke: bool,
+) -> Result<SimdReport, String> {
+    let prior = socialrec_simd::active();
+    let detected = socialrec_simd::detected();
+
+    // Kernel 1 — sim-build: the sorted-adjacency intersection kernels
+    // (CN counting / AA weight sums, block-compare + galloping).
+    eprintln!("simd: sim-build scalar-forced vs {} x{reps}...", prior.name());
+    socialrec_simd::force(Isa::Scalar);
+    let (sim_scalar, sim_scalar_ms) = timed_min(reps, || SimilarityMatrix::build(social, measure));
+    socialrec_simd::force(prior);
+    let (sim_simd, sim_simd_ms) = timed_min(reps, || SimilarityMatrix::build(social, measure));
+    check_sim_equivalence(&sim_scalar, &sim_simd)
+        .map_err(|e| format!("scalar-forced vs {} sim-build: {e}", prior.name()))?;
+    drop((sim_scalar, sim_simd));
+    eprintln!("  {sim_scalar_ms:.0} ms scalar, {sim_simd_ms:.0} ms {}", prior.name());
+
+    // Kernel 2 — recommend-axpy: the blocked serving kernel over every
+    // user at the compiled-in tile/block geometry.
+    eprintln!("simd: recommend-axpy scalar-forced vs {} x{reps}...", prior.name());
+    let mut out = Vec::new();
+    socialrec_simd::force(Isa::Scalar);
+    let ((), axpy_scalar_ms) = timed_min(reps, || {
+        for chunk in users.chunks(USER_BLOCK) {
+            utilities_block_tiled(averages, index, chunk, ITEM_TILE, &mut out);
+        }
+    });
+    socialrec_simd::force(prior);
+    let ((), axpy_simd_ms) = timed_min(reps, || {
+        for chunk in users.chunks(USER_BLOCK) {
+            utilities_block_tiled(averages, index, chunk, ITEM_TILE, &mut out);
+        }
+    });
+    eprintln!("  {axpy_scalar_ms:.0} ms scalar, {axpy_simd_ms:.0} ms {}", prior.name());
+
+    // Bit-identity pass for the axpy kernel: every block, scalar vs the
+    // dispatched tier, compared bit for bit (chunked so the comparison
+    // never holds the full users x items utility matrix).
+    let mut scalar_out = Vec::new();
+    for chunk in users.chunks(USER_BLOCK) {
+        socialrec_simd::force(Isa::Scalar);
+        utilities_block_tiled(averages, index, chunk, ITEM_TILE, &mut scalar_out);
+        socialrec_simd::force(prior);
+        utilities_block_tiled(averages, index, chunk, ITEM_TILE, &mut out);
+        let identical = scalar_out.len() == out.len()
+            && scalar_out.iter().zip(&out).all(|(a, b)| a.to_bits() == b.to_bits());
+        if !identical {
+            return Err(format!(
+                "{} blocked utilities kernel is not bit-identical to scalar-forced \
+                 (block starting at {:?})",
+                prior.name(),
+                chunk.first()
+            ));
+        }
+    }
+    socialrec_simd::force(prior);
+
+    let kernels = vec![
+        SimdKernel {
+            kernel: "sim-build".to_string(),
+            scalar_ms: sim_scalar_ms,
+            simd_ms: sim_simd_ms,
+            speedup: sim_scalar_ms / sim_simd_ms.max(1e-9),
+        },
+        SimdKernel {
+            kernel: "recommend-axpy".to_string(),
+            scalar_ms: axpy_scalar_ms,
+            simd_ms: axpy_simd_ms,
+            speedup: axpy_scalar_ms / axpy_simd_ms.max(1e-9),
+        },
+    ];
+    // The gate binds only where vector hardware is both present and in
+    // use: a smoke run is too small to time, and a `SOCIALREC_SIMD`
+    // downgrade is an explicit request to not run vectorized.
+    let gate_bound = !smoke && detected == Isa::Avx2 && prior == Isa::Avx2;
+    let gate_met = kernels.iter().any(|k| k.speedup >= SIMD_GATE_SPEEDUP);
+    Ok(SimdReport {
+        detected: detected.name().to_string(),
+        active: prior.name().to_string(),
+        requested: socialrec_simd::requested().map(|r| r.name().to_string()),
+        kernels,
+        gate_bound,
+        gate_met,
+    })
+}
+
+/// The `--tune` sweep: time the blocked serving kernel over the full
+/// user population at every ITEM_TILE x USER_BLOCK grid point and
+/// report the winner next to the compiled-in defaults.
+fn tune_sweep(
+    averages: &NoisyClusterAverages,
+    index: &SimMassIndex,
+    users: &[UserId],
+    reps: usize,
+) -> TuneReport {
+    const TILES: [usize; 5] = [128, 256, 512, 1024, 2048];
+    const BLOCKS: [usize; 4] = [2, 4, 8, 16];
+    eprintln!("tune: sweeping {} x {} grid...", TILES.len(), BLOCKS.len());
+    let mut grid = Vec::with_capacity(TILES.len() * BLOCKS.len());
+    let mut out = Vec::new();
+    let (mut best_item_tile, mut best_user_block, mut best_ms) = (0, 0, f64::INFINITY);
+    for &tile in &TILES {
+        for &block in &BLOCKS {
+            let ((), ms) = timed_min(reps, || {
+                for chunk in users.chunks(block) {
+                    utilities_block_tiled(averages, index, chunk, tile, &mut out);
+                }
+            });
+            eprintln!("  tile {tile:>4} x block {block:>2}: {ms:>7.1} ms");
+            if ms < best_ms {
+                (best_item_tile, best_user_block, best_ms) = (tile, block, ms);
+            }
+            grid.push(TunePoint { item_tile: tile, user_block: block, ms });
+        }
+    }
+    eprintln!("  best: tile {best_item_tile} x block {best_user_block} ({best_ms:.1} ms)");
+    TuneReport {
+        grid,
+        best_item_tile,
+        best_user_block,
+        best_ms,
+        default_item_tile: ITEM_TILE,
+        default_user_block: USER_BLOCK,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,7 +734,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("BENCH_pipeline.json");
         let trace_out = dir.join("trace.json");
-        let spec = format!("--smoke --out {} --trace {}", out.display(), trace_out.display());
+        let spec =
+            format!("--smoke --tune --out {} --trace {}", out.display(), trace_out.display());
         run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
         let body = std::fs::read_to_string(&out).unwrap();
         assert!(body.trim_start().starts_with('{'), "artifact must be a JSON object");
@@ -449,6 +756,21 @@ mod tests {
             "\"epsilon_per_release\"",
             "\"ledger_releases\"",
             "\"ledger_cumulative_epsilon\"",
+            "\"simd\"",
+            "\"detected\"",
+            "\"active\"",
+            "\"requested\"",
+            "\"kernels\"",
+            "\"sim-build\"",
+            "\"recommend-axpy\"",
+            "\"gate_bound\"",
+            "\"gate_met\"",
+            "\"tune\"",
+            "\"grid\"",
+            "\"best_item_tile\"",
+            "\"best_user_block\"",
+            "\"default_item_tile\"",
+            "\"hotspots\"",
             "\"memory\"",
         ] {
             assert!(body.contains(key), "artifact missing {key}: {body}");

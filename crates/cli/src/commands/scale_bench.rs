@@ -24,6 +24,7 @@
 //!
 //! [`StreamingCsrWriter`]: socialrec_similarity::StreamingCsrWriter
 
+use crate::commands::simd_info::SimdInfo;
 use socialrec_community::Partition;
 use socialrec_core::private::{release_noisy_cluster_averages_with, NoiseModel};
 use socialrec_core::top_n_items;
@@ -97,6 +98,9 @@ struct Report {
     threads: usize,
     points: Vec<Point>,
     equivalence_checked: bool,
+    /// SIMD dispatch record: the stream builds and the query phase's
+    /// blocked kernel all ran on `active`.
+    simd: SimdInfo,
     /// End-of-run process memory (`null` off Linux); the peak covers
     /// every sweep point above.
     memory: Option<socialrec_obs::MemorySample>,
@@ -114,6 +118,7 @@ impl_to_json!(Report {
     threads,
     points,
     equivalence_checked,
+    simd,
     memory,
 });
 
@@ -451,6 +456,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         threads,
         points,
         equivalence_checked: true,
+        simd: SimdInfo::current(),
         memory: socialrec_obs::sample_memory(),
     };
     let json = report.to_json_pretty();
@@ -504,6 +510,10 @@ mod tests {
             "\"sim_artifact_bytes\"",
             "\"value_kind\"",
             "\"equivalence_checked\"",
+            "\"simd\"",
+            "\"detected\"",
+            "\"active\"",
+            "\"requested\"",
             "\"memory\"",
             "\"anon_bytes\"",
         ] {

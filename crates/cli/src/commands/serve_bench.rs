@@ -27,6 +27,7 @@
 //! per-shard generation stamps) whose shape — and SLO verdict — is
 //! enforced by `socialrec validate-bench` in CI.
 
+use crate::commands::simd_info::SimdInfo;
 use crate::commands::trace::TraceSink;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -140,6 +141,8 @@ struct Report {
     shard_generations: Vec<u64>,
     equivalence_checked: bool,
     privacy: ServePrivacy,
+    /// SIMD dispatch record: all serving-path kernels ran on `active`.
+    simd: SimdInfo,
     registry: socialrec_obs::RegistrySnapshot,
     /// Process memory at the end of the run (`null` off Linux).
     memory: Option<socialrec_obs::MemorySample>,
@@ -173,6 +176,7 @@ impl_to_json!(Report {
     shard_generations,
     equivalence_checked,
     privacy,
+    simd,
     registry,
     memory,
 });
@@ -493,6 +497,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         shard_generations,
         equivalence_checked: true,
         privacy,
+        simd: SimdInfo::current(),
         registry: daemon.registry().snapshot(),
         memory: socialrec_obs::sample_memory(),
     };
@@ -580,6 +585,10 @@ mod tests {
             "\"shard_generations\"",
             "\"serve.shard0.generation\"",
             "\"ledger_spends_generation_b\": 1",
+            "\"simd\"",
+            "\"detected\"",
+            "\"active\"",
+            "\"requested\"",
             "\"memory\"",
         ] {
             assert!(body.contains(key), "artifact missing {key}: {body}");

@@ -1,0 +1,28 @@
+//! The lite SIMD dispatch record shared by the serve/scale bench
+//! artifacts: which ISA tier the CPU supports, which one the kernels
+//! actually run on, and any `SOCIALREC_SIMD` override. (The pipeline
+//! bench publishes a fuller `simd` block with per-kernel attribution
+//! and the AVX2 acceptance gate on top of these three fields.)
+
+use socialrec_experiments::impl_to_json;
+
+/// Detected/active/requested ISA names for a bench artifact.
+pub struct SimdInfo {
+    pub detected: String,
+    pub active: String,
+    /// The `SOCIALREC_SIMD` override, `null` when unset.
+    pub requested: Option<String>,
+}
+
+impl_to_json!(SimdInfo { detected, active, requested });
+
+impl SimdInfo {
+    /// Snapshot the process's dispatch state.
+    pub fn current() -> SimdInfo {
+        SimdInfo {
+            detected: socialrec_simd::detected().name().to_string(),
+            active: socialrec_simd::active().name().to_string(),
+            requested: socialrec_simd::requested().map(|r| r.name().to_string()),
+        }
+    }
+}

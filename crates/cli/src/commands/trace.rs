@@ -50,7 +50,17 @@ impl TraceSink {
     /// whose instrumentation silently disappears fails its own traced
     /// run rather than emitting a hollow artifact.
     pub fn finish(self, required: &[&str]) -> Result<(), String> {
-        let Some(path) = self.path else { return Ok(()) };
+        self.finish_collect(required).map(|_| ())
+    }
+
+    /// [`finish`](Self::finish), but hand the drained span events back
+    /// to the caller (e.g. to publish a `hotspots` summary in a bench
+    /// artifact). Untraced commands get an empty vector.
+    pub fn finish_collect(
+        self,
+        required: &[&str],
+    ) -> Result<Vec<socialrec_obs::SpanEvent>, String> {
+        let Some(path) = self.path else { return Ok(Vec::new()) };
         socialrec_obs::disable();
         let events = socialrec_obs::drain_events();
         let json = socialrec_obs::chrome_trace_json(&events);
@@ -73,6 +83,6 @@ impl TraceSink {
             check.events,
             check.tids.len()
         );
-        Ok(())
+        Ok(events)
     }
 }

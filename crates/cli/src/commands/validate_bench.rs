@@ -21,7 +21,7 @@ const REQUIRED_STAGES: [&str; 4] = ["sim-build", "cluster", "release", "recommen
 /// Top-level keys every pipeline artifact must carry. `memory` is the
 /// process-memory sample (`null` off Linux, but the key must exist so
 /// thinning the report is loud).
-const REQUIRED_KEYS: [&str; 8] = [
+const REQUIRED_KEYS: [&str; 11] = [
     "\"stages\"",
     "\"threads\"",
     "\"end_to_end_speedup\"",
@@ -29,8 +29,42 @@ const REQUIRED_KEYS: [&str; 8] = [
     "\"items\"",
     "\"serve_metrics\"",
     "\"privacy\"",
+    "\"simd\"",
+    "\"tune\"",
+    "\"hotspots\"",
     "\"memory\"",
 ];
+
+/// Fields every artifact's `simd` dispatch record must carry (the
+/// pipeline artifact's fuller block is checked on top of these).
+const REQUIRED_SIMD_INFO_KEYS: [&str; 4] =
+    ["\"simd\"", "\"detected\"", "\"active\"", "\"requested\""];
+
+/// Per-kernel attribution + gate fields of the pipeline `simd` block.
+const REQUIRED_SIMD_KERNEL_KEYS: [&str; 6] = [
+    "\"kernels\"",
+    "\"scalar_ms\"",
+    "\"simd_ms\"",
+    "\"speedup\"",
+    "\"gate_bound\"",
+    "\"gate_met\"",
+];
+
+/// Fields a non-null `tune` block must carry: the sweep grid and the
+/// winning configuration next to the compiled-in defaults.
+const REQUIRED_TUNE_KEYS: [&str; 7] = [
+    "\"grid\"",
+    "\"item_tile\"",
+    "\"user_block\"",
+    "\"best_item_tile\"",
+    "\"best_user_block\"",
+    "\"best_ms\"",
+    "\"default_item_tile\"",
+];
+
+/// Per-span fields of the `hotspots` attribution block.
+const REQUIRED_HOTSPOT_KEYS: [&str; 5] =
+    ["\"span\"", "\"total_ms\"", "\"mean_us\"", "\"p99_us\"", "\"max_us\""];
 
 /// Fields the `serve_metrics` block (a `MetricsSnapshot` via `ToJson`)
 /// must carry — the recommend stage's serving counters and the
@@ -52,8 +86,9 @@ const REQUIRED_PRIVACY_KEYS: [&str; 4] = [
 const REQUIRED_SERVE_MODES: [&str; 3] = ["closed", "uncoalesced", "open"];
 
 /// Top-level keys every serving artifact must carry.
-const REQUIRED_SERVE_KEYS: [&str; 15] = [
+const REQUIRED_SERVE_KEYS: [&str; 16] = [
     "\"memory\"",
+    "\"simd\"",
     "\"clients\"",
     "\"shards\"",
     "\"threads\"",
@@ -89,8 +124,9 @@ const REQUIRED_SERVE_PRIVACY_KEYS: [&str; 4] = [
 ];
 
 /// Top-level keys every scale artifact must carry.
-const REQUIRED_SCALE_KEYS: [&str; 7] = [
+const REQUIRED_SCALE_KEYS: [&str; 8] = [
     "\"points\"",
+    "\"simd\"",
     "\"value_kind\"",
     "\"chunk_rows\"",
     "\"threads\"",
@@ -156,6 +192,11 @@ fn validate_scale(body: &str) -> Result<(), String> {
             return Err(format!("missing sweep-point field {key}"));
         }
     }
+    for key in REQUIRED_SIMD_INFO_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing simd field {key}"));
+        }
+    }
     // The memory gauge is the whole point of the sweep: at least one
     // point must carry a real sample (a Linux runner produced it), or
     // the artifact must mark every sample null (non-Linux) — but the
@@ -187,6 +228,33 @@ fn validate_pipeline(body: &str) -> Result<(), String> {
             return Err(format!("missing privacy field {key}"));
         }
     }
+    for key in REQUIRED_SIMD_INFO_KEYS.iter().chain(&REQUIRED_SIMD_KERNEL_KEYS) {
+        if !body.contains(key) {
+            return Err(format!("missing simd field {key}"));
+        }
+    }
+    // The SIMD wire-through: when the bench declared its kernel gate
+    // bound (AVX2 active, non-smoke), the artifact must also record a
+    // measured kernel-level speedup over the scalar-forced baseline.
+    if body.contains("\"gate_bound\": true") && !body.contains("\"gate_met\": true") {
+        return Err(
+            "simd gate was bound but no kernel-level speedup over scalar was met".to_string()
+        );
+    }
+    // `tune` is null unless the run passed `--tune`; when present, the
+    // sweep grid and winner must be complete.
+    if !body.contains("\"tune\": null") {
+        for key in REQUIRED_TUNE_KEYS {
+            if !body.contains(key) {
+                return Err(format!("missing tune field {key}"));
+            }
+        }
+    }
+    for key in REQUIRED_HOTSPOT_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing hotspots field {key}"));
+        }
+    }
     Ok(())
 }
 
@@ -216,6 +284,11 @@ fn validate_serve(body: &str) -> Result<(), String> {
             return Err(format!("missing privacy field {key}"));
         }
     }
+    for key in REQUIRED_SIMD_INFO_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing simd field {key}"));
+        }
+    }
     if !body.contains("serve.shard0.generation") {
         return Err("missing per-shard generation stamps in the registry block".to_string());
     }
@@ -235,6 +308,11 @@ fn validate_serve(body: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    /// The `simd` dispatch record shared by the serve/scale fixtures.
+    fn simd_info_block() -> &'static str {
+        "\"simd\": { \"detected\": \"avx2\", \"active\": \"avx2\", \"requested\": null }"
+    }
+
     fn valid_body() -> String {
         let stages: String = REQUIRED_STAGES
             .iter()
@@ -249,7 +327,18 @@ mod tests {
              \"items\": 20,\n  \"stages\": [\n{stages}  ],\n  \
              \"end_to_end_speedup\": 1.0,\n  \"equivalence_checked\": true,\n  \
              \"serve_metrics\": {{\n{metrics}  }},\n  \
-             \"privacy\": {{\n{privacy}  }},\n  \"memory\": null\n}}\n"
+             \"privacy\": {{\n{privacy}  }},\n  \
+             \"simd\": {{\n    \"detected\": \"avx2\",\n    \"active\": \"avx2\",\n    \
+             \"requested\": null,\n    \"kernels\": [\n      {{ \"kernel\": \"sim-build\", \
+             \"scalar_ms\": 2.0, \"simd_ms\": 1.0, \"speedup\": 2.0 }}\n    ],\n    \
+             \"gate_bound\": true,\n    \"gate_met\": true\n  }},\n  \
+             \"tune\": {{\n    \"grid\": [\n      {{ \"item_tile\": 512, \
+             \"user_block\": 8, \"ms\": 1.0 }}\n    ],\n    \"best_item_tile\": 512,\n    \
+             \"best_user_block\": 8,\n    \"best_ms\": 1.0,\n    \
+             \"default_item_tile\": 512,\n    \"default_user_block\": 8\n  }},\n  \
+             \"hotspots\": [\n    {{ \"span\": \"sim.build\", \"count\": 1, \
+             \"total_ms\": 3.0, \"mean_us\": 10.0, \"p99_us\": 20.0, \"max_us\": 30.0, \
+             \"depth\": 0 }}\n  ],\n  \"memory\": null\n}}\n"
         )
     }
 
@@ -272,11 +361,13 @@ mod tests {
              \"equivalence_checked\": true,\n  \
              \"privacy\": {{ \"epsilon_per_release\": 0.5, \"clusters\": 3, \
              \"ledger_spends_generation_a\": 1, \"ledger_spends_generation_b\": 1 }},\n  \
+             {},\n  \
              \"registry\": {{ \"gauges\": [[\"serve.shard0.generation\", 7]] }},\n  \
              \"memory\": null\n}}\n",
             phase("closed"),
             phase("uncoalesced"),
             phase("open"),
+            simd_info_block(),
         )
     }
 
@@ -288,7 +379,8 @@ mod tests {
              \"value_kind\": \"f32\",\n  \"chunk_rows\": 0,\n  \"threads\": 1,\n  \
              \"points\": [\n    {{\n{point}      \"memory\": {{ \"rss_bytes\": 1, \
              \"peak_rss_bytes\": 2, \"anon_bytes\": 1 }}\n    }}\n  ],\n  \
-             \"equivalence_checked\": true,\n  \"memory\": null\n}}\n"
+             \"equivalence_checked\": true,\n  {},\n  \"memory\": null\n}}\n",
+            simd_info_block()
         )
     }
 
@@ -343,6 +435,42 @@ mod tests {
         let no_spends =
             valid_serve_body().replace("\"ledger_spends_generation_a\"", "\"spends_a\"");
         assert!(validate(&no_spends).unwrap_err().contains("ledger_spends_generation_a"));
+    }
+
+    #[test]
+    fn rejects_thinned_simd_tune_or_hotspot_blocks() {
+        let no_simd = valid_body().replace("\"kernels\"", "\"ks\"");
+        assert!(validate(&no_simd).unwrap_err().contains("kernels"));
+        let no_gate = valid_body().replace("\"gate_bound\"", "\"gb\"");
+        assert!(validate(&no_gate).unwrap_err().contains("gate_bound"));
+        let no_grid = valid_body().replace("\"grid\"", "\"g\"");
+        assert!(validate(&no_grid).unwrap_err().contains("grid"));
+        let no_best = valid_body().replace("\"best_item_tile\"", "\"bit\"");
+        assert!(validate(&no_best).unwrap_err().contains("best_item_tile"));
+        let no_span = valid_body().replace("\"span\"", "\"s\"");
+        assert!(validate(&no_span).unwrap_err().contains("span"));
+        let serve_no_simd = valid_serve_body().replace("\"detected\"", "\"d\"");
+        assert!(validate(&serve_no_simd).unwrap_err().contains("detected"));
+        let scale_no_simd = valid_scale_body().replace("\"active\"", "\"a\"");
+        assert!(validate(&scale_no_simd).unwrap_err().contains("active"));
+    }
+
+    #[test]
+    fn accepts_untuned_pipeline_but_rejects_bound_unmet_simd_gate() {
+        // A run without `--tune` writes `"tune": null` — still valid.
+        let body = valid_body();
+        let at = body.find("\"tune\": {").unwrap();
+        let end_marker = "\"default_user_block\": 8\n  },";
+        let end = body.find(end_marker).unwrap() + end_marker.len();
+        let untuned = format!("{}\"tune\": null,{}", &body[..at], &body[end..]);
+        assert_eq!(validate(&untuned).unwrap(), "pipeline");
+
+        // Bound-but-unmet SIMD gate: the artifact contradicts itself.
+        let unmet = valid_body().replace("\"gate_met\": true", "\"gate_met\": false");
+        assert!(validate(&unmet).unwrap_err().contains("simd gate"));
+        // An unbound gate (scalar override, non-AVX2 box) is fine.
+        let unbound = unmet.replace("\"gate_bound\": true", "\"gate_bound\": false");
+        assert_eq!(validate(&unbound).unwrap(), "pipeline");
     }
 
     #[test]

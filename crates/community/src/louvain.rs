@@ -111,6 +111,8 @@ fn local_moving(wg: &WeightedGraph, comm: &mut [u32], rng: &mut SmallRng, min_ga
     // Dense scratch: weight from the current node to each community.
     let mut link_to = vec![0.0f64; n];
     let mut touched: Vec<u32> = Vec::new();
+    // Neighbor community labels, gathered a register at a time.
+    let mut labels: Vec<u32> = Vec::new();
 
     loop {
         let mut moved_this_pass = false;
@@ -120,10 +122,17 @@ fn local_moving(wg: &WeightedGraph, comm: &mut [u32], rng: &mut SmallRng, min_ga
             let cu = comm[u] as usize;
             let ku = wg.degree[u];
 
-            // Accumulate links from u to neighboring communities.
+            // Accumulate links from u to neighboring communities. The
+            // label gather `comm[v]` is SIMD (AVX2 vpgatherdd); the
+            // scatter into link_to stays scalar in neighbor order, so
+            // the accumulated weights are bit-identical to the fused
+            // scalar loop.
             let (ns, ws) = wg.neighbors_of(u);
-            for (&v, &w) in ns.iter().zip(ws) {
-                let cv = comm[v as usize] as usize;
+            labels.clear();
+            labels.resize(ns.len(), 0);
+            socialrec_simd::gather_u32(comm, ns, &mut labels);
+            for (&cv32, &w) in labels.iter().zip(ws) {
+                let cv = cv32 as usize;
                 if link_to[cv] == 0.0 {
                     touched.push(cv as u32);
                 }

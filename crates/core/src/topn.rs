@@ -72,19 +72,26 @@ pub fn top_n_items(utilities: &[f64], n: usize) -> Vec<(ItemId, f64)> {
     // Cached floor: the heap root, refreshed only when the heap changes.
     let root = heap.peek().expect("n >= 1");
     let (mut worst_u, mut worst_item) = (root.utility, root.item);
-    for (idx, &u) in utilities.iter().enumerate().skip(n) {
-        let u = if u.is_nan() { f64::NEG_INFINITY } else { u };
-        // Common case: at or below the floor — no heap op. (idx is
-        // always > worst_item here, since worst_item entered earlier,
-        // so an exact tie never displaces.)
-        if u < worst_u || (u == worst_u && idx as u32 >= worst_item) {
-            continue;
+    let mut idx = n;
+    while idx < utilities.len() {
+        // Vectorized reject path: jump straight to the next utility at
+        // or above the floor. `scan_ge` never matches NaN, which is
+        // exactly the scalar NaN→-∞ behavior (a -∞ floor still rejects
+        // NaN there via the tie rule: worst_item entered earlier, so
+        // idx >= worst_item always holds).
+        idx = socialrec_simd::scan_ge(utilities, idx, worst_u);
+        if idx >= utilities.len() {
+            break;
         }
-        heap.pop();
-        heap.push(HeapEntry { utility: u, item: idx as u32 });
-        let root = heap.peek().expect("heap non-empty");
-        worst_u = root.utility;
-        worst_item = root.item;
+        let u = utilities[idx]; // never NaN here
+        if u > worst_u || (u == worst_u && (idx as u32) < worst_item) {
+            heap.pop();
+            heap.push(HeapEntry { utility: u, item: idx as u32 });
+            let root = heap.peek().expect("heap non-empty");
+            worst_u = root.utility;
+            worst_item = root.item;
+        }
+        idx += 1;
     }
     sorted_out(heap)
 }

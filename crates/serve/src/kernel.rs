@@ -42,9 +42,9 @@ pub const ITEM_TILE: usize = 512;
 pub const USER_BLOCK: usize = 8;
 
 /// Utility estimates for one user: the per-user full-width sparse axpy
-/// the serving layer shipped first. Retained as the equivalence
-/// reference for the blocked kernel (and still bit-identical to
-/// `ClusterFramework::utility_estimates_into`).
+/// the serving layer shipped first. Retained, fully scalar, as the
+/// equivalence reference for the blocked SIMD kernel (and still
+/// bit-identical to `ClusterFramework::utility_estimates_into`).
 pub fn utilities_into_reference(
     averages: &NoisyClusterAverages,
     index: &SimMassIndex,
@@ -55,28 +55,10 @@ pub fn utilities_into_reference(
     out.clear();
     out.resize(ni, 0.0);
     let (clusters, masses) = index.row_vals(u);
-    axpy_tile(averages, clusters, masses, 0, ni, out);
-}
-
-/// The shared inner loop: accumulate one user's cluster masses against
-/// the release-row slice `[t0, t1)` into `dst`. The width match happens
-/// **once per row**, outside the per-entry loop; the f32 arm widens
-/// each mass exactly, so a compact index accumulates the same bits the
-/// pre-quantized f64 index would (see [`SimMassIndex::quantized`]).
-#[inline]
-fn axpy_tile(
-    averages: &NoisyClusterAverages,
-    clusters: &[u32],
-    masses: RowVals<'_>,
-    t0: usize,
-    t1: usize,
-    dst: &mut [f64],
-) {
     match masses {
         RowVals::F64(ms) => {
             for (&cl, &mass) in clusters.iter().zip(ms) {
-                let row = &averages.cluster_row(cl)[t0..t1];
-                for (x, &w) in dst.iter_mut().zip(row) {
+                for (x, &w) in out.iter_mut().zip(averages.cluster_row(cl)) {
                     *x += mass * w;
                 }
             }
@@ -84,12 +66,40 @@ fn axpy_tile(
         RowVals::F32(ms) => {
             for (&cl, &m) in clusters.iter().zip(ms) {
                 let mass = f64::from(m);
-                let row = &averages.cluster_row(cl)[t0..t1];
-                for (x, &w) in dst.iter_mut().zip(row) {
+                for (x, &w) in out.iter_mut().zip(averages.cluster_row(cl)) {
                     *x += mass * w;
                 }
             }
         }
+    }
+}
+
+/// One user's index row with the width dispatch already resolved: the
+/// clusters slice plus f64 masses, either borrowed straight from the
+/// index or widened once from an f32 row into the shared scratch (the
+/// widening is exact, so a compact index accumulates the same bits the
+/// pre-quantized f64 index would — see [`SimMassIndex::quantized`]).
+enum ResolvedMasses<'a> {
+    Borrowed(&'a [f64]),
+    /// Range into the caller's widening scratch.
+    Widened(usize, usize),
+}
+
+/// The shared inner loop: accumulate one user's cluster masses against
+/// the release-row slice `[t0, t1)` into `dst`, one SIMD axpy per
+/// touched cluster. Elementwise, so bit-identical to the scalar
+/// reference on every ISA tier (DESIGN.md §6d).
+#[inline]
+fn axpy_tile(
+    averages: &NoisyClusterAverages,
+    clusters: &[u32],
+    masses: &[f64],
+    t0: usize,
+    t1: usize,
+    dst: &mut [f64],
+) {
+    for (&cl, &mass) in clusters.iter().zip(masses) {
+        socialrec_simd::axpy(dst, mass, &averages.cluster_row(cl)[t0..t1]);
     }
 }
 
@@ -100,6 +110,10 @@ fn axpy_tile(
 /// `tile` is the item-tile width (clamped to at least 1; callers use
 /// [`ITEM_TILE`], tests sweep it). See the module docs for why every
 /// row is bit-identical to [`utilities_into_reference`].
+///
+/// Each user's `RowVals` width dispatch is resolved **once per row**
+/// before the tile loop (f32 rows widen into a scratch buffer exactly
+/// once), so the per-tile work is always the dense-f64 [`axpy_tile`].
 pub fn utilities_block_tiled(
     averages: &NoisyClusterAverages,
     index: &SimMassIndex,
@@ -111,13 +125,35 @@ pub fn utilities_block_tiled(
     out.clear();
     out.resize(users.len() * ni, 0.0);
     let tile = tile.max(1);
+    // Hoisted per-row dispatch: resolve every user's row before the
+    // tile loop instead of re-matching per (tile × user). `widened` may
+    // reallocate while filling, so rows store ranges, not slices.
+    let mut widened: Vec<f64> = Vec::new();
+    let rows: Vec<(&[u32], ResolvedMasses<'_>)> = users
+        .iter()
+        .map(|&u| {
+            let (clusters, masses) = index.row_vals(u);
+            let resolved = match masses {
+                RowVals::F64(ms) => ResolvedMasses::Borrowed(ms),
+                RowVals::F32(ms) => {
+                    let start = widened.len();
+                    widened.extend(ms.iter().map(|&m| f64::from(m)));
+                    ResolvedMasses::Widened(start, widened.len())
+                }
+            };
+            (clusters, resolved)
+        })
+        .collect();
     let mut t0 = 0;
     while t0 < ni {
         let t1 = (t0 + tile).min(ni);
-        for (k, &u) in users.iter().enumerate() {
+        for (k, (clusters, resolved)) in rows.iter().enumerate() {
             let base = k * ni;
             let dst = &mut out[base + t0..base + t1];
-            let (clusters, masses) = index.row_vals(u);
+            let masses: &[f64] = match *resolved {
+                ResolvedMasses::Borrowed(ms) => ms,
+                ResolvedMasses::Widened(s, e) => &widened[s..e],
+            };
             axpy_tile(averages, clusters, masses, t0, t1, dst);
         }
         t0 = t1;

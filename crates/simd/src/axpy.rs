@@ -1,0 +1,151 @@
+//! `dst[i] += a * src[i]` — the serving batch-utility inner loop.
+//!
+//! Elementwise, so vectorization is order-preserving: lane `i` still
+//! computes `dst[i] + a * src[i]` with one rounding for the multiply
+//! and one for the add. The AVX2 tier deliberately emits
+//! `vmulpd` + `vaddpd`, **not** `vfmadd`: a fused multiply-add rounds
+//! once and would change the low bits, breaking the serve kernel's
+//! bit-identity contract (DESIGN.md §6d).
+
+use crate::Isa;
+
+/// Scalar reference: `dst[i] += a * src[i]`.
+pub fn axpy_reference(dst: &mut [f64], a: f64, src: &[f64]) {
+    for (x, &s) in dst.iter_mut().zip(src) {
+        *x += a * s;
+    }
+}
+
+/// Dispatched `dst[i] += a * src[i]` over the active tier.
+///
+/// # Panics
+///
+/// If `dst.len() != src.len()`.
+pub fn axpy(dst: &mut [f64], a: f64, src: &[f64]) {
+    axpy_on(crate::active(), dst, a, src)
+}
+
+/// [`axpy`] on an explicit tier (clamped to what the CPU supports).
+pub fn axpy_on(isa: Isa, dst: &mut [f64], a: f64, src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "axpy: dst/src length mismatch");
+    match isa.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped()` only returns Avx2 when avx2+fma are
+        // detected on this CPU.
+        Isa::Avx2 => unsafe { x86::axpy_avx2(dst, a, src) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Isa::Sse2 => unsafe { x86::axpy_sse2(dst, a, src) },
+        _ => axpy_reference(dst, a, src),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_avx2(dst: &mut [f64], a: f64, src: &[f64]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let va = _mm256_set1_pd(a);
+        let mut i = 0;
+        // 2× unrolled 4-lane body; mul+add (NOT fmadd — see module docs).
+        while i + 8 <= n {
+            let r0 = _mm256_add_pd(
+                _mm256_loadu_pd(d.add(i)),
+                _mm256_mul_pd(va, _mm256_loadu_pd(s.add(i))),
+            );
+            let r1 = _mm256_add_pd(
+                _mm256_loadu_pd(d.add(i + 4)),
+                _mm256_mul_pd(va, _mm256_loadu_pd(s.add(i + 4))),
+            );
+            _mm256_storeu_pd(d.add(i), r0);
+            _mm256_storeu_pd(d.add(i + 4), r1);
+            i += 8;
+        }
+        if i + 4 <= n {
+            let r = _mm256_add_pd(
+                _mm256_loadu_pd(d.add(i)),
+                _mm256_mul_pd(va, _mm256_loadu_pd(s.add(i))),
+            );
+            _mm256_storeu_pd(d.add(i), r);
+            i += 4;
+        }
+        while i < n {
+            *d.add(i) += a * *s.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure `dst.len() == src.len()` (SSE2 is baseline).
+    pub unsafe fn axpy_sse2(dst: &mut [f64], a: f64, src: &[f64]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let va = _mm_set1_pd(a);
+        let mut i = 0;
+        while i + 2 <= n {
+            let r = _mm_add_pd(_mm_loadu_pd(d.add(i)), _mm_mul_pd(va, _mm_loadu_pd(s.add(i))));
+            _mm_storeu_pd(d.add(i), r);
+            i += 2;
+        }
+        if i < n {
+            *d.add(i) += a * *s.add(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_identical_across_tiers_at_ragged_lengths() {
+        // Values chosen so low-bit rounding differences would show: an
+        // FMA-contracted kernel fails this test.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 513] {
+            let src: Vec<f64> = (0..n).map(|i| (i as f64 + 0.1).sin() * 1e3).collect();
+            let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos() / 3.0).collect();
+            let a = 0.123456789012345;
+            let mut want = base.clone();
+            axpy_reference(&mut want, a, &src);
+            for isa in Isa::ALL {
+                let mut got = base.clone();
+                axpy_on(isa, &mut got, a, &src);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "isa={} n={n} i={i}: {g} vs {w}",
+                        isa.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn special_values_pass_through() {
+        let src = [f64::NAN, f64::INFINITY, -0.0, 1.0];
+        for isa in Isa::ALL {
+            let mut dst = [1.0, 1.0, 0.0, f64::NEG_INFINITY];
+            axpy_on(isa, &mut dst, 2.0, &src);
+            assert!(dst[0].is_nan());
+            assert_eq!(dst[1], f64::INFINITY);
+            assert_eq!(dst[2].to_bits(), 0.0f64.to_bits());
+            assert_eq!(dst[3], f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut dst = [0.0; 3];
+        axpy(&mut dst, 1.0, &[1.0, 2.0]);
+    }
+}

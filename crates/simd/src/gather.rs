@@ -1,0 +1,112 @@
+//! `out[k] = table[idx[k]]` — Louvain's community-label gather.
+//!
+//! The local-moving inner loop reads `comm[v]` for every neighbor `v`
+//! of the node being moved; with AVX2 that is a hardware gather
+//! (`vpgatherdd`) eight labels at a time. SSE2 has no gather, so that
+//! tier (and scalar) use the plain loop. Pure integer moves — bit
+//! questions do not arise.
+
+use crate::Isa;
+
+/// Scalar reference: `out[k] = table[idx[k]]`.
+///
+/// # Panics
+///
+/// If `idx.len() != out.len()` or any index is out of bounds.
+pub fn gather_u32_reference(table: &[u32], idx: &[u32], out: &mut [u32]) {
+    assert_eq!(idx.len(), out.len(), "gather_u32: idx/out length mismatch");
+    for (o, &i) in out.iter_mut().zip(idx) {
+        *o = table[i as usize];
+    }
+}
+
+/// Dispatched gather over the active tier.
+pub fn gather_u32(table: &[u32], idx: &[u32], out: &mut [u32]) {
+    gather_u32_on(crate::active(), table, idx, out)
+}
+
+/// [`gather_u32`] on an explicit tier (clamped to the CPU).
+pub fn gather_u32_on(isa: Isa, table: &[u32], idx: &[u32], out: &mut [u32]) {
+    assert_eq!(idx.len(), out.len(), "gather_u32: idx/out length mismatch");
+    match isa.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped()` only returns Avx2 when avx2+fma are
+        // detected; bounds are checked per block inside.
+        Isa::Avx2 if table.len() <= i32::MAX as usize => unsafe {
+            x86::gather_avx2(table, idx, out)
+        },
+        _ => gather_u32_reference(table, idx, out),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::gather_u32_reference;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `idx.len() == out.len()`,
+    /// and `table.len() <= i32::MAX`. Out-of-bounds indices panic
+    /// before any gather touches memory.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_avx2(table: &[u32], idx: &[u32], out: &mut [u32]) {
+        let n = idx.len();
+        let mut k = 0;
+        if !table.is_empty() {
+            // idx <= limit (unsigned) for every lane, verified per
+            // block so a bad index panics instead of reading wild.
+            let vlimit = _mm256_set1_epi32((table.len() - 1) as u32 as i32);
+            let base = table.as_ptr() as *const i32;
+            while k + 8 <= n {
+                let vi = _mm256_loadu_si256(idx.as_ptr().add(k) as *const __m256i);
+                let ok = _mm256_cmpeq_epi32(_mm256_min_epu32(vi, vlimit), vi);
+                assert_eq!(_mm256_movemask_epi8(ok), -1, "gather_u32: index out of bounds");
+                let got = _mm256_i32gather_epi32::<4>(base, vi);
+                _mm256_storeu_si256(out.as_mut_ptr().add(k) as *mut __m256i, got);
+                k += 8;
+            }
+        }
+        gather_u32_reference(table, &idx[k..], &mut out[k..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_at_ragged_lengths() {
+        let table: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        for n in [0usize, 1, 7, 8, 9, 16, 23, 64] {
+            let idx: Vec<u32> = (0..n as u32).map(|i| (i * 37 + 11) % 1000).collect();
+            let mut want = vec![0u32; n];
+            gather_u32_reference(&table, &idx, &mut want);
+            for isa in Isa::ALL {
+                let mut got = vec![0u32; n];
+                gather_u32_on(isa, &table, &idx, &mut got);
+                assert_eq!(got, want, "isa={} n={n}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_index_panics_on_every_tier() {
+        let table = vec![0u32; 16];
+        for isa in Isa::ALL {
+            let idx = vec![0u32, 1, 2, 3, 4, 5, 16, 7]; // 16 is OOB
+            let mut out = vec![0u32; 8];
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                gather_u32_on(isa, &table, &idx, &mut out)
+            }));
+            assert!(r.is_err(), "isa={} accepted an OOB index", isa.name());
+        }
+    }
+
+    #[test]
+    fn empty_table_with_empty_idx_is_fine() {
+        for isa in Isa::ALL {
+            let mut out: Vec<u32> = Vec::new();
+            gather_u32_on(isa, &[], &[], &mut out);
+        }
+    }
+}

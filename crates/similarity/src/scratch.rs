@@ -67,6 +67,53 @@ impl DenseAccumulator {
     }
 }
 
+/// Deduplicating candidate collector: byte marks plus a touched list,
+/// so gathering the distinct two-hop neighborhood costs O(walk) and
+/// clearing costs O(candidates). Feeds the intersection-formulated
+/// CN/AA paths.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    marks: Vec<bool>,
+    list: Vec<u32>,
+}
+
+impl CandidateSet {
+    /// Candidate set over `n` slots, all unmarked.
+    pub fn new(n: usize) -> Self {
+        CandidateSet { marks: vec![false; n], list: Vec::new() }
+    }
+
+    /// Mark `idx` as a candidate (idempotent).
+    #[inline]
+    pub fn insert(&mut self, idx: u32) {
+        let m = &mut self.marks[idx as usize];
+        if !*m {
+            *m = true;
+            self.list.push(idx);
+        }
+    }
+
+    /// Sort the candidate list ascending.
+    pub fn sort(&mut self) {
+        self.list.sort_unstable();
+    }
+
+    /// The distinct candidates inserted since the last clear, in
+    /// insertion order unless [`sort`](Self::sort) was called.
+    #[inline]
+    pub fn list(&self) -> &[u32] {
+        &self.list
+    }
+
+    /// Unmark everything and empty the list.
+    pub fn clear(&mut self) {
+        for &idx in &self.list {
+            self.marks[idx as usize] = false;
+        }
+        self.list.clear();
+    }
+}
+
 /// All scratch state a similarity measure may need.
 #[derive(Clone, Debug)]
 pub struct SimScratch {
@@ -78,6 +125,10 @@ pub struct SimScratch {
     pub next: DenseAccumulator,
     /// BFS state for distance-bounded measures.
     pub bfs: BfsScratch,
+    /// Two-hop candidate collector for intersection-based measures.
+    pub cand: CandidateSet,
+    /// Per-call weight row parallel to Γ(u) (Adamic/Adar).
+    pub row_weights: Vec<f64>,
 }
 
 impl SimScratch {
@@ -88,6 +139,8 @@ impl SimScratch {
             front: DenseAccumulator::new(num_users),
             next: DenseAccumulator::new(num_users),
             bfs: BfsScratch::new(num_users),
+            cand: CandidateSet::new(num_users),
+            row_weights: Vec::new(),
         }
     }
 }
