@@ -12,6 +12,7 @@ pub mod serve_bench;
 pub mod simd_info;
 pub mod stats;
 pub mod trace;
+pub mod update_bench;
 pub mod validate_bench;
 pub mod validate_trace;
 
@@ -77,12 +78,28 @@ COMMANDS
                [--dir DIR (artifact dir)] [--keep (retain artifacts)]
                [--out BENCH_scale.json]
                [--smoke (20k users)]
-  validate-bench  Check a BENCH_pipeline.json, BENCH_serve.json, or
-               BENCH_scale.json artifact (dispatch on the \"bench\"
-               marker): gated stages / load phases / sweep points
-               present, equivalence_checked == true, latency +
-               coalescing + privacy + memory fields present, and the
-               serving speedup SLO met whenever its gate was bound
+  update-bench  Streaming-update churn benchmark: Zipf edge deltas
+               against a warm graph, incremental refresh (dirty-row
+               similarity + worklist Louvain + index splice + ledger-
+               enforced re-release) timed against the equivalent full
+               rebuild with bit-identity checks, a release hot-swapped
+               into the sharded daemon under live load, and the
+               cumulative-epsilon ledger cross-checked against a
+               locally composed accountant
+               [--scale 0.1] [--seed 7] [--epsilon 1.0] [--rounds 3]
+               [--social-edges 8] [--pref-edges 8] [--restarts 3]
+               [--drift 0.02] [--clients 4] [--requests 160]
+               [--shards 4] [--zipf-s 1.0] [--n 10] [--measure CN]
+               [--out BENCH_update.json]
+               [--smoke (tiny scale, no speedup gate)]
+               [--trace OUT.json]
+  validate-bench  Check a BENCH_pipeline.json, BENCH_serve.json,
+               BENCH_scale.json, or BENCH_update.json artifact
+               (dispatch on the \"bench\" marker): gated stages / load
+               phases / sweep points / churn rounds present,
+               equivalence_checked == true, latency + coalescing +
+               privacy + memory fields present, and the speedup SLO
+               met whenever its gate was bound
                [--path BENCH_pipeline.json]
   validate-trace  Check a --trace Chrome trace artifact with the
                exporter self-check; optionally require span names

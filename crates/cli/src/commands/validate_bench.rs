@@ -1,6 +1,6 @@
 //! `socialrec validate-bench` — structural validation of a
-//! `BENCH_pipeline.json`, `BENCH_serve.json`, or `BENCH_scale.json`
-//! artifact.
+//! `BENCH_pipeline.json`, `BENCH_serve.json`, `BENCH_scale.json`, or
+//! `BENCH_update.json` artifact.
 //!
 //! The repo deliberately has no JSON deserializer (artifacts are
 //! write-only, produced via `impl_to_json!`), so validation is
@@ -150,6 +150,56 @@ const REQUIRED_SCALE_POINT_KEYS: [&str; 9] = [
     "\"query_p99_ns\"",
 ];
 
+/// Top-level keys every streaming-update artifact must carry.
+const REQUIRED_UPDATE_KEYS: [&str; 14] = [
+    "\"rounds\"",
+    "\"incremental_total_ms\"",
+    "\"full_rebuild_total_ms\"",
+    "\"slo\"",
+    "\"serve\"",
+    "\"privacy\"",
+    "\"simd\"",
+    "\"registry\"",
+    "\"memory\"",
+    "\"clients\"",
+    "\"shards\"",
+    "\"threads\"",
+    "\"users\"",
+    "\"drift_threshold\"",
+];
+
+/// Per-churn-round fields: both timings plus the dirty-set sizes that
+/// prove the refresh was actually incremental.
+const REQUIRED_UPDATE_ROUND_KEYS: [&str; 6] = [
+    "\"incremental_ms\"",
+    "\"full_rebuild_ms\"",
+    "\"sim_dirty_rows\"",
+    "\"index_dirty_rows\"",
+    "\"moved_users\"",
+    "\"restarted\"",
+];
+
+/// Hot-swap-under-load fields: served latency during the refresh window
+/// and the epoch/generation evidence that the publish was rebuild-free.
+const REQUIRED_UPDATE_SERVE_KEYS: [&str; 5] = [
+    "\"p99_ns\"",
+    "\"refresh_under_load_ms\"",
+    "\"release_epochs\"",
+    "\"pre_swap_generation\"",
+    "\"post_swap_generation\"",
+];
+
+/// Privacy fields: the enforced budget, the locally composed mirror,
+/// the ledger cross-check, and both captured refusal errors.
+const REQUIRED_UPDATE_PRIVACY_KEYS: [&str; 6] = [
+    "\"epsilon_per_release\"",
+    "\"composed_epsilon\"",
+    "\"ledger_cumulative_epsilon\"",
+    "\"ledger_matches_composed\"",
+    "\"refusal_schedule\"",
+    "\"refusal_accountant\"",
+];
+
 /// Run the command.
 pub fn run(args: &Args) -> Result<(), String> {
     let path = args.get_str("path").unwrap_or("BENCH_pipeline.json").to_string();
@@ -174,11 +224,59 @@ fn validate(body: &str) -> Result<&'static str, String> {
         validate_serve(body).map(|()| "serve")
     } else if body.contains("\"bench\": \"scale\"") {
         validate_scale(body).map(|()| "scale")
+    } else if body.contains("\"bench\": \"update\"") {
+        validate_update(body).map(|()| "update")
     } else {
-        Err("missing `\"bench\": \"pipeline\"`, `\"bench\": \"serve\"`, or \
-             `\"bench\": \"scale\"` marker"
+        Err("missing `\"bench\": \"pipeline\"`, `\"bench\": \"serve\"`, \
+             `\"bench\": \"scale\"`, or `\"bench\": \"update\"` marker"
             .to_string())
     }
+}
+
+fn validate_update(body: &str) -> Result<(), String> {
+    for key in REQUIRED_UPDATE_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    for key in REQUIRED_UPDATE_ROUND_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing churn-round field {key}"));
+        }
+    }
+    for key in REQUIRED_UPDATE_SERVE_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing serve field {key}"));
+        }
+    }
+    for key in REQUIRED_UPDATE_PRIVACY_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing privacy field {key}"));
+        }
+    }
+    for key in REQUIRED_SIMD_INFO_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing simd field {key}"));
+        }
+    }
+    // The refreshed artifacts (similarity rows, index rows, noisy
+    // release) must have been asserted bit-identical to the full
+    // rebuild at run time, on top of the global equivalence flag.
+    if !body.contains("\"releases_bit_identical\": true") {
+        return Err("releases_bit_identical is not true — the refreshed release must \
+             be asserted bitwise equal to the full rebuild at run time"
+            .to_string());
+    }
+    if !body.contains("\"refresh_speedup\"") {
+        return Err("missing slo field \"refresh_speedup\"".to_string());
+    }
+    // The SLO wire-through: when the bench declared its speedup gate
+    // bound (non-smoke), the artifact must also record that the >= 5x
+    // incremental-refresh target was met.
+    if body.contains("\"speedup_gate_bound\": true") && !body.contains("\"met\": true") {
+        return Err("speedup gate was bound but the >= 5x refresh SLO was not met".to_string());
+    }
+    Ok(())
 }
 
 fn validate_scale(body: &str) -> Result<(), String> {
@@ -384,11 +482,61 @@ mod tests {
         )
     }
 
+    fn valid_update_body() -> String {
+        let round: String =
+            REQUIRED_UPDATE_ROUND_KEYS.iter().map(|k| format!("      {k}: 1,\n")).collect();
+        let privacy: String =
+            REQUIRED_UPDATE_PRIVACY_KEYS.iter().map(|k| format!("    {k}: 1,\n")).collect();
+        format!(
+            "{{\n  \"bench\": \"update\",\n  \"threads\": 1,\n  \"clients\": 2,\n  \
+             \"shards\": 4,\n  \"users\": 10,\n  \"items\": 20,\n  \
+             \"drift_threshold\": 0.02,\n  \
+             \"rounds\": [\n    {{\n{round}      \"speedup\": 8.0\n    }}\n  ],\n  \
+             \"incremental_total_ms\": 1.0,\n  \"full_rebuild_total_ms\": 8.0,\n  \
+             \"slo\": {{ \"refresh_speedup\": 8.0, \"speedup_gate_bound\": true, \
+             \"met\": true }},\n  \
+             \"serve\": {{ \"queries\": 96, \"qps\": 100.0, \"p50_ns\": 1000, \
+             \"p99_ns\": 2000, \"max_ns\": 3000, \"refresh_under_load_ms\": 5.0, \
+             \"release_epochs\": 2, \"pre_swap_generation\": 7, \
+             \"post_swap_generation\": 8 }},\n  \
+             \"privacy\": {{\n{privacy}  }},\n  \
+             \"equivalence_checked\": true,\n  \"releases_bit_identical\": true,\n  \
+             {},\n  \
+             \"registry\": {{ \"gauges\": [[\"serve.shard0.generation\", 8]] }},\n  \
+             \"memory\": null\n}}\n",
+            simd_info_block(),
+        )
+    }
+
     #[test]
     fn accepts_complete_artifacts() {
         assert_eq!(validate(&valid_body()).unwrap(), "pipeline");
         assert_eq!(validate(&valid_serve_body()).unwrap(), "serve");
         assert_eq!(validate(&valid_scale_body()).unwrap(), "scale");
+        assert_eq!(validate(&valid_update_body()).unwrap(), "update");
+    }
+
+    #[test]
+    fn rejects_thinned_update_artifacts() {
+        let no_rounds = valid_update_body().replace("\"incremental_ms\"", "\"ms\"");
+        assert!(validate(&no_rounds).unwrap_err().contains("incremental_ms"));
+        let no_dirty = valid_update_body().replace("\"sim_dirty_rows\"", "\"rows\"");
+        assert!(validate(&no_dirty).unwrap_err().contains("sim_dirty_rows"));
+        let no_epochs = valid_update_body().replace("\"release_epochs\"", "\"epochs\"");
+        assert!(validate(&no_epochs).unwrap_err().contains("release_epochs"));
+        let no_refusal = valid_update_body().replace("\"refusal_schedule\"", "\"r\"");
+        assert!(validate(&no_refusal).unwrap_err().contains("refusal_schedule"));
+        let no_ledger = valid_update_body().replace("\"ledger_matches_composed\"", "\"lm\"");
+        assert!(validate(&no_ledger).unwrap_err().contains("ledger_matches_composed"));
+        let no_bits = valid_update_body()
+            .replace("\"releases_bit_identical\": true", "\"releases_bit_identical\": false");
+        assert!(validate(&no_bits).unwrap_err().contains("releases_bit_identical"));
+        // Bound-but-unmet refresh SLO: the artifact contradicts itself.
+        let unmet = valid_update_body().replace("\"met\": true", "\"met\": false");
+        assert!(validate(&unmet).unwrap_err().contains("refresh SLO"));
+        let unbound =
+            unmet.replace("\"speedup_gate_bound\": true", "\"speedup_gate_bound\": false");
+        assert_eq!(validate(&unbound).unwrap(), "update");
     }
 
     #[test]
@@ -487,9 +635,11 @@ mod tests {
     fn validates_file_via_args() {
         let dir = std::env::temp_dir().join("socialrec-validate-bench-test");
         std::fs::create_dir_all(&dir).unwrap();
-        for (name, body) in
-            [("BENCH_pipeline.json", valid_body()), ("BENCH_serve.json", valid_serve_body())]
-        {
+        for (name, body) in [
+            ("BENCH_pipeline.json", valid_body()),
+            ("BENCH_serve.json", valid_serve_body()),
+            ("BENCH_update.json", valid_update_body()),
+        ] {
             let path = dir.join(name);
             std::fs::write(&path, body).unwrap();
             let spec = format!("--path {}", path.display());

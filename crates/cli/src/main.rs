@@ -33,6 +33,7 @@ fn main() {
         "serve-bench" => commands::serve_bench::run(&args),
         "scale-bench" => commands::scale_bench::run(&args),
         "pipeline-bench" => commands::pipeline_bench::run(&args),
+        "update-bench" => commands::update_bench::run(&args),
         "validate-bench" => commands::validate_bench::run(&args),
         "validate-trace" => commands::validate_trace::run(&args),
         "help" | "--help" | "-h" => {

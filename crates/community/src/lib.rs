@@ -12,6 +12,9 @@
 //! * [`modularity()`](modularity::modularity) — Newman modularity `Q(Φ)` (paper Eq. 8),
 //! * [`Louvain`] — greedy modularity maximisation with graph
 //!   contraction and optional multi-level refinement,
+//! * [`IncrementalLouvain`] — streaming repair of a partition across
+//!   graph deltas, with a modularity-drift threshold that falls back to
+//!   a full multi-restart run,
 //! * [`strategy`] — the [`ClusteringStrategy`] trait plus the
 //!   alternatives used in ablations (random-k, singleton, one-cluster,
 //!   k-means on adjacency rows).
@@ -27,7 +30,7 @@ pub mod strategy;
 mod weighted;
 
 pub use kmeans::KMeansStrategy;
-pub use louvain::{Louvain, LouvainResult};
+pub use louvain::{IncrementalLouvain, Louvain, LouvainResult, RefreshOutcome};
 pub use modularity::modularity;
 pub use partition::Partition;
 pub use postprocess::merge_small_clusters;

@@ -37,6 +37,28 @@ impl Partition {
         Partition { assignment, num_clusters: next as usize }
     }
 
+    /// Build from an assignment that is **already dense**: every label
+    /// is below `num_clusters` and every label in `0..num_clusters`
+    /// occurs. Unlike [`from_assignment`](Partition::from_assignment),
+    /// labels are kept exactly as given — the incremental Louvain path
+    /// uses this to keep cluster ids stable across refreshes instead of
+    /// renumbering by first appearance.
+    pub fn from_dense_assignment(assignment: Vec<u32>, num_clusters: usize) -> Partition {
+        debug_assert!(
+            assignment.iter().all(|&c| (c as usize) < num_clusters),
+            "label out of range"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; num_clusters];
+            for &c in &assignment {
+                seen[c as usize] = true;
+            }
+            debug_assert!(seen.iter().all(|&s| s), "empty cluster label");
+        }
+        Partition { assignment, num_clusters }
+    }
+
     /// The singleton partition: every user its own cluster.
     pub fn singletons(num_users: usize) -> Partition {
         Partition { assignment: (0..num_users as u32).collect(), num_clusters: num_users }

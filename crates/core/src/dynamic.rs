@@ -22,11 +22,13 @@
 //! Every release is recorded in a [`PrivacyAccountant`]; the recommender
 //! refuses to exceed the total budget.
 
-use crate::private::{ClusterFramework, NoiseModel};
+use crate::private::framework::release_noisy_cluster_averages_with;
+use crate::private::{ClusterFramework, NoiseModel, NoisyClusterAverages};
 use crate::{RecommenderInputs, TopN, TopNRecommender};
 use socialrec_community::Partition;
 use socialrec_dp::{Epsilon, PrivacyAccountant};
-use socialrec_graph::UserId;
+use socialrec_graph::{PreferenceGraph, UserId};
+use socialrec_obs::span;
 
 /// A decay ratio validated to lie in the open interval `(0, 1)`.
 ///
@@ -177,12 +179,34 @@ impl DynamicRecommender {
         self.schedule.epsilon_for(self.releases_done, self.total)
     }
 
+    /// The accountant recording every spend — the single source of
+    /// truth for the cumulative ε consumed by this recommender.
+    pub fn accountant(&self) -> &PrivacyAccountant {
+        &self.accountant
+    }
+
+    /// Debit the schedule's next ε, refusing (without recording or
+    /// advancing anything) when the schedule is exhausted or the
+    /// accountant would exceed the total budget.
+    fn debit_next(&mut self) -> Result<Epsilon, String> {
+        let eps = self.next_epsilon().ok_or_else(|| {
+            format!("budget schedule exhausted after {} releases", self.releases_done)
+        })?;
+        self.accountant
+            .try_spend_sequential(eps, self.total)
+            .map_err(|e| format!("release refused: {e}"))?;
+        self.releases_done += 1;
+        Ok(eps)
+    }
+
     /// Release recommendations for the current snapshot.
     ///
     /// Returns an error when the schedule is exhausted (uniform plans
-    /// only). The per-release ε is spent *sequentially* in the
-    /// accountant: across snapshots the same preference edges are
-    /// re-examined, so Theorem 2 applies.
+    /// only) or when the accountant refuses the spend. The per-release
+    /// ε is spent *sequentially* in the accountant — across snapshots
+    /// the same preference edges are re-examined, so Theorem 2 applies —
+    /// and the accountant is consulted **before** any noisy output is
+    /// produced.
     pub fn release(
         &mut self,
         snapshot: &Snapshot<'_>,
@@ -190,25 +214,55 @@ impl DynamicRecommender {
         n: usize,
         seed: u64,
     ) -> Result<Release, String> {
-        let eps = self.next_epsilon().ok_or_else(|| {
-            format!("budget schedule exhausted after {} releases", self.releases_done)
-        })?;
+        let eps = self.debit_next()?;
         let fw = ClusterFramework::new(snapshot.partition, eps).with_noise(self.noise);
         let lists = fw.recommend(&snapshot.inputs, users, n, seed);
-        self.accountant.spend_sequential(eps);
-        self.releases_done += 1;
-        debug_assert!(
-            self.accountant.within(self.total) || self.total.is_infinite() || {
-                // Geometric tails sum to < total by construction; uniform
-                // plans are exact. Allow floating-point dust.
-                self.accountant.total_epsilon() <= self.total.value() + 1e-9
-            }
-        );
         Ok(Release {
             lists,
             epsilon_spent: eps,
             epsilon_total_spent: self.accountant.total_epsilon(),
         })
+    }
+
+    /// Release the sanitized per-(cluster, item) noisy averages for the
+    /// current snapshot — the artifact the serving layer caches and
+    /// hot-swaps — under the schedule's next ε.
+    ///
+    /// The accountant is the enforcement point: the spend is debited
+    /// *before* [`release_noisy_cluster_averages_with`] runs, so a
+    /// refusal (exhausted schedule, over-budget spend) happens before
+    /// any noisy output exists. Everything derived from the returned
+    /// averages is post-processing and spends nothing further.
+    pub fn release_averages(
+        &mut self,
+        partition: &Partition,
+        prefs: &PreferenceGraph,
+        seed: u64,
+    ) -> Result<(Epsilon, NoisyClusterAverages), String> {
+        let eps = self.debit_next()?;
+        let _span = span!("update.release", release = self.releases_done);
+        let averages = release_noisy_cluster_averages_with(partition, prefs, eps, self.noise, seed);
+        Ok((eps, averages))
+    }
+
+    /// Like [`release_averages`](Self::release_averages) but spending an
+    /// explicit ε outside the schedule (e.g. an operator-forced
+    /// high-accuracy re-release). Does not advance the schedule; the
+    /// accountant still refuses if the spend would exceed the total
+    /// budget.
+    pub fn release_averages_with_epsilon(
+        &mut self,
+        partition: &Partition,
+        prefs: &PreferenceGraph,
+        eps: Epsilon,
+        seed: u64,
+    ) -> Result<(Epsilon, NoisyClusterAverages), String> {
+        self.accountant
+            .try_spend_sequential(eps, self.total)
+            .map_err(|e| format!("release refused: {e}"))?;
+        let _span = span!("update.release", release = self.releases_done);
+        let averages = release_noisy_cluster_averages_with(partition, prefs, eps, self.noise, seed);
+        Ok((eps, averages))
     }
 }
 
@@ -351,6 +405,59 @@ mod tests {
             Snapshot { partition: &partition, inputs: RecommenderInputs { prefs: &p2, sim: &sim } };
         let r2 = dynrec.release(&snap2, &users, 2, 0).unwrap();
         assert_eq!(r1.lists.len(), r2.lists.len());
+    }
+
+    #[test]
+    fn release_averages_debits_schedule_and_refuses_when_exhausted() {
+        let (s, p) = snapshot_fixture();
+        let partition = LouvainStrategy::default().cluster(&s);
+        let mut dynrec =
+            DynamicRecommender::new(Epsilon::Finite(1.0), BudgetSchedule::Uniform { releases: 2 });
+        let (e1, avg1) = dynrec.release_averages(&partition, &p, 5).unwrap();
+        assert_eq!(e1, Epsilon::Finite(0.5));
+        assert_eq!(avg1.num_clusters(), partition.num_clusters());
+        assert_eq!(avg1.num_items(), p.num_items());
+        // Bit-identical to driving the release function directly with
+        // the same ε/noise/seed: the recommender adds accounting, not
+        // different noise.
+        let direct =
+            release_noisy_cluster_averages_with(&partition, &p, e1, NoiseModel::Laplace, 5);
+        let bits =
+            |a: &NoisyClusterAverages| a.values().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&avg1), bits(&direct));
+        let (_, _) = dynrec.release_averages(&partition, &p, 6).unwrap();
+        assert!((dynrec.accountant().total_epsilon() - 1.0).abs() < 1e-12);
+        let err = dynrec.release_averages(&partition, &p, 7).unwrap_err();
+        assert!(err.contains("exhausted"), "{err}");
+        assert_eq!(dynrec.releases_done(), 2, "refusal must not advance the schedule");
+    }
+
+    #[test]
+    fn accountant_refuses_over_budget_explicit_spend() {
+        let (s, p) = snapshot_fixture();
+        let partition = LouvainStrategy::default().cluster(&s);
+        let mut dynrec =
+            DynamicRecommender::new(Epsilon::Finite(1.0), BudgetSchedule::Uniform { releases: 4 });
+        // Spend 0.25 via the schedule, then force an explicit 0.5: fits.
+        dynrec.release_averages(&partition, &p, 0).unwrap();
+        dynrec.release_averages_with_epsilon(&partition, &p, Epsilon::Finite(0.5), 1).unwrap();
+        assert!((dynrec.accountant().total_epsilon() - 0.75).abs() < 1e-12);
+        // A further explicit 0.5 would overdraw: refused *before* any
+        // noisy output, accountant untouched.
+        let err = dynrec
+            .release_averages_with_epsilon(&partition, &p, Epsilon::Finite(0.5), 2)
+            .unwrap_err();
+        assert!(err.contains("refused"), "{err}");
+        assert!((dynrec.accountant().total_epsilon() - 0.75).abs() < 1e-12);
+        // The schedule path also hits the accountant: its next 0.25
+        // still fits exactly.
+        dynrec.release_averages(&partition, &p, 3).unwrap();
+        assert!((dynrec.accountant().total_epsilon() - 1.0).abs() < 1e-12);
+        // ...but one more schedule release (0.25) is now over budget,
+        // even though the Uniform plan has a slot left.
+        let err = dynrec.release_averages(&partition, &p, 4).unwrap_err();
+        assert!(err.contains("refused"), "{err}");
+        assert_eq!(dynrec.releases_done(), 2, "schedule releases consumed");
     }
 
     #[test]

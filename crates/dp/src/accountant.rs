@@ -9,6 +9,31 @@
 //! total spent budget equals what the theorems predict.
 
 use crate::epsilon::Epsilon;
+use std::fmt;
+
+/// A refused release: recording the requested ε would push the
+/// accountant past the budget. Nothing was recorded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BudgetExceeded {
+    /// The ε the refused release asked for.
+    pub requested: f64,
+    /// Total ε already consumed when the request was made.
+    pub spent: f64,
+    /// The budget the spend would have exceeded.
+    pub budget: f64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: requested ε={} with ε={} of {} already spent",
+            self.requested, self.spent, self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
 
 /// A ledger of differentially private releases.
 #[derive(Clone, Debug, Default)]
@@ -40,6 +65,29 @@ impl PrivacyAccountant {
     pub fn spend_parallel(&mut self, eps: Epsilon) {
         self.parallel_max = self.parallel_max.max(eps.value());
         self.releases += 1;
+    }
+
+    /// Record a sequential release of `eps` **only if** the post-spend
+    /// total stays within `budget`; otherwise refuse and record nothing.
+    ///
+    /// This is the enforcement point for streaming re-releases: code
+    /// that produces noisy output must obtain the accountant's approval
+    /// *first*, so a refusal happens before any privacy is consumed.
+    /// The same `1e-12` slack as [`within`](Self::within) absorbs
+    /// floating-point dust when a schedule sums to the budget exactly.
+    pub fn try_spend_sequential(
+        &mut self,
+        eps: Epsilon,
+        budget: Epsilon,
+    ) -> Result<(), BudgetExceeded> {
+        if let Epsilon::Finite(b) = budget {
+            let spent = self.total_epsilon();
+            if spent + eps.value() > b + 1e-12 {
+                return Err(BudgetExceeded { requested: eps.value(), spent, budget: b });
+            }
+        }
+        self.spend_sequential(eps);
+        Ok(())
     }
 
     /// Total ε consumed: `sequential_total + parallel_max`.
@@ -121,6 +169,30 @@ mod tests {
         assert!((a.parallel_max() - 0.25).abs() < 1e-12);
         assert!((a.sequential_total() - 0.5).abs() < 1e-12);
         assert!((a.total_epsilon() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_spend_refuses_before_recording() {
+        let mut a = PrivacyAccountant::new();
+        let budget = Epsilon::Finite(1.0);
+        a.try_spend_sequential(Epsilon::Finite(0.6), budget).unwrap();
+        // Over-budget: refused, state untouched.
+        let err = a.try_spend_sequential(Epsilon::Finite(0.5), budget).unwrap_err();
+        assert_eq!(err, BudgetExceeded { requested: 0.5, spent: 0.6, budget: 1.0 });
+        assert!(err.to_string().contains("budget exceeded"), "{err}");
+        assert!((a.total_epsilon() - 0.6).abs() < 1e-12);
+        assert_eq!(a.releases(), 1);
+        // A smaller spend that fits still goes through — exactly to the
+        // edge (1e-12 slack).
+        a.try_spend_sequential(Epsilon::Finite(0.4), budget).unwrap();
+        assert!((a.total_epsilon() - 1.0).abs() < 1e-12);
+        assert!(a.try_spend_sequential(Epsilon::Finite(1e-6), budget).is_err());
+        // Infinite budget never refuses.
+        a.try_spend_sequential(Epsilon::Finite(100.0), Epsilon::Infinite).unwrap();
+        // An infinite request against a finite budget is refused.
+        let mut b = PrivacyAccountant::new();
+        assert!(b.try_spend_sequential(Epsilon::Infinite, Epsilon::Finite(10.0)).is_err());
+        assert_eq!(b.releases(), 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod epsilon;
 pub mod geometric;
 pub mod laplace;
 
-pub use accountant::PrivacyAccountant;
+pub use accountant::{BudgetExceeded, PrivacyAccountant};
 pub use counter::CounterLaplace;
 pub use epsilon::Epsilon;
 pub use geometric::{sample_two_sided_geometric, GeometricMechanism};

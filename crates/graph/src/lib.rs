@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod error;
 pub mod generate;
 pub mod ids;
@@ -36,6 +37,7 @@ pub mod stats;
 pub mod traversal;
 pub mod weighted;
 
+pub use delta::{GraphDelta, PreferenceDeltaReport, SocialDeltaReport};
 pub use error::GraphError;
 pub use ids::{user_ids_as_u32, ItemId, UserId};
 pub use preference::{PreferenceGraph, PreferenceGraphBuilder};

@@ -136,6 +136,24 @@ impl PreferenceGraph {
         }
         b.build()
     }
+
+    /// Construct directly from validated CSR arrays (both orientations).
+    ///
+    /// Internal use (builder, delta application); callers must uphold
+    /// the struct invariants.
+    pub(crate) fn from_csr(
+        user_offsets: Vec<u32>,
+        user_items: Vec<ItemId>,
+        item_offsets: Vec<u32>,
+        item_users: Vec<UserId>,
+    ) -> Self {
+        debug_assert!(!user_offsets.is_empty());
+        debug_assert!(!item_offsets.is_empty());
+        debug_assert_eq!(*user_offsets.last().unwrap() as usize, user_items.len());
+        debug_assert_eq!(*item_offsets.last().unwrap() as usize, item_users.len());
+        debug_assert_eq!(user_items.len(), item_users.len());
+        PreferenceGraph { user_offsets, user_items, item_offsets, item_users }
+    }
 }
 
 /// Incremental builder for [`PreferenceGraph`].

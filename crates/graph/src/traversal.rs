@@ -96,6 +96,31 @@ pub fn shortest_distance_within(
     found
 }
 
+/// All users within `max_depth` hops of any of `sources`, including the
+/// sources themselves, sorted ascending and deduplicated.
+///
+/// This is the reach set behind dirty-row tracking for incremental
+/// similarity updates: a similarity measure with influence radius `r`
+/// can only change rows inside `reach_within(g, touched, r)`.
+pub fn reach_within(
+    g: &SocialGraph,
+    sources: &[UserId],
+    max_depth: u32,
+    scratch: &mut BfsScratch,
+) -> Vec<UserId> {
+    let mut reached: Vec<UserId> = Vec::new();
+    for &s in sources {
+        if s.index() >= g.num_users() {
+            continue;
+        }
+        reached.push(s);
+        bfs_within(g, s, max_depth, scratch, |v, _| reached.push(v));
+    }
+    reached.sort_unstable();
+    reached.dedup();
+    reached
+}
+
 /// Connected components of the social graph.
 #[derive(Clone, Debug)]
 pub struct ConnectedComponents {
@@ -233,6 +258,22 @@ mod tests {
         assert_eq!(shortest_distance_within(&g, UserId(0), UserId(4), 10, &mut s), None);
         assert_eq!(shortest_distance_within(&g, UserId(5), UserId(5), 1, &mut s), Some(0));
         assert_eq!(shortest_distance_within(&g, UserId(4), UserId(6), 3, &mut s), Some(1));
+    }
+
+    #[test]
+    fn reach_within_unions_sources() {
+        let g = two_components();
+        let mut s = BfsScratch::new(g.num_users());
+        assert_eq!(
+            reach_within(&g, &[UserId(0), UserId(4)], 1, &mut s),
+            vec![UserId(0), UserId(1), UserId(4), UserId(5), UserId(6)]
+        );
+        // Radius 0 is just the (deduplicated, sorted) sources.
+        assert_eq!(
+            reach_within(&g, &[UserId(3), UserId(3), UserId(1)], 0, &mut s),
+            vec![UserId(1), UserId(3)]
+        );
+        assert_eq!(reach_within(&g, &[], 2, &mut s), Vec::<UserId>::new());
     }
 
     #[test]

@@ -145,6 +145,40 @@ impl ReleaseExchange {
         (averages, true)
     }
 
+    /// Insert an externally built release for `generation` — the
+    /// streaming-refresh path, where a `DynamicRecommender` produced
+    /// (and its accountant already debited) the release, and the daemon
+    /// must serve it *without* an on-miss rebuild that would spend the
+    /// privacy budget a second time.
+    ///
+    /// A successful publish counts as an epoch flip and participates in
+    /// the normal [`RETAIN_GENERATIONS`] retention window. Returns
+    /// whether this call installed the release: `false` when the
+    /// generation is already ready (publish is idempotent) or a build
+    /// for it is in flight (the publisher defers; the builder's result
+    /// is bit-identical by the generation contract).
+    pub fn publish(&self, generation: u64, averages: Arc<NoisyClusterAverages>) -> bool {
+        let mut state = lock_recovering(&self.state);
+        if state.entries.iter().any(|(g, _)| *g == generation) {
+            return false;
+        }
+        state.entries.push((generation, Entry::Ready(averages)));
+        state.epoch += 1;
+        let mut ready_count =
+            state.entries.iter().filter(|(_, e)| matches!(e, Entry::Ready(_))).count();
+        state.entries.retain(|(_, e)| {
+            if ready_count > RETAIN_GENERATIONS && matches!(e, Entry::Ready(_)) {
+                ready_count -= 1;
+                false
+            } else {
+                true
+            }
+        });
+        drop(state);
+        self.ready.notify_all();
+        true
+    }
+
     /// The release for `generation` if already built and retained.
     pub fn get(&self, generation: u64) -> Option<Arc<NoisyClusterAverages>> {
         let state = lock_recovering(&self.state);
@@ -297,6 +331,52 @@ mod tests {
             release_tx.send(()).unwrap();
         });
         assert_eq!(ex.retained(), vec![1, 2]);
+    }
+
+    #[test]
+    fn publish_installs_once_and_respects_retention() {
+        let ex = ReleaseExchange::new();
+        let a = Arc::new(tiny_release(1));
+        assert!(ex.publish(1, Arc::clone(&a)));
+        assert_eq!(ex.epoch(), 1);
+        assert!(Arc::ptr_eq(&ex.get(1).unwrap(), &a));
+        // Idempotent: a second publish of the same generation is a no-op
+        // and the originally published release keeps serving.
+        assert!(!ex.publish(1, Arc::new(tiny_release(1))));
+        assert_eq!(ex.epoch(), 1);
+        assert!(Arc::ptr_eq(&ex.get(1).unwrap(), &a));
+        // A query for a published generation never rebuilds.
+        let (got, built) = ex.get_or_build(1, || panic!("published generation must hit"));
+        assert!(!built);
+        assert!(Arc::ptr_eq(&got, &a));
+        // Publishes ride the same retention window as builds.
+        assert!(ex.publish(2, Arc::new(tiny_release(2))));
+        assert!(ex.publish(3, Arc::new(tiny_release(3))));
+        assert_eq!(ex.retained(), vec![2, 3]);
+        assert_eq!(ex.epoch(), 3);
+    }
+
+    #[test]
+    fn publish_defers_to_in_flight_build() {
+        use std::sync::mpsc;
+        let ex = ReleaseExchange::new();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let exr = &ex;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                exr.get_or_build(7, || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    tiny_release(7)
+                });
+            });
+            entered_rx.recv().unwrap();
+            assert!(!exr.publish(7, Arc::new(tiny_release(7))), "publisher defers to the builder");
+            release_tx.send(()).unwrap();
+        });
+        assert_eq!(ex.epoch(), 1, "only the build flipped the epoch");
+        assert_eq!(ex.retained(), vec![7]);
     }
 
     #[test]

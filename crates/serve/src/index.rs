@@ -285,6 +285,79 @@ impl SimMassIndex {
         }
     }
 
+    /// Recompute only the `dirty` rows (ascending user ids) against the
+    /// current similarity store and partition, splicing every other row
+    /// from `self` unchanged — the streaming-delta companion to
+    /// [`build`](SimMassIndex::build).
+    ///
+    /// When `dirty` covers every row whose contents a refresh could
+    /// have changed (see [`dirty_index_rows`]), the result is
+    /// **bit-identical** to `SimMassIndex::build(sim, partition)` from
+    /// scratch: recomputed rows run the exact dense-scratch walk of the
+    /// full build, and clean rows are byte copies. The partition may
+    /// have a different cluster count than the one this index was built
+    /// with (labels just relabel row contents, which is what makes rows
+    /// dirty).
+    ///
+    /// Requires full-precision (f64) rows; compact (f32) indices are
+    /// read-only serving artifacts.
+    pub fn update_rows<R: SimilarityRows + ?Sized>(
+        &self,
+        sim: &R,
+        partition: &Partition,
+        dirty: &[UserId],
+    ) -> SimMassIndex {
+        let n = self.num_users();
+        assert_eq!(sim.num_users(), n, "deltas must preserve the user set");
+        assert_eq!(partition.num_users(), n, "partition must cover the similarity matrix's users");
+        debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty rows must strictly ascend");
+        assert!(dirty.last().is_none_or(|u| u.index() < n), "dirty row out of range");
+        let _span = socialrec_obs::span!("update.index_rows", rows = dirty.len());
+        let nc = partition.num_clusters();
+
+        // Recompute the dirty rows in parallel with the shared walk.
+        let new_rows: Vec<(Vec<u32>, Vec<f64>)> = dirty
+            .par_iter()
+            .map_init(
+                || vec![0.0f64; nc],
+                |scratch, &u| {
+                    let mut cols = Vec::new();
+                    let mut vals = Vec::new();
+                    accumulate_row(sim, partition, u, scratch);
+                    for (cl, m) in scratch.iter_mut().enumerate() {
+                        if *m != 0.0 {
+                            cols.push(cl as u32);
+                            vals.push(*m);
+                        }
+                        *m = 0.0;
+                    }
+                    (cols, vals)
+                },
+            )
+            .collect();
+
+        // Splice: clean rows verbatim, dirty rows replaced.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut clusters = Vec::new();
+        let mut masses = Vec::new();
+        let mut next_dirty = 0usize;
+        for u in 0..n as u32 {
+            if next_dirty < dirty.len() && dirty[next_dirty].0 == u {
+                let (cols, vals) = &new_rows[next_dirty];
+                clusters.extend_from_slice(cols);
+                masses.extend_from_slice(vals);
+                next_dirty += 1;
+            } else {
+                let (cols, vals) = self.row(UserId(u));
+                clusters.extend_from_slice(cols);
+                masses.extend_from_slice(vals);
+            }
+            offsets.push(clusters.len() as u64);
+        }
+        SimMassIndex { repr: Repr::Heap { offsets, clusters, masses }, num_clusters: nc }
+    }
+
     /// Write this index as an mmap-able artifact file (kind
     /// [`ArtifactKind::SimMass`], `meta` = cluster count). With
     /// [`ValueKind::F32`] the masses are quantized per the documented
@@ -439,6 +512,33 @@ fn accumulate_row<R: SimilarityRows + ?Sized>(
             }
         }
     }
+}
+
+/// The index rows a refresh can change, given the similarity-dirty
+/// rows and the users whose cluster id changed.
+///
+/// Row `u` of the mass index depends on `u`'s similarity row and on the
+/// cluster labels of the users *in* that row. So it changes only if
+/// `u`'s similarity row changed (`sim_dirty`) or some `v ∈ sim(u)`
+/// moved clusters — and by symmetry those `u` are exactly the similar
+/// users of the moved ones, read from the *new* similarity store. The
+/// moved users themselves are included for good measure (their own rows
+/// are unaffected by their own label, but the superset is cheap and
+/// keeps the contract simple). Result ascends, deduplicated.
+pub fn dirty_index_rows<R: SimilarityRows + ?Sized>(
+    sim: &R,
+    sim_dirty: &[UserId],
+    moved: &[UserId],
+) -> Vec<UserId> {
+    let mut rows: Vec<UserId> = sim_dirty.to_vec();
+    rows.extend_from_slice(moved);
+    for &v in moved {
+        let (us, _) = sim.row_vals(v);
+        rows.extend_from_slice(us);
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    rows
 }
 
 impl PartialEq for SimMassIndex {
@@ -722,6 +822,96 @@ mod tests {
         let from_mapped = SimMassIndex::build(&mapped_sim, &partition);
         assert_eq!(from_heap, from_mapped, "index must not depend on the similarity backing");
         std::fs::remove_file(&sim_path).ok();
+    }
+
+    /// Satellite property: dirty-row index updates across random delta
+    /// sequences are bitwise equal to from-scratch rebuilds — both for
+    /// similarity-row churn and for cluster moves (including cluster
+    /// count changes).
+    #[test]
+    fn update_rows_matches_full_rebuild_bitwise_across_random_deltas() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use socialrec_graph::GraphDelta;
+        use socialrec_similarity::dirty_rows;
+
+        let n = 80usize;
+        let mut rng = SmallRng::seed_from_u64(909);
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for _ in 0..3 {
+                let v = rng.gen_range(0..n as u32);
+                if v != u {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let mut g = social_graph_from_edges(n, &edges).unwrap();
+        let measure = Measure::AdamicAdar;
+        let mut sim = SimilarityMatrix::build_sequential(&g, &measure);
+        let mut labels: Vec<u32> = (0..n).map(|u| (u % 5) as u32).collect();
+        let mut partition = Partition::from_assignment(&labels);
+        let mut idx = SimMassIndex::build(&sim, &partition);
+
+        for round in 0..10 {
+            // Graph delta: a few random edge toggles.
+            let mut delta = GraphDelta::new();
+            for _ in 0..4 {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a == b {
+                    continue;
+                }
+                if g.has_edge(UserId(a), UserId(b)) {
+                    delta.remove_social(UserId(a), UserId(b)).unwrap();
+                } else {
+                    delta.add_social(UserId(a), UserId(b)).unwrap();
+                }
+            }
+            let (g_new, report) = delta.apply_social(&g).unwrap();
+            let sim_dirty = dirty_rows(&measure, &g, &g_new, &report.touched);
+            let sim_new = sim.update_rows(&g_new, &measure, &sim_dirty);
+
+            // Cluster churn: move a couple of users (sometimes to a
+            // brand-new label, changing the cluster count).
+            for _ in 0..2 {
+                let u = rng.gen_range(0..n);
+                labels[u] = rng.gen_range(0..6) as u32;
+            }
+            let partition_new = Partition::from_assignment(&labels);
+            // Relabelling by from_assignment can renumber *everyone*
+            // when a low label empties; fold those silent renames into
+            // the moved set like a caller tracking label diffs would.
+            let moved: Vec<UserId> = (0..n)
+                .filter(|&u| {
+                    partition.cluster_of(UserId(u as u32))
+                        != partition_new.cluster_of(UserId(u as u32))
+                })
+                .map(|u| UserId(u as u32))
+                .collect();
+
+            let dirty = dirty_index_rows(&sim_new, &sim_dirty, &moved);
+            let updated = idx.update_rows(&sim_new, &partition_new, &dirty);
+            let full = SimMassIndex::build(&sim_new, &partition_new);
+            assert_eq!(updated, full, "round {round}: incremental index diverged");
+
+            g = g_new;
+            sim = sim_new;
+            partition = partition_new;
+            idx = updated;
+        }
+    }
+
+    #[test]
+    fn update_rows_with_empty_dirty_set_is_identity() {
+        let s =
+            social_graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let partition = Partition::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        let idx = SimMassIndex::build(&sim, &partition);
+        let same = idx.update_rows(&sim, &partition, &[]);
+        assert_eq!(same, idx);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod shard;
 pub use cache::{partition_fingerprint, release_generation, ReleaseCache};
 pub use coalesce::AdmissionQueue;
 pub use hotswap::{EpochCell, ReleaseExchange};
-pub use index::SimMassIndex;
+pub use index::{dirty_index_rows, SimMassIndex};
 pub use shard::ShardedServer;
 // The metrics types moved to `socialrec-obs` (the workspace-wide
 // observability layer); re-exported here so the pre-obs public API

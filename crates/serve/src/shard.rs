@@ -208,6 +208,37 @@ impl<'p> ShardedServer<'p> {
         )
     }
 
+    /// Hot-swap an externally produced release into the daemon under
+    /// live load: the release for `seed` — typically from
+    /// `DynamicRecommender::release_averages`, whose accountant already
+    /// debited the spend — becomes the ready generation in the
+    /// exchange, so queries carrying `seed` flip to it on their next
+    /// admission *without* triggering an on-miss `serve.rebuild` (which
+    /// would spend the privacy budget a second time). Queries for older
+    /// retained generations keep being answered throughout.
+    ///
+    /// Returns the generation id queries with `seed` resolve to. The
+    /// averages must come from this daemon's partition, ε, and noise
+    /// model with `seed` — the generation key encodes exactly those —
+    /// otherwise served bits would not match the generation contract.
+    /// Publishing an already-present generation is a no-op.
+    pub fn publish_release(&self, seed: u64, averages: NoisyClusterAverages) -> u64 {
+        let _span = span!("update.publish");
+        assert_eq!(
+            averages.num_clusters(),
+            self.framework.partition().num_clusters(),
+            "published release was built against a different partition"
+        );
+        let generation = self.generation_for(seed);
+        if self.exchange.publish(generation, Arc::new(averages)) && socialrec_obs::enabled() {
+            // The producing release recorded its spend in the privacy
+            // ledger; stamp that record with the generation now serving
+            // it, mirroring the on-miss build path.
+            socialrec_obs::PrivacyLedger::global().stamp_generation(generation);
+        }
+        generation
+    }
+
     /// The release for `seed`, from the shard's epoch cell when
     /// current, otherwise from the exchange (building at most once
     /// daemon-wide and stamping the ledger on that one build) followed
@@ -536,6 +567,55 @@ mod tests {
         // 3 shards × 2 generations + shard 0's flip back for the
         // straggler.
         assert_eq!(swaps, 7);
+    }
+
+    /// Tentpole: a refreshed release produced outside the daemon (the
+    /// `DynamicRecommender` path, with the accountant already debited)
+    /// hot-swaps in via `publish_release` and is served bit-identically
+    /// with no on-miss rebuild, while stragglers on the previous
+    /// generation keep being answered.
+    #[test]
+    fn published_release_hot_swaps_without_rebuild() {
+        use socialrec_core::private::framework::release_noisy_cluster_averages_with;
+        let (s, p) = fixture();
+        let sim = SimilarityMatrix::build(&s, &Measure::CommonNeighbors);
+        let inputs = RecommenderInputs { prefs: &p, sim: &sim };
+        let partition = Partition::from_assignment(&[0, 0, 1, 1, 0, 1]);
+        let daemon = ShardedServer::new(&partition, &sim, Epsilon::Finite(0.5), 3);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+
+        daemon.recommend_batch(&inputs, &users, 3, 1);
+        assert_eq!(daemon.exchange().epoch(), 1);
+
+        // An incremental refresh produced this release out-of-band.
+        let refreshed = release_noisy_cluster_averages_with(
+            &partition,
+            &p,
+            Epsilon::Finite(0.5),
+            daemon.framework().noise_model(),
+            2,
+        );
+        let gen2 = daemon.publish_release(2, refreshed);
+        assert_eq!(gen2, daemon.generation_for(2));
+        assert_eq!(daemon.exchange().epoch(), 2, "the publish is the epoch flip");
+
+        // Queries for the new seed flip to the published generation —
+        // no serve.rebuild — and their bits match the framework.
+        let fw = ClusterFramework::new(&partition, Epsilon::Finite(0.5));
+        let want = fw.recommend(&inputs, &users, 3, 2);
+        let got = daemon.recommend_batch(&inputs, &users, 3, 2);
+        assert_bits(&got, &want);
+        assert_eq!(daemon.exchange().epoch(), 2, "served from the published release");
+        assert_eq!(daemon.shard_generations(), vec![Some(gen2); 3]);
+
+        // Stragglers on the prior generation are still answered.
+        let straggler = daemon.recommend_one(&inputs, UserId(0), 3, 1);
+        assert_eq!(straggler.user, UserId(0));
+        assert_eq!(daemon.exchange().epoch(), 2, "straggler must not re-release");
+
+        // Republishing the same seed is a no-op.
+        assert_eq!(daemon.publish_release(2, fw.noisy_cluster_averages(&inputs, 2)), gen2);
+        assert_eq!(daemon.exchange().epoch(), 2);
     }
 
     #[test]

@@ -97,6 +97,80 @@ impl SimilarityMatrix {
         SimilarityMatrix { offsets, neighbors, scores, name: measure.name() }
     }
 
+    /// Rebuild only the given rows against `g` and splice every other
+    /// row over unchanged — the delta-aware update path.
+    ///
+    /// `dirty` must be sorted ascending without duplicates (as produced
+    /// by [`crate::dirty_rows`]) and in range. If `dirty` conservatively
+    /// covers every row a graph delta could have changed, the result is
+    /// **bit-identical** to `SimilarityMatrix::build(g, measure)` from
+    /// scratch: per-row computation is deterministic, so clean rows keep
+    /// their exact bytes and dirty rows are recomputed exactly as a full
+    /// build would. Cost is O(recomputed rows) + one memcpy of the
+    /// surviving arrays, instead of O(all rows) similarity work.
+    pub fn update_rows<S: Similarity + ?Sized>(
+        &self,
+        g: &SocialGraph,
+        measure: &S,
+        dirty: &[UserId],
+    ) -> SimilarityMatrix {
+        let n = self.num_users();
+        assert_eq!(g.num_users(), n, "deltas must preserve the user set");
+        debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty rows must be sorted unique");
+        assert!(dirty.last().is_none_or(|u| u.index() < n), "dirty row out of range");
+        let _span = socialrec_obs::span!("update.sim_rows", rows = dirty.len());
+
+        // Recompute dirty rows in parallel; rows are independent, so
+        // the bytes match a sequential (or full-build) recompute.
+        let new_rows: Vec<Vec<(UserId, f64)>> = dirty
+            .par_iter()
+            .map_init(
+                || (SimScratch::new(n), Vec::new()),
+                |(scratch, row): &mut (SimScratch, Vec<(UserId, f64)>), &u| {
+                    measure.similarity_set(g, u, scratch, row);
+                    std::mem::take(row)
+                },
+            )
+            .collect();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut total = 0u64;
+        let mut di = 0usize;
+        for u in 0..n {
+            let len = if di < dirty.len() && dirty[di].index() == u {
+                let l = new_rows[di].len();
+                di += 1;
+                l
+            } else {
+                (self.offsets[u + 1] - self.offsets[u]) as usize
+            };
+            total += len as u64;
+            offsets.push(total);
+        }
+
+        let mut neighbors = Vec::with_capacity(total as usize);
+        let mut scores = Vec::with_capacity(total as usize);
+        let mut clean_from = 0usize; // first user of the current clean run
+        for (k, &du) in dirty.iter().enumerate() {
+            let u = du.index();
+            let a = self.offsets[clean_from] as usize;
+            let b = self.offsets[u] as usize;
+            neighbors.extend_from_slice(&self.neighbors[a..b]);
+            scores.extend_from_slice(&self.scores[a..b]);
+            let row = &new_rows[k];
+            neighbors.extend(row.iter().map(|&(v, _)| v));
+            scores.extend(row.iter().map(|&(_, s)| s));
+            clean_from = u + 1;
+        }
+        let a = self.offsets[clean_from] as usize;
+        neighbors.extend_from_slice(&self.neighbors[a..]);
+        scores.extend_from_slice(&self.scores[a..]);
+        debug_assert_eq!(neighbors.len() as u64, total);
+
+        SimilarityMatrix { offsets, neighbors, scores, name: self.name }
+    }
+
     /// Number of users (rows).
     pub fn num_users(&self) -> usize {
         self.offsets.len() - 1
@@ -563,6 +637,80 @@ mod tests {
         m.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() - 4);
         assert!(SimilarityMatrix::read_from(&buf[..]).is_err());
+    }
+
+    /// The delta contract, end to end: across random delta sequences,
+    /// `dirty_rows` + `update_rows` is bitwise equal to a from-scratch
+    /// rebuild for every paper measure.
+    #[test]
+    fn update_rows_matches_full_rebuild_bitwise_across_random_deltas() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use socialrec_graph::GraphDelta;
+
+        let mut rng = SmallRng::seed_from_u64(77);
+        let n = 90usize;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for _ in 0..3 {
+                let v = rng.gen_range(0..n as u32);
+                if v != u {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g0 = social_graph_from_edges(n, &edges).unwrap();
+
+        for m in Measure::paper_suite() {
+            let mut g = g0.clone();
+            let mut sim = SimilarityMatrix::build(&g, &m);
+            for round in 0..12 {
+                let mut d = GraphDelta::new();
+                for _ in 0..rng.gen_range(1..6) {
+                    let u = UserId(rng.gen_range(0..n as u32));
+                    let v = UserId(rng.gen_range(0..n as u32));
+                    if u == v {
+                        continue;
+                    }
+                    if rng.gen_bool(0.5) {
+                        d.add_social(u, v).unwrap();
+                    } else {
+                        d.remove_social(u, v).unwrap();
+                    }
+                }
+                let (g_new, report) = d.apply_social(&g).unwrap();
+                let dirty = crate::dirty_rows(&m, &g, &g_new, &report.touched);
+                let updated = sim.update_rows(&g_new, &m, &dirty);
+                let rebuilt = SimilarityMatrix::build(&g_new, &m);
+                assert_eq!(
+                    updated.offsets,
+                    rebuilt.offsets,
+                    "{} round {round}: offsets diverged",
+                    m.name()
+                );
+                assert_eq!(updated.neighbors, rebuilt.neighbors, "{} round {round}", m.name());
+                for (i, (a, b)) in updated.scores.iter().zip(&rebuilt.scores).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} round {round}: score {i} differs bitwise",
+                        m.name()
+                    );
+                }
+                g = g_new;
+                sim = updated;
+            }
+        }
+    }
+
+    #[test]
+    fn update_rows_with_empty_dirty_set_is_identity() {
+        let g = social_graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let sim = SimilarityMatrix::build(&g, &CommonNeighbors);
+        let same = sim.update_rows(&g, &CommonNeighbors, &[]);
+        assert_eq!(same.offsets, sim.offsets);
+        assert_eq!(same.neighbors, sim.neighbors);
+        assert_eq!(same.scores, sim.scores);
     }
 
     #[test]

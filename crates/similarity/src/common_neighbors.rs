@@ -47,6 +47,20 @@ impl Similarity for CommonNeighbors {
         "CN"
     }
 
+    /// Radius 1, tighter than the degree-based default of 2: a flipped
+    /// edge `(u, v)` changes row `a` only when (a) `a ∈ {u, v}` (its
+    /// own neighbor set changed), (b) the new/old common neighbor
+    /// witnesses a pair — `c = u` requires `a ∈ Γ(u)`, `c = v` requires
+    /// `a ∈ Γ(v)` — or (c) a candidate's score against `a` shifts
+    /// because `Γ(u)` gained/lost `v`, which changes
+    /// `|Γ(a) ∩ Γ(u)|` only when `v ∈ Γ(a)`, i.e. `a ∈ Γ(v)`. CN uses
+    /// no endpoint or candidate degrees, so no two-hop row is ever
+    /// affected. (The cache's delta property test checks this bitwise
+    /// against full rebuilds across random delta sequences.)
+    fn dirty_radius(&self) -> u32 {
+        1
+    }
+
     fn similarity_set(
         &self,
         g: &SocialGraph,

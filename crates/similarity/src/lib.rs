@@ -16,6 +16,13 @@
 //! dense scratch buffers (no hashing in the hot loop), and
 //! [`SimilarityMatrix`] precomputes all rows in parallel for the
 //! recommenders.
+//!
+//! For streaming graph deltas, [`dirty_rows`] bounds which rows a batch
+//! of edge flips can change (per-measure influence radius,
+//! [`Similarity::dirty_radius`]) and
+//! [`SimilarityMatrix::update_rows`](cache::SimilarityMatrix::update_rows)
+//! recomputes exactly those rows, bit-identical to a from-scratch
+//! rebuild.
 
 #![warn(missing_docs)]
 
@@ -82,4 +89,46 @@ pub trait Similarity: Send + Sync {
     fn pair(&self, g: &SocialGraph, u: UserId, v: UserId) -> f64 {
         self.similarity_set_vec(g, u).iter().find(|(w, _)| *w == v).map(|&(_, s)| s).unwrap_or(0.0)
     }
+
+    /// Influence radius for dirty-row tracking: flipping edge `(a, b)`
+    /// can only change the similarity row of users within this many
+    /// hops of `a` or `b` (in the old *or* the new graph).
+    ///
+    /// The default of 2 is correct for every neighborhood/degree-based
+    /// measure (AA, JC, SA, RA, HP, PA): a flip changes `Γ` and `deg`
+    /// of its endpoints only, which reaches rows at most two hops away
+    /// (the endpoint as a common neighbor, or — for measures that read
+    /// a candidate's degree — as the scored candidate of a two-hop
+    /// partner). Measures that can prove a tighter bound override:
+    /// plain CN uses no degrees, so only radius-1 rows are affected.
+    /// Path-based measures override upward or downward as needed: Katz
+    /// walks of length `k` feel an edge from `k-1` hops away, and
+    /// Graph Distance at cutoff `d` from `d-1`.
+    fn dirty_radius(&self) -> u32 {
+        2
+    }
+}
+
+/// The rows of a similarity matrix that a graph delta may have changed:
+/// every user within [`Similarity::dirty_radius`] hops of a touched
+/// endpoint, in the old or the new graph (union, sorted, deduplicated).
+///
+/// This is a conservative superset — recomputing exactly these rows
+/// against the new graph and splicing the rest reproduces a from-scratch
+/// rebuild bit for bit (see `SimilarityMatrix::update_rows`).
+pub fn dirty_rows<S: Similarity + ?Sized>(
+    measure: &S,
+    g_old: &SocialGraph,
+    g_new: &SocialGraph,
+    touched: &[UserId],
+) -> Vec<UserId> {
+    use socialrec_graph::traversal::{reach_within, BfsScratch};
+    let r = measure.dirty_radius();
+    let mut scratch = BfsScratch::new(g_old.num_users().max(g_new.num_users()));
+    let mut rows = reach_within(g_old, touched, r, &mut scratch);
+    let in_new = reach_within(g_new, touched, r, &mut scratch);
+    rows.extend(in_new);
+    rows.sort_unstable();
+    rows.dedup();
+    rows
 }

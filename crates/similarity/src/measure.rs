@@ -72,6 +72,17 @@ impl Similarity for Measure {
             }
         }
     }
+
+    fn dirty_radius(&self) -> u32 {
+        match *self {
+            Measure::CommonNeighbors => CommonNeighbors.dirty_radius(),
+            Measure::GraphDistance { max_distance } => {
+                GraphDistance { max_distance }.dirty_radius()
+            }
+            Measure::AdamicAdar => AdamicAdar.dirty_radius(),
+            Measure::Katz { max_length, alpha } => Katz { max_length, alpha }.dirty_radius(),
+        }
+    }
 }
 
 /// Parse any supported measure name — the paper's four (`CN`, `GD`,

@@ -129,6 +129,20 @@ pub struct SimScratch {
     pub cand: CandidateSet,
     /// Per-call weight row parallel to Γ(u) (Adamic/Adar).
     pub row_weights: Vec<f64>,
+    /// Sorted walk-front ids (intersection-formulated Katz); doubles as
+    /// the sorted reached list for the gather-formulated Graph Distance.
+    pub front_ids: Vec<u32>,
+    /// Walk counts parallel to `front_ids` (Katz).
+    pub front_counts: Vec<f64>,
+    /// Next-front staging ids (Katz); doubles as the gathered depth
+    /// buffer for Graph Distance.
+    pub next_ids: Vec<u32>,
+    /// Next-front staging counts (Katz).
+    pub next_counts: Vec<f64>,
+    /// Per-user depth labels for the gather-formulated Graph Distance
+    /// path. Entries are only valid for users in the reached list and
+    /// are zeroed again before the call returns.
+    pub depth: Vec<u32>,
 }
 
 impl SimScratch {
@@ -141,6 +155,11 @@ impl SimScratch {
             bfs: BfsScratch::new(num_users),
             cand: CandidateSet::new(num_users),
             row_weights: Vec::new(),
+            front_ids: Vec::new(),
+            front_counts: Vec::new(),
+            next_ids: Vec::new(),
+            next_counts: Vec::new(),
+            depth: vec![0; num_users],
         }
     }
 }
