@@ -14,6 +14,7 @@ pub mod stats;
 pub mod trace;
 pub mod update_bench;
 pub mod validate_bench;
+pub mod validate_metrics;
 pub mod validate_trace;
 
 mod io;
@@ -58,6 +59,13 @@ COMMANDS
                closed-loop throughput)] [--measure CN]
                [--out BENCH_serve.json]
                [--smoke (tiny scale, no speedup gate)]
+               [--introspect PORT (0 = ephemeral; serve /metrics,
+               /metrics.json, /health, /ledger, /events on 127.0.0.1
+               and probe them under load)]
+               [--introspect-out PREFIX (dump the mid-run + final
+               /metrics scrapes and the /events journal tail to
+               PREFIX.metrics.prev.txt / PREFIX.metrics.txt /
+               PREFIX.events.jsonl for validate-metrics)]
                [--trace OUT.json]
   pipeline-bench  Offline pipeline: parallel vs sequential
                sim-build -> cluster -> release -> recommend, with
@@ -101,6 +109,12 @@ COMMANDS
                privacy + memory fields present, and the speedup SLO
                met whenever its gate was bound
                [--path BENCH_pipeline.json]
+  validate-metrics  Check introspection scrape dumps: Prometheus
+               exposition shape (socialrec_-prefixed names, declared
+               types, finite values), counter monotonicity against an
+               earlier scrape of the same process, and the journal
+               tail's JSONL event schema
+               --metrics FILE  [--previous FILE]  [--events FILE]
   validate-trace  Check a --trace Chrome trace artifact with the
                exporter self-check; optionally require span names
                --path trace.json  [--require sim.build,release]

@@ -94,6 +94,45 @@ struct Slo {
 
 impl_to_json!(Slo { coalescing_speedup, speedup_gate_bound, met });
 
+/// Mid-run live-telemetry roll-up. `windowed_p99_ns` is the trailing
+/// 5m windowed ~p99 snapshotted right after the closed loop (the whole
+/// phase fits the window, so it covers exactly those queries);
+/// `exact_p99_ns` is the nearest-rank (`ceil(0.99 n)`, the histogram's
+/// own rank convention) quantile over the same queries' per-sample
+/// latencies; `within_bound` asserts the sub-bucket contract
+/// `0.75 × exact ≤ windowed ≤ 1.25 × exact` (the lower slack absorbs
+/// the bench's outer-vs-inner timer skew). Journal counts and the
+/// bit-exact ledger check cover the whole run.
+struct Live {
+    windowed_p99_ns: u64,
+    exact_p99_ns: u64,
+    within_bound: bool,
+    windowed_queries: u64,
+    windowed_qps: f64,
+    slo_worst: String,
+    journal_emitted: u64,
+    journal_dropped: u64,
+    hot_swap_events: u64,
+    release_published_events: u64,
+    introspect_probed: bool,
+    ledger_bits_match: bool,
+}
+
+impl_to_json!(Live {
+    windowed_p99_ns,
+    exact_p99_ns,
+    within_bound,
+    windowed_queries,
+    windowed_qps,
+    slo_worst,
+    journal_emitted,
+    journal_dropped,
+    hot_swap_events,
+    release_published_events,
+    introspect_probed,
+    ledger_bits_match,
+});
+
 /// Privacy accounting: ε per release (dp's parallel composition over
 /// the partition's disjoint clusters) and, on traced runs, the ledger's
 /// spend count per generation (zero in untraced runs, where the ledger
@@ -137,6 +176,7 @@ struct Report {
     open: LoopStats,
     coalescing: Coalescing,
     slo: Slo,
+    live: Live,
     release_epochs: u64,
     shard_generations: Vec<u64>,
     equivalence_checked: bool,
@@ -172,6 +212,7 @@ impl_to_json!(Report {
     open,
     coalescing,
     slo,
+    live,
     release_epochs,
     shard_generations,
     equivalence_checked,
@@ -340,9 +381,22 @@ pub fn run(args: &Args) -> Result<(), String> {
     let open_rate = args.get_f64("open-rate", 0.0);
     let measure = parse_measure(args.get_str("measure").unwrap_or("CN"))?;
     let out_path = args.get_str("out").unwrap_or("BENCH_serve.json").to_string();
+    let introspect_port: Option<u16> = match args.get_str("introspect") {
+        Some(p) => Some(p.parse().map_err(|e| format!("--introspect {p}: {e}"))?),
+        None => None,
+    };
+    let introspect_out = args.get_str("introspect-out").map(String::from);
+    if introspect_out.is_some() && introspect_port.is_none() {
+        return Err("--introspect-out requires --introspect".to_string());
+    }
     let threads = rayon::current_num_threads();
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let trace = TraceSink::init(args);
+    // Live telemetry is always armed for the bench: the windowed-p99
+    // and journal assertions below are part of the run's self-checks.
+    socialrec_obs::arm_live();
+    socialrec_obs::Journal::global().reset();
+    socialrec_obs::LiveTelemetry::global().reset();
 
     eprintln!("generating flixster_like(scale={scale}, seed={seed})...");
     let ds = flixster_like(scale, seed);
@@ -363,6 +417,25 @@ pub fn run(args: &Args) -> Result<(), String> {
     let (seed_a, seed_b) = (seed, seed.wrapping_add(1));
     let (gen_a, gen_b) = (daemon.generation_for(seed_a), daemon.generation_for(seed_b));
 
+    // The introspection endpoint (when requested) serves the daemon's
+    // registry plus the process-global live windows, journal, and
+    // ledger; the same config renders the ledger locally on
+    // introspection-less runs so the bit-exactness check always runs.
+    let introspect_cfg = socialrec_obs::IntrospectConfig {
+        registry: daemon.registry_handle(),
+        slos: socialrec_obs::SloTracker::serving_defaults(Duration::from_millis(250), 0.01),
+        epsilon_budget: None,
+    };
+    let introspect = match introspect_port {
+        Some(port) => {
+            let srv = socialrec_obs::IntrospectionServer::start(port, introspect_cfg.clone())
+                .map_err(|e| format!("--introspect {port}: {e}"))?;
+            eprintln!("introspection endpoint at http://{}/metrics", srv.addr());
+            Some(srv)
+        }
+        None => None,
+    };
+
     // Phase 1 — closed loop against the coalescing daemon, hot swap
     // (seed bump) halfway through each client's request stream.
     eprintln!(
@@ -370,10 +443,58 @@ pub fn run(args: &Args) -> Result<(), String> {
          ({} shards, hot swap mid-run)...",
         daemon.num_shards()
     );
+    // While the closed loop runs, a probe thread scrapes `/metrics`
+    // and `/health` so "the endpoint answers under load" is checked by
+    // the run itself, not by an external harness.
+    let probe = introspect.as_ref().map(|srv| {
+        let addr = srv.addr();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            (socialrec_obs::http_get(addr, "/metrics"), socialrec_obs::http_get(addr, "/health"))
+        })
+    });
     let (lat, elapsed) = drive_closed(clients, requests, &zipf, (seed_a, seed_b), &|u, s| {
         daemon.recommend_one(&inputs, u, n, s);
     });
     let closed = LoopStats::new("closed", &lat, elapsed);
+
+    let mut probe_metrics_body = String::new();
+    if let Some(handle) = probe {
+        let (metrics, health) = handle.join().expect("introspection probe panicked");
+        match metrics {
+            Ok((200, body)) if body.contains("socialrec_live_") => probe_metrics_body = body,
+            other => return Err(format!("mid-run /metrics probe failed: {other:?}")),
+        }
+        match health {
+            Ok((200, body)) if body.contains("\"status\":\"") => {}
+            other => return Err(format!("mid-run /health probe failed: {other:?}")),
+        }
+    }
+
+    // Windowed live stats, snapshotted before any later phase records
+    // more queries: the trailing 5m window covers the whole closed
+    // loop, so its merged histogram holds exactly these samples and
+    // the sub-bucket contract binds its ~p99 to the exact one.
+    let live_telemetry = socialrec_obs::LiveTelemetry::global();
+    let windowed = live_telemetry.query_latency.snapshot(socialrec_obs::window::LIVE_SLOW_K);
+    let served = (clients * requests) as u64;
+    if windowed.count != served {
+        return Err(format!(
+            "live window lost queries: {} recorded, {served} served",
+            windowed.count
+        ));
+    }
+    let rank = ((0.99 * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+    let exact_p99_ns = lat[rank - 1];
+    let windowed_p99_ns = windowed.p99.as_nanos().min(u64::MAX as u128) as u64;
+    let within_bound =
+        windowed_p99_ns * 4 <= exact_p99_ns.max(1) * 5 && windowed_p99_ns * 4 >= exact_p99_ns * 3;
+    if !within_bound {
+        return Err(format!(
+            "windowed ~p99 {windowed_p99_ns} ns is outside the sub-bucket error band of the \
+             exact p99 {exact_p99_ns} ns"
+        ));
+    }
 
     let epoch = daemon.exchange().epoch();
     if epoch != 2 {
@@ -452,6 +573,93 @@ pub fn run(args: &Args) -> Result<(), String> {
         return Err("a shard is not serving the post-swap generation after the sweep".to_string());
     }
 
+    // Operational journal: the mid-run hot swap must have left a
+    // trail — every shard flipped its epoch at least once.
+    let journal = socialrec_obs::Journal::global();
+    let hot_swap_events = journal.count_of(socialrec_obs::EventKind::HotSwapCompleted) as u64;
+    let release_published_events =
+        journal.count_of(socialrec_obs::EventKind::ReleasePublished) as u64;
+    if hot_swap_events < daemon.num_shards() as u64 {
+        return Err(format!(
+            "journal recorded {hot_swap_events} hot-swap events but every one of the {} shards \
+             flipped at least once",
+            daemon.num_shards()
+        ));
+    }
+
+    // Bit-exact ledger check: the `/ledger` rendering must carry the
+    // in-process PrivacyLedger's cumulative ε bit-for-bit. Runs over
+    // HTTP when the endpoint is up, locally otherwise.
+    let ledger_body = match &introspect {
+        Some(srv) => {
+            let (status, body) = socialrec_obs::http_get(srv.addr(), "/ledger")
+                .map_err(|e| format!("/ledger scrape: {e}"))?;
+            if status != 200 {
+                return Err(format!("/ledger scrape returned {status}"));
+            }
+            body
+        }
+        None => socialrec_obs::introspect::render_ledger_json(&introspect_cfg),
+    };
+    let expected_bits =
+        socialrec_obs::PrivacyLedger::global().snapshot().cumulative_epsilon.to_bits();
+    if !ledger_body.contains(&format!("\"cumulative_epsilon_bits\":{expected_bits}")) {
+        return Err(format!(
+            "/ledger cumulative ε does not bit-match the in-process ledger \
+             (want bits {expected_bits}): {ledger_body}"
+        ));
+    }
+
+    // Second `/metrics` scrape (counter monotonicity fodder for
+    // `validate-metrics`) and the journal tail, dumped to files when
+    // `--introspect-out` asked for them.
+    if let Some(srv) = &introspect {
+        let addr = srv.addr();
+        let (status, metrics_final) = socialrec_obs::http_get(addr, "/metrics")
+            .map_err(|e| format!("final /metrics scrape: {e}"))?;
+        if status != 200 {
+            return Err(format!("final /metrics scrape returned {status}"));
+        }
+        let (status, events_body) =
+            socialrec_obs::http_get(addr, "/events").map_err(|e| format!("/events scrape: {e}"))?;
+        if status != 200 {
+            return Err(format!("/events scrape returned {status}"));
+        }
+        if let Some(prefix) = &introspect_out {
+            for (suffix, body) in [
+                ("metrics.prev.txt", &probe_metrics_body),
+                ("metrics.txt", &metrics_final),
+                ("events.jsonl", &events_body),
+            ] {
+                let path = format!("{prefix}.{suffix}");
+                std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+            }
+        }
+    }
+
+    let slo_worst = introspect_cfg
+        .slos
+        .evaluate(live_telemetry)
+        .into_iter()
+        .map(|s| s.state)
+        .max_by_key(|s| *s as u8)
+        .map(|s| s.as_str().to_string())
+        .unwrap_or_else(|| "ok".to_string());
+    let live = Live {
+        windowed_p99_ns,
+        exact_p99_ns,
+        within_bound,
+        windowed_queries: windowed.count,
+        windowed_qps: windowed.qps,
+        slo_worst,
+        journal_emitted: journal.emitted(),
+        journal_dropped: journal.dropped(),
+        hot_swap_events,
+        release_published_events,
+        introspect_probed: introspect.is_some(),
+        ledger_bits_match: true,
+    };
+
     let mut accountant = PrivacyAccountant::new();
     for _ in 0..partition.num_clusters() {
         accountant.spend_parallel(epsilon);
@@ -493,6 +701,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         open,
         coalescing,
         slo,
+        live,
         release_epochs: epoch,
         shard_generations,
         equivalence_checked: true,
@@ -530,6 +739,17 @@ pub fn run(args: &Args) -> Result<(), String> {
         "  hot swap   : {} release builds, every shard on generation {gen_b:#x}",
         report.release_epochs
     );
+    println!(
+        "  live       : windowed ~p99 {} ns (exact {} ns), slo {}, journal {} events \
+         ({} hot swaps, {} releases){}",
+        report.live.windowed_p99_ns,
+        report.live.exact_p99_ns,
+        report.live.slo_worst,
+        report.live.journal_emitted,
+        report.live.hot_swap_events,
+        report.live.release_published_events,
+        if report.live.introspect_probed { ", endpoint probed under load" } else { "" }
+    );
     println!("  wrote {out_path}");
     trace.finish(&[
         "sim.build",
@@ -547,6 +767,7 @@ pub fn run(args: &Args) -> Result<(), String> {
              on {clients} clients ({cores} cores), measured {coalescing_speedup:.2}x"
         ));
     }
+    socialrec_obs::disarm_live();
     Ok(())
 }
 
@@ -563,7 +784,13 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("BENCH_serve.json");
         let trace_out = dir.join("serve_trace.json");
-        let spec = format!("--smoke --out {} --trace {}", out.display(), trace_out.display());
+        let scrape_prefix = dir.join("scrape");
+        let spec = format!(
+            "--smoke --out {} --trace {} --introspect 0 --introspect-out {}",
+            out.display(),
+            trace_out.display(),
+            scrape_prefix.display()
+        );
         run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
 
         // The artifact must pass the real validator's serve branch.
@@ -590,6 +817,13 @@ mod tests {
             "\"active\"",
             "\"requested\"",
             "\"memory\"",
+            "\"live\"",
+            "\"within_bound\": true",
+            "\"introspect_probed\": true",
+            "\"ledger_bits_match\": true",
+            "\"slo_worst\"",
+            "\"windowed_p99_ns\"",
+            "\"journal_emitted\"",
         ] {
             assert!(body.contains(key), "artifact missing {key}: {body}");
         }
@@ -598,7 +832,40 @@ mod tests {
         for span in ["serve.rebuild", "serve.coalesced", "serve.shard_batch", "serve.one"] {
             assert!(check.has_span(span), "trace missing {span}: {:?}", check.names);
         }
+
+        // The introspection dumps the run wrote for `validate-metrics`
+        // must exist and carry the expected shapes: two Prometheus
+        // scrapes (mid-run and final) and the journal tail with the
+        // hot-swap events the bench asserts on.
+        let metrics_prev =
+            std::fs::read_to_string(format!("{}.metrics.prev.txt", scrape_prefix.display()))
+                .unwrap();
+        let metrics_final =
+            std::fs::read_to_string(format!("{}.metrics.txt", scrape_prefix.display())).unwrap();
+        for scrape in [&metrics_prev, &metrics_final] {
+            assert!(scrape.contains("socialrec_live_qps"), "scrape missing live gauges");
+            assert!(scrape.contains("# TYPE"), "scrape missing TYPE lines");
+        }
+        let events =
+            std::fs::read_to_string(format!("{}.events.jsonl", scrape_prefix.display())).unwrap();
+        assert!(events.contains("\"event\":\"hot_swap_completed\""), "journal tail: {events}");
+        assert!(events.contains("\"event\":\"release_published\""), "journal tail: {events}");
+
+        // `validate-metrics` accepts the dumps (the same invocation CI
+        // runs against the smoke bench's scrape files).
+        let mspec = format!(
+            "--metrics {p}.metrics.txt --previous {p}.metrics.prev.txt --events {p}.events.jsonl",
+            p = scrape_prefix.display()
+        );
+        crate::commands::validate_metrics::run(&Args::parse_from(
+            mspec.split_whitespace().map(String::from),
+        ))
+        .unwrap();
+
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(&trace_out).ok();
+        for suffix in ["metrics.prev.txt", "metrics.txt", "events.jsonl"] {
+            std::fs::remove_file(format!("{}.{suffix}", scrape_prefix.display())).ok();
+        }
     }
 }

@@ -28,14 +28,18 @@ pub struct TraceSink {
 
 impl TraceSink {
     /// Parse `--trace` and, when present, arm the observability layer:
-    /// reset the privacy ledger, discard stale span buffers, and enable
-    /// recording.
+    /// reset the privacy ledger, discard stale span buffers and journal
+    /// events, enable span recording, and arm live telemetry (so traced
+    /// runs capture operational events — hot swaps, refusals, restarts —
+    /// in the journal).
     pub fn init(args: &Args) -> TraceSink {
         let path = args.get_str("trace").map(String::from);
         if path.is_some() {
             socialrec_obs::PrivacyLedger::global().reset();
             let _ = socialrec_obs::drain_events();
+            socialrec_obs::Journal::global().reset();
             socialrec_obs::enable();
+            socialrec_obs::arm_live();
         }
         TraceSink { path }
     }
@@ -62,6 +66,7 @@ impl TraceSink {
     ) -> Result<Vec<socialrec_obs::SpanEvent>, String> {
         let Some(path) = self.path else { return Ok(Vec::new()) };
         socialrec_obs::disable();
+        socialrec_obs::disarm_live();
         let events = socialrec_obs::drain_events();
         let json = socialrec_obs::chrome_trace_json(&events);
         let check = socialrec_obs::validate_chrome_trace(&json)

@@ -593,6 +593,30 @@ pub fn run(args: &Args) -> Result<(), String> {
         )
     };
 
+    // On traced runs (live telemetry armed) the two refusals above must
+    // also have landed in the operational journal, one per reason code —
+    // a refusal an operator can't see on `/events` is a silent outage.
+    if trace.active() {
+        if let Epsilon::Finite(_) = epsilon {
+            use socialrec_obs::journal::{REFUSAL_BUDGET_EXCEEDED, REFUSAL_SCHEDULE_EXHAUSTED};
+            let snap = socialrec_obs::Journal::global().snapshot(usize::MAX);
+            for (reason, label) in [
+                (REFUSAL_SCHEDULE_EXHAUSTED, "schedule-exhausted"),
+                (REFUSAL_BUDGET_EXCEEDED, "budget-exceeded"),
+            ] {
+                let seen = snap
+                    .events
+                    .iter()
+                    .any(|e| e.kind == socialrec_obs::EventKind::BudgetRefusal && e.b == reason);
+                if !seen {
+                    return Err(format!(
+                        "the {label} refusal did not reach the operational journal"
+                    ));
+                }
+            }
+        }
+    }
+
     // Ledger cross-check: compose every release the process made, in
     // order, through dp's accountant; on traced runs the observability
     // ledger's cumulative ε must match bit for bit.
@@ -775,6 +799,17 @@ mod tests {
         ] {
             assert!(body.contains(key), "artifact missing {key}: {body}");
         }
+        // Both refusal paths (schedule-exhausted, accountant-refused)
+        // must have landed in the operational journal; the run itself
+        // asserts one event per reason code, and the journal still
+        // holds them here because only the next traced run resets it.
+        let journal = socialrec_obs::Journal::global();
+        assert!(
+            journal.count_of(socialrec_obs::EventKind::BudgetRefusal) >= 2,
+            "journal lost the budget-refusal events: {}",
+            journal.snapshot(usize::MAX).to_jsonl()
+        );
+
         let trace_body = std::fs::read_to_string(&trace_out).unwrap();
         let check = socialrec_obs::validate_chrome_trace(&trace_body).unwrap();
         for span in [

@@ -86,7 +86,7 @@ const REQUIRED_PRIVACY_KEYS: [&str; 4] = [
 const REQUIRED_SERVE_MODES: [&str; 3] = ["closed", "uncoalesced", "open"];
 
 /// Top-level keys every serving artifact must carry.
-const REQUIRED_SERVE_KEYS: [&str; 16] = [
+const REQUIRED_SERVE_KEYS: [&str; 17] = [
     "\"memory\"",
     "\"simd\"",
     "\"clients\"",
@@ -100,9 +100,26 @@ const REQUIRED_SERVE_KEYS: [&str; 16] = [
     "\"uncoalesced\"",
     "\"coalescing\"",
     "\"slo\"",
+    "\"live\"",
     "\"shard_generations\"",
     "\"release_epochs\"",
     "\"registry\"",
+];
+
+/// Fields the serving `live` block must carry: the mid-run windowed
+/// telemetry next to the exact quantile it was checked against, the
+/// operational-journal counts, and the bit-exact ledger verdict.
+const REQUIRED_SERVE_LIVE_KEYS: [&str; 10] = [
+    "\"windowed_p99_ns\"",
+    "\"exact_p99_ns\"",
+    "\"windowed_queries\"",
+    "\"windowed_qps\"",
+    "\"slo_worst\"",
+    "\"journal_emitted\"",
+    "\"journal_dropped\"",
+    "\"hot_swap_events\"",
+    "\"release_published_events\"",
+    "\"introspect_probed\"",
 ];
 
 /// Per-phase latency/throughput fields (exact nearest-rank quantiles).
@@ -382,6 +399,24 @@ fn validate_serve(body: &str) -> Result<(), String> {
             return Err(format!("missing privacy field {key}"));
         }
     }
+    for key in REQUIRED_SERVE_LIVE_KEYS {
+        if !body.contains(key) {
+            return Err(format!("missing live field {key}"));
+        }
+    }
+    // The run-time checks behind these flags (sub-bucket error band on
+    // the windowed ~p99, bit-exact `/ledger` ε) must have passed — a
+    // bench that stops asserting them fails here, not silently.
+    if !body.contains("\"within_bound\": true") {
+        return Err("live.within_bound is not true — the windowed ~p99 must be asserted \
+             against the exact quantile's sub-bucket error band at run time"
+            .to_string());
+    }
+    if !body.contains("\"ledger_bits_match\": true") {
+        return Err("live.ledger_bits_match is not true — the /ledger rendering must be \
+             asserted bit-identical to the in-process ledger at run time"
+            .to_string());
+    }
     for key in REQUIRED_SIMD_INFO_KEYS {
         if !body.contains(key) {
             return Err(format!("missing simd field {key}"));
@@ -455,6 +490,11 @@ mod tests {
              \"coalesced_queries\": 70, \"mean_ride\": 2.4, \"coalesced_fraction\": 0.73 }},\n  \
              \"slo\": {{ \"coalescing_speedup\": 3.5, \"speedup_gate_bound\": true, \
              \"met\": true }},\n  \
+             \"live\": {{ \"windowed_p99_ns\": 2100, \"exact_p99_ns\": 2000, \
+             \"within_bound\": true, \"windowed_queries\": 96, \"windowed_qps\": 100.0, \
+             \"slo_worst\": \"ok\", \"journal_emitted\": 9, \"journal_dropped\": 0, \
+             \"hot_swap_events\": 4, \"release_published_events\": 2, \
+             \"introspect_probed\": true, \"ledger_bits_match\": true }},\n  \
              \"release_epochs\": 2,\n  \"shard_generations\": [7, 7, 7, 7],\n  \
              \"equivalence_checked\": true,\n  \
              \"privacy\": {{ \"epsilon_per_release\": 0.5, \"clusters\": 3, \
@@ -583,6 +623,25 @@ mod tests {
         let no_spends =
             valid_serve_body().replace("\"ledger_spends_generation_a\"", "\"spends_a\"");
         assert!(validate(&no_spends).unwrap_err().contains("ledger_spends_generation_a"));
+    }
+
+    #[test]
+    fn rejects_thinned_or_failed_live_blocks() {
+        let no_windowed = valid_serve_body().replace("\"windowed_p99_ns\"", "\"wp99\"");
+        assert!(validate(&no_windowed).unwrap_err().contains("windowed_p99_ns"));
+        let no_journal = valid_serve_body().replace("\"journal_emitted\"", "\"je\"");
+        assert!(validate(&no_journal).unwrap_err().contains("journal_emitted"));
+        let no_swaps = valid_serve_body().replace("\"hot_swap_events\"", "\"hse\"");
+        assert!(validate(&no_swaps).unwrap_err().contains("hot_swap_events"));
+        // A run whose windowed ~p99 escaped the sub-bucket error band,
+        // or whose /ledger drifted from the in-process ledger, is a
+        // self-contradiction the artifact may not carry.
+        let out_of_band =
+            valid_serve_body().replace("\"within_bound\": true", "\"within_bound\": false");
+        assert!(validate(&out_of_band).unwrap_err().contains("within_bound"));
+        let drifted = valid_serve_body()
+            .replace("\"ledger_bits_match\": true", "\"ledger_bits_match\": false");
+        assert!(validate(&drifted).unwrap_err().contains("ledger_bits_match"));
     }
 
     #[test]

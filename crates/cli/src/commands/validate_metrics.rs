@@ -1,0 +1,281 @@
+//! `socialrec validate-metrics` — structural validation of the
+//! introspection endpoint's scrape dumps.
+//!
+//! `serve-bench --introspect PORT --introspect-out PREFIX` writes the
+//! mid-run and end-of-run `/metrics` bodies plus the `/events` journal
+//! tail; CI feeds them here. The checks mirror what a real Prometheus
+//! scraper would reject: exposition lines must be `# HELP` / `# TYPE`
+//! comments or `name[{labels}] value` samples, names must stay in the
+//! `socialrec_`-prefixed `[a-zA-Z0-9_:]` charset, every sample needs a
+//! preceding `# TYPE`, and every value must parse as a finite number
+//! (counters additionally non-negative). With `--previous` (an earlier
+//! scrape of the same process), counter series must be monotone
+//! non-decreasing — the one invariant that distinguishes a counter from
+//! a gauge on the wire. With `--events`, the journal tail must be one
+//! JSON object per line carrying `seq`/`t_ns` and a known `event` name.
+
+use socialrec_experiments::Args;
+use std::collections::HashMap;
+
+/// Every event name the journal can emit (`EventKind::name`); an
+/// unknown name in a dump means the endpoint and the journal drifted.
+const KNOWN_EVENTS: [&str; 6] = [
+    "release_published",
+    "hot_swap_completed",
+    "budget_refusal",
+    "drift_valve_restart",
+    "builder_panic_recovered",
+    "coalesce_requeue",
+];
+
+/// One parsed exposition: `name -> declared type` and
+/// `series key (name + label set) -> value`.
+#[derive(Debug)]
+struct Exposition {
+    types: HashMap<String, String>,
+    samples: HashMap<String, f64>,
+}
+
+/// Run the command.
+pub fn run(args: &Args) -> Result<(), String> {
+    let metrics_path =
+        args.get_str("metrics").ok_or("validate-metrics requires --metrics FILE")?.to_string();
+    let body = std::fs::read_to_string(&metrics_path)
+        .map_err(|e| format!("reading {metrics_path}: {e}"))?;
+    let current = parse_exposition(&body).map_err(|e| format!("{metrics_path}: {e}"))?;
+
+    if let Some(prev_path) = args.get_str("previous") {
+        let prev_body =
+            std::fs::read_to_string(prev_path).map_err(|e| format!("reading {prev_path}: {e}"))?;
+        let previous = parse_exposition(&prev_body).map_err(|e| format!("{prev_path}: {e}"))?;
+        check_monotone(&current, &previous)
+            .map_err(|e| format!("{metrics_path} vs {prev_path}: {e}"))?;
+    }
+
+    if let Some(events_path) = args.get_str("events") {
+        let events_body = std::fs::read_to_string(events_path)
+            .map_err(|e| format!("reading {events_path}: {e}"))?;
+        validate_events(&events_body).map_err(|e| format!("{events_path}: {e}"))?;
+    }
+
+    println!(
+        "validate-metrics: {metrics_path} ok ({} series, {} declared types)",
+        current.samples.len(),
+        current.types.len()
+    );
+    Ok(())
+}
+
+fn is_valid_name(name: &str) -> bool {
+    name.starts_with("socialrec_")
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_exposition(body: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition { types: HashMap::new(), samples: HashMap::new() };
+    for (k, line) in body.lines().enumerate() {
+        let lineno = k + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if !is_valid_name(name) {
+                return Err(format!("line {lineno}: bad metric name in TYPE comment: {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+            }
+            exp.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free-form comment
+        }
+        // A sample: `name value` or `name{labels} value`.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample without a value: {line:?}"))?;
+        let name = series.split('{').next().unwrap_or(series);
+        if !is_valid_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        let kind = exp
+            .types
+            .get(name)
+            .ok_or_else(|| format!("line {lineno}: sample {name:?} has no preceding # TYPE"))?;
+        let v: f64 = value
+            .parse()
+            .map_err(|e| format!("line {lineno}: value {value:?} of {name:?}: {e}"))?;
+        if !v.is_finite() {
+            return Err(format!("line {lineno}: non-finite value {value:?} of {name:?}"));
+        }
+        if kind == "counter" && v < 0.0 {
+            return Err(format!("line {lineno}: negative counter {name:?} = {value}"));
+        }
+        if exp.samples.insert(series.to_string(), v).is_some() {
+            return Err(format!("line {lineno}: duplicate series {series:?}"));
+        }
+    }
+    if exp.samples.is_empty() {
+        return Err("no samples in exposition".to_string());
+    }
+    Ok(exp)
+}
+
+/// Counter series present in both scrapes must not have gone backwards
+/// (the scrapes come from one process; a decrease means the endpoint is
+/// mislabeling a gauge as a counter or losing state between scrapes).
+fn check_monotone(current: &Exposition, previous: &Exposition) -> Result<(), String> {
+    for (series, &prev_v) in &previous.samples {
+        let name = series.split('{').next().unwrap_or(series);
+        if previous.types.get(name).map(String::as_str) != Some("counter") {
+            continue;
+        }
+        if let Some(&cur_v) = current.samples.get(series) {
+            if cur_v < prev_v {
+                return Err(format!("counter {series:?} went backwards: {prev_v} -> {cur_v}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One JSON object per line, each with a sequence number, a timestamp,
+/// and a journal-known event name.
+fn validate_events(body: &str) -> Result<(), String> {
+    let mut lines = 0usize;
+    for (k, line) in body.lines().enumerate() {
+        let lineno = k + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {lineno}: not a JSON object: {line:?}"));
+        }
+        for field in ["\"seq\":", "\"t_ns\":", "\"event\":\""] {
+            if !line.contains(field) {
+                return Err(format!("line {lineno}: missing {field} in {line:?}"));
+            }
+        }
+        if !KNOWN_EVENTS.iter().any(|e| line.contains(&format!("\"event\":\"{e}\""))) {
+            return Err(format!("line {lineno}: unknown event name in {line:?}"));
+        }
+    }
+    if lines == 0 {
+        return Err("no events in journal tail".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_exposition() -> &'static str {
+        "# TYPE socialrec_serve_shard0_queries counter\n\
+         socialrec_serve_shard0_queries 5\n\
+         # TYPE socialrec_live_qps gauge\n\
+         socialrec_live_qps{window=\"10s\"} 120.5\n\
+         socialrec_live_qps{window=\"1m\"} 118.2\n\
+         # TYPE socialrec_journal_emitted counter\n\
+         socialrec_journal_emitted 9\n"
+    }
+
+    fn valid_events() -> &'static str {
+        "{\"seq\":0,\"t_ns\":120,\"event\":\"release_published\",\"generation\":7}\n\
+         {\"seq\":1,\"t_ns\":450,\"event\":\"hot_swap_completed\",\"shard\":0,\"generation\":7}\n"
+    }
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let exp = parse_exposition(valid_exposition()).unwrap();
+        assert_eq!(exp.samples.len(), 4);
+        assert_eq!(exp.types.get("socialrec_live_qps").unwrap(), "gauge");
+    }
+
+    #[test]
+    fn rejects_malformed_expositions() {
+        // A sample whose name was never declared.
+        let undeclared = "socialrec_mystery 1\n";
+        assert!(parse_exposition(undeclared).unwrap_err().contains("no preceding # TYPE"));
+        // A name outside the socialrec_ namespace.
+        let foreign = "# TYPE other_thing counter\nother_thing 1\n";
+        assert!(parse_exposition(foreign).unwrap_err().contains("bad metric name"));
+        // A non-numeric value.
+        let nan = valid_exposition()
+            .replace("socialrec_journal_emitted 9", "socialrec_journal_emitted NaN-ish");
+        assert!(parse_exposition(&nan).unwrap_err().contains("value"));
+        // A negative counter.
+        let negative = valid_exposition()
+            .replace("socialrec_journal_emitted 9", "socialrec_journal_emitted -3");
+        assert!(parse_exposition(&negative).unwrap_err().contains("negative counter"));
+        // A duplicated series.
+        let dup = format!("{}socialrec_journal_emitted 9\n", valid_exposition());
+        assert!(parse_exposition(&dup).unwrap_err().contains("duplicate series"));
+        // An empty scrape.
+        assert!(parse_exposition("").unwrap_err().contains("no samples"));
+    }
+
+    #[test]
+    fn enforces_counter_monotonicity_only() {
+        let prev = parse_exposition(valid_exposition()).unwrap();
+        // Counters grew, gauge fell: fine.
+        let later = valid_exposition()
+            .replace("socialrec_journal_emitted 9", "socialrec_journal_emitted 12")
+            .replace(
+                "socialrec_live_qps{window=\"10s\"} 120.5",
+                "socialrec_live_qps{window=\"10s\"} 3.0",
+            );
+        let cur = parse_exposition(&later).unwrap();
+        check_monotone(&cur, &prev).unwrap();
+        // A counter going backwards is an error.
+        let regressed = valid_exposition()
+            .replace("socialrec_journal_emitted 9", "socialrec_journal_emitted 4");
+        let cur = parse_exposition(&regressed).unwrap();
+        assert!(check_monotone(&cur, &prev).unwrap_err().contains("went backwards"));
+        // A series that disappeared is not an error (scrape sets may
+        // differ when a shard is added), only a regression is.
+        let fewer = "# TYPE socialrec_live_qps gauge\nsocialrec_live_qps{window=\"10s\"} 1.0\n";
+        let cur = parse_exposition(fewer).unwrap();
+        check_monotone(&cur, &prev).unwrap();
+    }
+
+    #[test]
+    fn validates_event_journal_lines() {
+        validate_events(valid_events()).unwrap();
+        let unknown = valid_events().replace("hot_swap_completed", "mystery_event");
+        assert!(validate_events(&unknown).unwrap_err().contains("unknown event"));
+        let no_time = valid_events().replace("\"t_ns\"", "\"t\"");
+        assert!(validate_events(&no_time).unwrap_err().contains("t_ns"));
+        let not_json = "hot_swap_completed at t=4\n";
+        assert!(validate_events(not_json).unwrap_err().contains("not a JSON object"));
+        assert!(validate_events("\n\n").unwrap_err().contains("no events"));
+    }
+
+    #[test]
+    fn validates_files_via_args() {
+        let dir = std::env::temp_dir().join("socialrec-validate-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.txt");
+        let previous = dir.join("p.txt");
+        let events = dir.join("e.jsonl");
+        std::fs::write(&metrics, valid_exposition().replace(" 9\n", " 11\n")).unwrap();
+        std::fs::write(&previous, valid_exposition()).unwrap();
+        std::fs::write(&events, valid_events()).unwrap();
+        let spec = format!(
+            "--metrics {} --previous {} --events {}",
+            metrics.display(),
+            previous.display(),
+            events.display()
+        );
+        run(&Args::parse_from(spec.split_whitespace().map(String::from))).unwrap();
+        for f in [&metrics, &previous, &events] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

@@ -35,6 +35,7 @@ fn main() {
         "pipeline-bench" => commands::pipeline_bench::run(&args),
         "update-bench" => commands::update_bench::run(&args),
         "validate-bench" => commands::validate_bench::run(&args),
+        "validate-metrics" => commands::validate_metrics::run(&args),
         "validate-trace" => commands::validate_trace::run(&args),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);

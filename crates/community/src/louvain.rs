@@ -553,6 +553,11 @@ impl IncrementalLouvain {
         if self.reference_modularity - q > self.drift_threshold {
             let res = self.base.run_best_of(g, self.restarts);
             let moved = diff_assignments(self.partition.assignment(), res.partition.assignment());
+            socialrec_obs::journal::emit(
+                socialrec_obs::journal::EventKind::DriftValveRestart,
+                touched.len() as u64,
+                moved.len() as u64,
+            );
             self.modularity = res.modularity;
             self.reference_modularity = res.modularity;
             self.partition = res.partition;

@@ -28,6 +28,9 @@ use crate::{RecommenderInputs, TopN, TopNRecommender};
 use socialrec_community::Partition;
 use socialrec_dp::{Epsilon, PrivacyAccountant};
 use socialrec_graph::{PreferenceGraph, UserId};
+use socialrec_obs::journal::{
+    self, EventKind, REFUSAL_BUDGET_EXCEEDED, REFUSAL_SCHEDULE_EXHAUSTED,
+};
 use socialrec_obs::span;
 
 /// A decay ratio validated to lie in the open interval `(0, 1)`.
@@ -190,13 +193,24 @@ impl DynamicRecommender {
     /// accountant would exceed the total budget.
     fn debit_next(&mut self) -> Result<Epsilon, String> {
         let eps = self.next_epsilon().ok_or_else(|| {
+            Self::journal_refusal(self.releases_done, REFUSAL_SCHEDULE_EXHAUSTED);
             format!("budget schedule exhausted after {} releases", self.releases_done)
         })?;
-        self.accountant
-            .try_spend_sequential(eps, self.total)
-            .map_err(|e| format!("release refused: {e}"))?;
+        self.accountant.try_spend_sequential(eps, self.total).map_err(|e| {
+            Self::journal_refusal(self.releases_done, REFUSAL_BUDGET_EXCEEDED);
+            format!("release refused: {e}")
+        })?;
         self.releases_done += 1;
         Ok(eps)
+    }
+
+    /// Journal (and count in the live refusal-rate window) a refused
+    /// release. A no-op when live telemetry is disarmed.
+    fn journal_refusal(release_index: usize, reason: u64) {
+        journal::emit(EventKind::BudgetRefusal, release_index as u64, reason);
+        if socialrec_obs::live_armed() {
+            socialrec_obs::LiveTelemetry::global().refusals.inc();
+        }
     }
 
     /// Release recommendations for the current snapshot.
@@ -257,9 +271,10 @@ impl DynamicRecommender {
         eps: Epsilon,
         seed: u64,
     ) -> Result<(Epsilon, NoisyClusterAverages), String> {
-        self.accountant
-            .try_spend_sequential(eps, self.total)
-            .map_err(|e| format!("release refused: {e}"))?;
+        self.accountant.try_spend_sequential(eps, self.total).map_err(|e| {
+            Self::journal_refusal(self.releases_done, REFUSAL_BUDGET_EXCEEDED);
+            format!("release refused: {e}")
+        })?;
         let _span = span!("update.release", release = self.releases_done);
         let averages = release_noisy_cluster_averages_with(partition, prefs, eps, self.noise, seed);
         Ok((eps, averages))

@@ -210,10 +210,10 @@ impl ToJson for DatasetStats {
 // impls itself — the trait lives here).
 impl ToJson for socialrec_obs::MetricsSnapshot {
     /// Durations flatten to integer nanoseconds (`*_ns`). The `*_p50` /
-    /// `*_p99` values are log₂-bucket upper bounds — over-estimates by
-    /// at most a factor of two, clamped to the true `*_max` — so
-    /// consumers must treat them as `~p50` / `~p99`, never exact
-    /// quantiles.
+    /// `*_p99` values are sub-bucket upper bounds from the log₂
+    /// histograms — over-estimates by at most a factor of 1.25,
+    /// clamped to the true `*_max` — so consumers must treat them as
+    /// `~p50` / `~p99`, never exact quantiles.
     fn write_json(&self, out: &mut String, indent: usize) {
         let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
         write_object(
@@ -288,7 +288,8 @@ impl ToJson for socialrec_obs::LedgerSnapshot {
 
 impl ToJson for socialrec_obs::HistogramSummary {
     /// Same ~quantile caveat as [`socialrec_obs::MetricsSnapshot`]:
-    /// `p50_ns` / `p99_ns` are bucket upper bounds clamped to `max_ns`.
+    /// `p50_ns` / `p99_ns` are sub-bucket upper bounds (≤ 1.25× the
+    /// exact quantile) clamped to `max_ns`.
     fn write_json(&self, out: &mut String, indent: usize) {
         let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
         write_object(

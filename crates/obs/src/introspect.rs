@@ -1,0 +1,559 @@
+//! A std-only TCP introspection endpoint for the serving daemon.
+//!
+//! [`IntrospectionServer`] binds `127.0.0.1` only (operator-local; no
+//! authentication, so it must never listen on a routable interface)
+//! and speaks hand-rolled HTTP/1.0 — no new dependencies, in the
+//! spirit of the workspace's other hand-rolled formats (Chrome traces,
+//! the JSON serializer). Endpoints:
+//!
+//! * `/metrics` — Prometheus-style text exposition: every registry
+//!   counter/gauge/histogram, the trailing-window qps/p50/p99 gauges,
+//!   SLO burn gauges, and journal/ledger totals.
+//! * `/metrics.json` — the same registry snapshot plus the live
+//!   windows, as JSON.
+//! * `/health` — worst SLO state, per-target burn rates, the live
+//!   windows, every gauge (per-shard generation / queue depth /
+//!   inflight), and journal totals.
+//! * `/ledger` — the privacy ledger: per-release records, cumulative
+//!   ε (with a bit-exact `_bits` field), and the remaining budget when
+//!   one was declared.
+//! * `/events` — the journal tail as JSON lines.
+//!
+//! Requests are served one at a time from a single thread — this is an
+//! operator scrape port, not a data path — and reads from the shared
+//! metrics never block recorders.
+
+use crate::journal::{Journal, CAPACITY};
+use crate::ledger::PrivacyLedger;
+use crate::metrics::{HistogramSummary, MetricsRegistry, RegistrySnapshot};
+use crate::slo::{BurnState, SloStatus, SloTracker};
+use crate::window::{LiveTelemetry, WindowSummary, LIVE_FAST_K, LIVE_MID_K, LIVE_SLOW_K};
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the endpoint exposes (globals — the journal, the live windows,
+/// the privacy ledger — are picked up automatically).
+#[derive(Clone)]
+pub struct IntrospectConfig {
+    /// The daemon's metrics registry.
+    pub registry: Arc<MetricsRegistry>,
+    /// SLO targets evaluated on every `/metrics` and `/health` scrape.
+    pub slos: SloTracker,
+    /// Total ε budget, if the daemon has one; enables the
+    /// `epsilon_remaining` field of `/ledger`.
+    pub epsilon_budget: Option<f64>,
+}
+
+/// A running introspection endpoint; dropping it stops the thread.
+pub struct IntrospectionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IntrospectionServer {
+    /// Bind `127.0.0.1:port` (`port` 0 picks an ephemeral port) and
+    /// start serving.
+    pub fn start(port: u16, cfg: IntrospectConfig) -> io::Result<IntrospectionServer> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("socialrec-introspect".into())
+            .spawn(move || accept_loop(listener, cfg, stop_in))
+            .expect("spawn introspection thread");
+        Ok(IntrospectionServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (report this when an ephemeral port was
+    /// requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IntrospectionServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, cfg: IntrospectConfig, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrape errors (client hangup, timeout) only affect
+                // that scrape; the endpoint keeps serving.
+                let _ = handle_connection(stream, &cfg);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, cfg: &IntrospectConfig) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // A GET request fits in one segment in practice; read what is
+    // available up to 4 KiB and parse the request line.
+    let mut buf = [0u8; 4096];
+    let mut filled = 0;
+    let path = loop {
+        let n = stream.read(&mut buf[filled..])?;
+        filled += n;
+        let head = String::from_utf8_lossy(&buf[..filled]);
+        if let Some(line) = head.split("\r\n").next() {
+            if head.contains("\r\n\r\n") || n == 0 || filled == buf.len() {
+                let mut parts = line.split_whitespace();
+                let method = parts.next().unwrap_or("");
+                let path = parts.next().unwrap_or("/").to_string();
+                if method != "GET" {
+                    return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+                }
+                break path;
+            }
+        }
+        if n == 0 {
+            return Ok(());
+        }
+    };
+    let path = path.split('?').next().unwrap_or("/");
+    match path {
+        "/metrics" => {
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &render_prometheus(cfg))
+        }
+        "/metrics.json" => respond(&mut stream, 200, "application/json", &render_metrics_json(cfg)),
+        "/health" => respond(&mut stream, 200, "application/json", &render_health(cfg)),
+        "/ledger" => respond(&mut stream, 200, "application/json", &render_ledger_json(cfg)),
+        "/events" => respond(
+            &mut stream,
+            200,
+            "application/x-ndjson",
+            &Journal::global().snapshot(CAPACITY).to_jsonl(),
+        ),
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal HTTP/1.0 GET client for the endpoint (used by `serve-bench`
+/// to probe itself mid-run and by CI smoke checks). Returns the status
+/// code and the body.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header terminator"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+/// Sanitize one metric name for the Prometheus exposition charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixing the workspace namespace.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("socialrec_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_metric(out: &mut String, name: &str, mtype: &str, samples: &[(String, String)]) {
+    out.push_str(&format!("# TYPE {name} {mtype}\n"));
+    for (labels, value) in samples {
+        out.push_str(name);
+        out.push_str(labels);
+        out.push(' ');
+        out.push_str(value);
+        out.push('\n');
+    }
+}
+
+fn window_rows(live: &LiveTelemetry) -> [(&'static str, WindowSummary); 3] {
+    [
+        ("10s", live.query_latency.snapshot(LIVE_FAST_K)),
+        ("1m", live.query_latency.snapshot(LIVE_MID_K)),
+        ("5m", live.query_latency.snapshot(LIVE_SLOW_K)),
+    ]
+}
+
+/// Render the full Prometheus text exposition for one scrape.
+pub fn render_prometheus(cfg: &IntrospectConfig) -> String {
+    let snap = cfg.registry.snapshot();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        push_metric(&mut out, &prom_name(name), "counter", &[(String::new(), v.to_string())]);
+    }
+    for (name, v) in &snap.gauges {
+        push_metric(&mut out, &prom_name(name), "gauge", &[(String::new(), v.to_string())]);
+    }
+    for (name, h) in &snap.histograms {
+        let base = prom_name(name);
+        push_metric(
+            &mut out,
+            &format!("{base}_count"),
+            "counter",
+            &[(String::new(), h.count.to_string())],
+        );
+        for (suffix, v) in [
+            ("mean_ns", h.mean.as_nanos()),
+            ("p50_ns", h.p50.as_nanos()),
+            ("p99_ns", h.p99.as_nanos()),
+            ("max_ns", h.max.as_nanos()),
+        ] {
+            push_metric(
+                &mut out,
+                &format!("{base}_{suffix}"),
+                "gauge",
+                &[(String::new(), v.to_string())],
+            );
+        }
+    }
+
+    let live = LiveTelemetry::global();
+    let rows = window_rows(live);
+    let labeled = |f: &dyn Fn(&WindowSummary) -> String| -> Vec<(String, String)> {
+        rows.iter().map(|(w, s)| (format!("{{window=\"{w}\"}}"), f(s))).collect()
+    };
+    push_metric(&mut out, "socialrec_live_qps", "gauge", &labeled(&|s| format!("{:?}", s.qps)));
+    push_metric(&mut out, "socialrec_live_count", "gauge", &labeled(&|s| s.count.to_string()));
+    push_metric(
+        &mut out,
+        "socialrec_live_p50_ns",
+        "gauge",
+        &labeled(&|s| s.p50.as_nanos().to_string()),
+    );
+    push_metric(
+        &mut out,
+        "socialrec_live_p99_ns",
+        "gauge",
+        &labeled(&|s| s.p99.as_nanos().to_string()),
+    );
+    push_metric(
+        &mut out,
+        "socialrec_live_max_ns",
+        "gauge",
+        &labeled(&|s| s.max.as_nanos().to_string()),
+    );
+
+    let statuses = cfg.slos.evaluate(live);
+    if !statuses.is_empty() {
+        let burns: Vec<(String, String)> = statuses
+            .iter()
+            .flat_map(|s| {
+                [
+                    (
+                        format!("{{target=\"{}\",window=\"fast\"}}", s.name),
+                        format!("{:?}", s.fast_burn),
+                    ),
+                    (
+                        format!("{{target=\"{}\",window=\"slow\"}}", s.name),
+                        format!("{:?}", s.slow_burn),
+                    ),
+                ]
+            })
+            .collect();
+        push_metric(&mut out, "socialrec_slo_burn", "gauge", &burns);
+        let states: Vec<(String, String)> = statuses
+            .iter()
+            .map(|s| (format!("{{target=\"{}\"}}", s.name), (s.state as u8).to_string()))
+            .collect();
+        push_metric(&mut out, "socialrec_slo_state", "gauge", &states);
+    }
+
+    let journal = Journal::global();
+    push_metric(
+        &mut out,
+        "socialrec_journal_emitted",
+        "counter",
+        &[(String::new(), journal.emitted().to_string())],
+    );
+    push_metric(
+        &mut out,
+        "socialrec_journal_dropped",
+        "counter",
+        &[(String::new(), journal.dropped().to_string())],
+    );
+
+    let ledger = PrivacyLedger::global().snapshot();
+    push_metric(
+        &mut out,
+        "socialrec_ledger_releases",
+        "counter",
+        &[(String::new(), ledger.records.len().to_string())],
+    );
+    push_metric(
+        &mut out,
+        "socialrec_ledger_cumulative_epsilon",
+        "gauge",
+        &[(String::new(), format!("{:?}", ledger.cumulative_epsilon))],
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn window_json(s: &WindowSummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"qps\":{:?}}}",
+        s.count,
+        s.mean.as_nanos(),
+        s.p50.as_nanos(),
+        s.p99.as_nanos(),
+        s.max.as_nanos(),
+        s.qps
+    )
+}
+
+fn windows_json(live: &LiveTelemetry) -> String {
+    let rows = window_rows(live);
+    let body: Vec<String> =
+        rows.iter().map(|(w, s)| format!("\"{w}\":{}", window_json(s))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn registry_json(snap: &RegistrySnapshot) -> String {
+    let hist = |h: &HistogramSummary| {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            h.count,
+            h.mean.as_nanos(),
+            h.p50.as_nanos(),
+            h.p99.as_nanos(),
+            h.max.as_nanos()
+        )
+    };
+    let counters: Vec<String> =
+        snap.counters.iter().map(|(n, v)| format!("\"{}\":{v}", json_escape(n))).collect();
+    let gauges: Vec<String> =
+        snap.gauges.iter().map(|(n, v)| format!("\"{}\":{v}", json_escape(n))).collect();
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(n, h)| format!("\"{}\":{}", json_escape(n), hist(h)))
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+/// Render the `/metrics.json` body.
+pub fn render_metrics_json(cfg: &IntrospectConfig) -> String {
+    format!(
+        "{{\"registry\":{},\"live\":{}}}\n",
+        registry_json(&cfg.registry.snapshot()),
+        windows_json(LiveTelemetry::global())
+    )
+}
+
+fn slo_json(statuses: &[SloStatus]) -> String {
+    let rows: Vec<String> = statuses
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"state\":\"{}\",\"fast_burn\":{:?},\"slow_burn\":{:?}}}",
+                json_escape(&s.name),
+                s.state.as_str(),
+                s.fast_burn,
+                s.slow_burn
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Render the `/health` body.
+pub fn render_health(cfg: &IntrospectConfig) -> String {
+    let live = LiveTelemetry::global();
+    let statuses = cfg.slos.evaluate(live);
+    let worst = statuses.iter().map(|s| s.state).max_by_key(|s| *s as u8).unwrap_or(BurnState::Ok);
+    let snap = cfg.registry.snapshot();
+    let gauges: Vec<String> =
+        snap.gauges.iter().map(|(n, v)| format!("\"{}\":{v}", json_escape(n))).collect();
+    let journal = Journal::global();
+    let retained = journal.snapshot(CAPACITY).events.len();
+    format!(
+        "{{\"status\":\"{}\",\"slo\":{},\"windows\":{},\"gauges\":{{{}}},\"journal\":{{\"emitted\":{},\"retained\":{},\"dropped\":{}}}}}\n",
+        worst.as_str(),
+        slo_json(&statuses),
+        windows_json(live),
+        gauges.join(","),
+        journal.emitted(),
+        retained,
+        journal.dropped()
+    )
+}
+
+/// Render the `/ledger` body. `cumulative_epsilon_bits` (and the
+/// per-release `epsilon_bits`) are IEEE-754 bit patterns so a client
+/// can compare ε values bit-for-bit without parsing floats. (Named
+/// `_json` to avoid clashing with the text [`crate::render_ledger`].)
+pub fn render_ledger_json(cfg: &IntrospectConfig) -> String {
+    let snap = PrivacyLedger::global().snapshot();
+    let releases: Vec<String> = snap
+        .records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"epsilon\":{:?},\"epsilon_bits\":{},\"clusters\":{},\"items\":{},\"noise\":\"{}\",\"accounted_releases\":{},\"generation\":{}}}",
+                r.epsilon,
+                r.epsilon.to_bits(),
+                r.clusters,
+                r.items,
+                json_escape(r.noise),
+                r.accounted_releases,
+                r.generation.map(|g| g.to_string()).unwrap_or_else(|| "null".into())
+            )
+        })
+        .collect();
+    let (budget, remaining) = match cfg.epsilon_budget {
+        Some(b) => (format!("{b:?}"), format!("{:?}", (b - snap.cumulative_epsilon).max(0.0))),
+        None => ("null".into(), "null".into()),
+    };
+    format!(
+        "{{\"cumulative_epsilon\":{:?},\"cumulative_epsilon_bits\":{},\"epsilon_budget\":{},\"epsilon_remaining\":{},\"releases\":[{}]}}\n",
+        snap.cumulative_epsilon,
+        snap.cumulative_epsilon.to_bits(),
+        budget,
+        remaining,
+        releases.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn test_cfg() -> IntrospectConfig {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("serve.shard0.queries").add(5);
+        registry.gauge("serve.shard0.generation").set(2);
+        registry.histogram("serve.shard0.query_ns").record(Duration::from_micros(10));
+        IntrospectConfig {
+            registry,
+            slos: SloTracker::serving_defaults(Duration::from_millis(5), 0.01),
+            epsilon_budget: Some(2.0),
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_has_types_and_sane_names() {
+        let _g = crate::span::test_lock();
+        let text = render_prometheus(&test_cfg());
+        assert!(text.contains("# TYPE socialrec_serve_shard0_queries counter"));
+        assert!(text.contains("socialrec_serve_shard0_queries 5"));
+        assert!(text.contains("# TYPE socialrec_serve_shard0_generation gauge"));
+        assert!(text.contains("socialrec_serve_shard0_query_ns_count 1"));
+        assert!(text.contains("socialrec_live_qps{window=\"10s\"}"));
+        assert!(text.contains("socialrec_slo_state{target=\"serve_p99\"}"));
+        assert!(text.contains("socialrec_ledger_cumulative_epsilon"));
+        // The '.'-separated registry names were sanitized.
+        assert!(!text.contains("serve.shard0"));
+    }
+
+    #[test]
+    fn health_and_ledger_render_json() {
+        let _g = crate::span::test_lock();
+        let cfg = test_cfg();
+        let health = render_health(&cfg);
+        assert!(health.starts_with("{\"status\":\""));
+        assert!(health.contains("\"slo\":["));
+        assert!(health.contains("\"serve.shard0.generation\":2"));
+        assert!(health.contains("\"journal\":{\"emitted\":"));
+        let ledger = render_ledger_json(&cfg);
+        assert!(ledger.contains("\"cumulative_epsilon_bits\":"));
+        assert!(ledger.contains("\"epsilon_budget\":2.0"));
+    }
+
+    #[test]
+    fn server_answers_all_endpoints() {
+        let _g = crate::span::test_lock();
+        let server = IntrospectionServer::start(0, test_cfg()).expect("bind localhost");
+        let addr = server.addr();
+        assert!(addr.ip().is_loopback(), "must bind 127.0.0.1 only");
+        for (path, expect) in [
+            ("/metrics", "# TYPE socialrec_"),
+            ("/metrics.json", "\"registry\":{"),
+            ("/health", "\"status\":\""),
+            ("/ledger", "\"cumulative_epsilon\""),
+        ] {
+            let (status, body) = http_get(addr, path).expect("scrape");
+            assert_eq!(status, 200, "{path}");
+            assert!(body.contains(expect), "{path} body: {body}");
+        }
+        let (status, _) = http_get(addr, "/events").expect("events");
+        assert_eq!(status, 200);
+        let (status, _) = http_get(addr, "/nope").expect("404 path");
+        assert_eq!(status, 404);
+        let t = Instant::now();
+        server.shutdown();
+        assert!(t.elapsed() < Duration::from_secs(2), "shutdown joins promptly");
+    }
+}

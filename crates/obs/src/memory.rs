@@ -110,6 +110,56 @@ mod tests {
         assert_eq!(parse_kib("  1234 kB"), Some(1234 * 1024));
     }
 
+    #[test]
+    fn tolerates_weird_whitespace_shapes() {
+        // Kernels pad with tabs, spaces, or both; the parser must not
+        // care. Mixed paddings per line, no trailing newline, and a
+        // value crammed against the unit label.
+        let blob = "VmHWM:        22 kB\nVmRSS:\t\t 20 kB\nRssAnon: \t 18 kB";
+        let s = parse_status(blob).unwrap();
+        assert_eq!(s.peak_rss_bytes, 22 * 1024);
+        assert_eq!(s.rss_bytes, 20 * 1024);
+        assert_eq!(s.anon_bytes, 18 * 1024);
+        assert_eq!(parse_kib("\t  7 kB  "), Some(7 * 1024), "trailing blanks after the unit");
+        assert_eq!(parse_kib("0 kB"), Some(0), "no padding at all");
+        assert!(parse_kib("12 kB extra").is_none(), "junk after the unit is rejected");
+        assert!(parse_kib("12 KB").is_none(), "unit label is case-sensitive like the kernel's");
+    }
+
+    #[test]
+    fn ignores_lookalike_keys_and_keeps_last_duplicate() {
+        // Keys that merely *contain* the interesting names must not
+        // match (prefix discipline), and a duplicated key keeps the
+        // last occurrence, mirroring a sequential read of the file.
+        let blob = "NonVmRSS:\t 1 kB\nVmRSSExtra:\t 2 kB\nVmHWM:\t 9 kB\n\
+                    VmRSS:\t 5 kB\nVmRSS:\t 6 kB\nRssAnonHuge:\t 3 kB\n";
+        let s = parse_status(blob).unwrap();
+        assert_eq!(s.rss_bytes, 6 * 1024, "last duplicate wins");
+        assert_eq!(s.anon_bytes, 0, "RssAnonHuge must not satisfy RssAnon");
+        assert_eq!(s.peak_rss_bytes, 9 * 1024);
+    }
+
+    #[test]
+    fn malformed_required_line_fails_the_whole_sample() {
+        // A present-but-unparsable VmRSS must yield None, not zero:
+        // the artifacts promise "no zeros masquerading as
+        // measurements".
+        assert!(parse_status("VmHWM:\t 5 kB\nVmRSS:\t five kB\n").is_none());
+        assert!(parse_status("VmHWM:\t 5 mB\nVmRSS:\t 4 kB\n").is_none());
+        assert!(parse_status("").is_none());
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    #[test]
+    fn non_linux_sampling_is_none_and_gauges_stay_empty() {
+        // Off Linux there is no /proc/self/status: sampling returns
+        // None and the gauge recorder registers nothing.
+        assert_eq!(sample_memory(), None);
+        let registry = crate::MetricsRegistry::new();
+        assert_eq!(record_memory_gauges(&registry, "test.mem"), None);
+        assert!(registry.snapshot().gauges.is_empty());
+    }
+
     #[cfg(target_os = "linux")]
     #[test]
     fn live_sample_is_sane_and_peak_dominates_current() {

@@ -77,7 +77,70 @@ impl Gauge {
 /// `[2^i, 2^(i+1))` nanoseconds, so 48 buckets reach ~78 hours.
 const BUCKETS: usize = 48;
 
-/// A log₂-bucketed latency histogram.
+/// Linear sub-buckets per log₂ bucket. Splitting each power-of-two
+/// range into 4 equal sub-ranges tightens the quantile over-estimate
+/// from a factor of 2 to a factor of 1.25.
+const SUBS: usize = 4;
+
+/// Total histogram slots: `BUCKETS × SUBS`.
+pub(crate) const SLOTS: usize = BUCKETS * SUBS;
+
+/// Flat slot index for one observation: log₂ bucket × 4 linear
+/// sub-buckets. For `nanos < 4` the sub-bucket holds exactly one
+/// integer value, so small observations are stored exactly.
+#[inline]
+pub(crate) fn slot_of(nanos: u64) -> usize {
+    if nanos < 4 {
+        // exp 0 holds {0, 1}, exp 1 holds {2, 3}; one value per slot.
+        let exp = (nanos >= 2) as usize;
+        return exp * SUBS + (nanos & 1) as usize;
+    }
+    let exp = 63 - nanos.leading_zeros() as usize;
+    if exp >= BUCKETS {
+        return SLOTS - 1;
+    }
+    let sub = ((nanos >> (exp - 2)) & 3) as usize;
+    exp * SUBS + sub
+}
+
+/// Upper bound (in nanoseconds) of slot `slot`: the smallest value
+/// strictly above every observation the slot can hold — except the
+/// `nanos < 4` slots, whose bound is the exact (single) value they
+/// hold, and the top slot, which clamps at 2⁴⁸.
+#[inline]
+pub(crate) fn slot_bound(slot: usize) -> u64 {
+    let exp = slot / SUBS;
+    let sub = (slot % SUBS) as u64;
+    if exp >= 2 {
+        let base = 1u64 << exp;
+        let step = 1u64 << (exp - 2);
+        base + (sub + 1) * step
+    } else {
+        // Slots below 4ns hold exactly one integer value each.
+        exp as u64 * 2 + sub
+    }
+}
+
+/// Quantile lookup over a flat slot-count array: upper bound of the
+/// slot holding the rank-`q` observation, clamped to the true observed
+/// `max`. Shared by [`LatencyHistogram`] and the windowed merge path.
+pub(crate) fn quantile_of(counts: &[u64; SLOTS], n: u64, max: u64, q: f64) -> Duration {
+    if n == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Duration::from_nanos(slot_bound(i).min(max));
+        }
+    }
+    Duration::from_nanos(max)
+}
+
+/// A log₂-bucketed latency histogram with 4 linear sub-buckets per
+/// power-of-two bucket.
 ///
 /// Recording is two relaxed atomic increments plus one atomic max, so
 /// worker threads can record from inside a parallel batch without
@@ -86,14 +149,15 @@ const BUCKETS: usize = 48;
 /// # Quantile semantics
 ///
 /// [`quantile`](LatencyHistogram::quantile) reports the **upper bound**
-/// of the bucket holding the rank-`q` observation — an over-estimate by
-/// at most a factor of two — clamped to the true observed
+/// of the sub-bucket holding the rank-`q` observation — an
+/// over-estimate by at most a factor of 1.25 (each log₂ bucket is split
+/// into 4 linear sub-ranges) — clamped to the true observed
 /// [`max`](LatencyHistogram::max), so `~p99 ≤ max` holds in every
 /// report. Consumers printing these values should label them `~p50` /
 /// `~p99` (as `serve-bench` does), not as exact quantiles.
 #[derive(Debug)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
+    buckets: [AtomicU64; SLOTS],
     total_nanos: AtomicU64,
     /// True maximum observation in nanoseconds (not a bucket bound).
     max_nanos: AtomicU64,
@@ -115,19 +179,39 @@ impl LatencyHistogram {
         LatencyHistogram::default()
     }
 
-    #[inline]
-    fn bucket_of(nanos: u64) -> usize {
-        // 0ns and 1ns land in bucket 0; otherwise floor(log2(nanos)).
-        (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
     /// Record one latency observation.
     #[inline]
     pub fn record(&self, d: Duration) {
         let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[slot_of(nanos)].fetch_add(1, Ordering::Relaxed);
         self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Relaxed-load copy of the flat slot counts (for merging windows).
+    pub(crate) fn slot_counts(&self) -> [u64; SLOTS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Raw sum of recorded nanoseconds.
+    pub(crate) fn total_nanos(&self) -> u64 {
+        self.total_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Raw observed maximum in nanoseconds.
+    pub(crate) fn max_nanos(&self) -> u64 {
+        self.max_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Zero every slot (used when a window slot is recycled). Not
+    /// atomic as a whole: concurrent records may land before or after
+    /// individual slot clears; window rotation tolerates this.
+    pub(crate) fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.total_nanos.store(0, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
     }
 
     /// Total number of recorded observations.
@@ -150,29 +234,16 @@ impl LatencyHistogram {
         Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
     }
 
-    /// Upper bound of the bucket holding the `q`-quantile observation
-    /// (`q` in `[0, 1]`), clamped to the true observed
-    /// [`max`](LatencyHistogram::max); zero when empty. Bucketing
-    /// bounds the error to a factor of two — plenty for spotting tail
+    /// Upper bound of the sub-bucket holding the `q`-quantile
+    /// observation (`q` in `[0, 1]`), clamped to the true observed
+    /// [`max`](LatencyHistogram::max); zero when empty. Sub-bucketing
+    /// bounds the error to a factor of 1.25 — plenty for spotting tail
     /// blow-ups — and the clamp guarantees `quantile(q) ≤ max()` for
     /// every `q`.
     pub fn quantile(&self, q: f64) -> Duration {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let counts = self.slot_counts();
         let n: u64 = counts.iter().sum();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let max = self.max_nanos.load(Ordering::Relaxed);
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let bound = 1u64 << (i + 1).min(63);
-                return Duration::from_nanos(bound.min(max));
-            }
-        }
-        Duration::from_nanos(max)
+        quantile_of(&counts, n, self.max_nanos.load(Ordering::Relaxed), q)
     }
 }
 
@@ -183,9 +254,9 @@ pub struct HistogramSummary {
     pub count: u64,
     /// Mean observation.
     pub mean: Duration,
-    /// ~p50 (bucket upper bound, clamped to `max`).
+    /// ~p50 (sub-bucket upper bound, ≤ 1.25× exact, clamped to `max`).
     pub p50: Duration,
-    /// ~p99 (bucket upper bound, clamped to `max`).
+    /// ~p99 (sub-bucket upper bound, ≤ 1.25× exact, clamped to `max`).
     pub p99: Duration,
     /// True maximum observation.
     pub max: Duration,
@@ -320,10 +391,11 @@ pub struct ServeMetrics {
 
 /// A point-in-time copy of the counters, for reporting.
 ///
-/// The `*_p50` / `*_p99` fields are **bucket upper bounds** from the
-/// log₂ histograms (over-estimates by at most 2×, clamped so they never
-/// exceed the matching `*_max`); `*_max` fields are true observed
-/// maxima. Report them as `~p50` / `~p99`, never as exact quantiles.
+/// The `*_p50` / `*_p99` fields are **sub-bucket upper bounds** from
+/// the log₂ histograms (over-estimates by at most 1.25×, clamped so
+/// they never exceed the matching `*_max`); `*_max` fields are true
+/// observed maxima. Report them as `~p50` / `~p99`, never as exact
+/// quantiles.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricsSnapshot {
     /// Individual user queries served (batch rows and singles).
@@ -338,17 +410,17 @@ pub struct MetricsSnapshot {
     pub cache_rebuilds: u64,
     /// Mean per-query latency.
     pub query_mean: Duration,
-    /// ~p50 per-query latency (bucket upper bound, ≤ `query_max`).
+    /// ~p50 per-query latency (sub-bucket upper bound, ≤ `query_max`).
     pub query_p50: Duration,
-    /// ~p99 per-query latency (bucket upper bound, ≤ `query_max`).
+    /// ~p99 per-query latency (sub-bucket upper bound, ≤ `query_max`).
     pub query_p99: Duration,
     /// Largest observed per-query latency.
     pub query_max: Duration,
     /// Mean batch latency.
     pub batch_mean: Duration,
-    /// ~p50 batch latency (bucket upper bound, ≤ `batch_max`).
+    /// ~p50 batch latency (sub-bucket upper bound, ≤ `batch_max`).
     pub batch_p50: Duration,
-    /// ~p99 batch latency (bucket upper bound, ≤ `batch_max`).
+    /// ~p99 batch latency (sub-bucket upper bound, ≤ `batch_max`).
     pub batch_p99: Duration,
     /// Largest observed batch latency.
     pub batch_max: Duration,
@@ -428,13 +500,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_boundaries() {
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 0);
-        assert_eq!(LatencyHistogram::bucket_of(2), 1);
-        assert_eq!(LatencyHistogram::bucket_of(3), 1);
-        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    fn slot_boundaries() {
+        // Values below 4ns each get their own slot with an exact bound.
+        for v in 0..4u64 {
+            assert_eq!(slot_bound(slot_of(v)), v);
+        }
+        assert_eq!(slot_of(0), 0);
+        assert_eq!(slot_of(1), 1);
+        assert_eq!(slot_of(2), SUBS);
+        assert_eq!(slot_of(3), SUBS + 1);
+        // 1024 = 2^10 exactly: first sub-bucket of bucket 10.
+        assert_eq!(slot_of(1024), 10 * SUBS);
+        assert_eq!(slot_bound(slot_of(1024)), 1024 + 256);
+        // 100 sits in [64,128): sub = (100 >> 4) & 3 = 2, bound 112.
+        assert_eq!(slot_of(100), 6 * SUBS + 2);
+        assert_eq!(slot_bound(slot_of(100)), 112);
+        assert_eq!(slot_of(u64::MAX), SLOTS - 1);
+    }
+
+    #[test]
+    fn slot_bound_covers_and_stays_tight() {
+        // For every representable value, the bound is ≥ the value and
+        // at most 1.25× it (exact below 4ns; top bucket clamps at 2⁴⁸).
+        for exp in 0..47u32 {
+            for v in [1u64 << exp, (1u64 << exp) + 1, (1u64 << (exp + 1)) - 1] {
+                let b = slot_bound(slot_of(v));
+                assert!(b >= v, "bound {b} below value {v}");
+                assert!(b * 4 <= v * 5, "bound {b} looser than 1.25x for {v}");
+            }
+        }
     }
 
     #[test]
@@ -444,12 +538,12 @@ mod tests {
         assert_eq!(h.quantile(0.5), Duration::ZERO);
         assert_eq!(h.max(), Duration::ZERO);
         for _ in 0..99 {
-            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+            h.record(Duration::from_nanos(100)); // slot [96, 112) of bucket 6
         }
-        h.record(Duration::from_micros(100)); // bucket 16
+        h.record(Duration::from_micros(100));
         assert_eq!(h.count(), 100);
-        // Median sits in the 100ns bucket, the tail in the 100µs one.
-        assert_eq!(h.quantile(0.5), Duration::from_nanos(128));
+        // Median sits in the 100ns sub-bucket, the tail in the 100µs one.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(112));
         assert_eq!(h.max(), Duration::from_micros(100));
         assert!(h.quantile(1.0) >= Duration::from_micros(100));
         let m = h.mean();
@@ -458,7 +552,7 @@ mod tests {
 
     #[test]
     fn quantile_never_exceeds_observed_max() {
-        // All observations in one bucket: the bucket upper bound (128)
+        // All observations in one sub-bucket: its upper bound (112)
         // would overshoot the true max (100), so the clamp must win.
         let h = LatencyHistogram::new();
         for _ in 0..50 {

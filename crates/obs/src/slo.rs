@@ -1,0 +1,232 @@
+//! Declarative SLO targets with multi-window burn-rate states.
+//!
+//! A [`SloTracker`] holds a list of [`SloTarget`]s (served p99 ≤ T,
+//! refusal rate ≤ r, error rate ≤ r) and evaluates each against the
+//! [`LiveTelemetry`] windows on demand. Following the classic
+//! multi-window burn-rate recipe, every target is measured over a
+//! **fast** (~1m) and a **slow** (~5m) trailing window; the *burn* of
+//! a window is `measured / bound`, and the state is:
+//!
+//! * [`BurnState::Page`] — burn ≥ 1 in **both** windows (the violation
+//!   is sustained, not a blip);
+//! * [`BurnState::Warn`] — burn ≥ 1 in the fast window only (a fresh
+//!   violation the slow window has not confirmed yet, or a recovering
+//!   one);
+//! * [`BurnState::Ok`] — otherwise.
+//!
+//! Evaluation is read-only over the windowed metrics — there is no
+//! background thread; the introspection endpoint (and `serve-bench`)
+//! evaluate at scrape time.
+
+use crate::window::{LiveTelemetry, LIVE_MID_K, LIVE_SLOW_K};
+use std::time::Duration;
+
+/// Burn-rate state of one SLO target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurnState {
+    /// Within budget in the fast window.
+    Ok,
+    /// Violating in the fast window, not (yet) in the slow window.
+    Warn,
+    /// Violating in both windows.
+    Page,
+}
+
+impl BurnState {
+    /// Stable lowercase name for JSON and text output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BurnState::Ok => "ok",
+            BurnState::Warn => "warn",
+            BurnState::Page => "page",
+        }
+    }
+}
+
+/// What one SLO target bounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SloKind {
+    /// Windowed ~p99 of served query latency must stay ≤ this bound.
+    LatencyP99(Duration),
+    /// `refusals / queries` must stay ≤ this bound.
+    RefusalRate(f64),
+    /// `errors / queries` must stay ≤ this bound.
+    ErrorRate(f64),
+}
+
+/// One declarative SLO target.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloTarget {
+    /// Stable identifier (appears in `/health` and `/metrics`).
+    pub name: String,
+    /// The bound this target enforces.
+    pub kind: SloKind,
+}
+
+/// The evaluated state of one target at one instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloStatus {
+    /// Target name.
+    pub name: String,
+    /// Burn-rate state.
+    pub state: BurnState,
+    /// `measured / bound` over the fast (~1m) window.
+    pub fast_burn: f64,
+    /// `measured / bound` over the slow (~5m) window.
+    pub slow_burn: f64,
+}
+
+/// A set of SLO targets evaluated against the live windows.
+#[derive(Clone, Debug, Default)]
+pub struct SloTracker {
+    targets: Vec<SloTarget>,
+}
+
+impl SloTracker {
+    /// An empty tracker.
+    pub fn new() -> SloTracker {
+        SloTracker::default()
+    }
+
+    /// The standard serving target set: served ~p99 ≤ `p99_bound`,
+    /// refusal rate ≤ `refusal_bound`, error rate ≤ 0.1%.
+    pub fn serving_defaults(p99_bound: Duration, refusal_bound: f64) -> SloTracker {
+        let mut t = SloTracker::new();
+        t.push("serve_p99", SloKind::LatencyP99(p99_bound));
+        t.push("refusal_rate", SloKind::RefusalRate(refusal_bound));
+        t.push("error_rate", SloKind::ErrorRate(1e-3));
+        t
+    }
+
+    /// Add one target.
+    pub fn push(&mut self, name: impl Into<String>, kind: SloKind) {
+        self.targets.push(SloTarget { name: name.into(), kind });
+    }
+
+    /// The configured targets.
+    pub fn targets(&self) -> &[SloTarget] {
+        &self.targets
+    }
+
+    /// Evaluate every target against `live` now.
+    pub fn evaluate(&self, live: &LiveTelemetry) -> Vec<SloStatus> {
+        self.evaluate_at(live, live.query_latency.interval_now())
+    }
+
+    /// Evaluate as of interval `t` (deterministic-test hook; see
+    /// [`crate::WindowedHistogram::record_interval`]).
+    pub fn evaluate_at(&self, live: &LiveTelemetry, t: u64) -> Vec<SloStatus> {
+        self.targets
+            .iter()
+            .map(|target| {
+                let (fast, slow) = match target.kind {
+                    SloKind::LatencyP99(bound) => {
+                        let b = bound.as_nanos().max(1) as f64;
+                        (
+                            live.query_latency.snapshot_interval(t, LIVE_MID_K).p99.as_nanos()
+                                as f64
+                                / b,
+                            live.query_latency.snapshot_interval(t, LIVE_SLOW_K).p99.as_nanos()
+                                as f64
+                                / b,
+                        )
+                    }
+                    SloKind::RefusalRate(bound) => {
+                        ratio_burns(&live.refusals, &live.queries, bound, t)
+                    }
+                    SloKind::ErrorRate(bound) => ratio_burns(&live.errors, &live.queries, bound, t),
+                };
+                let state = if fast >= 1.0 && slow >= 1.0 {
+                    BurnState::Page
+                } else if fast >= 1.0 {
+                    BurnState::Warn
+                } else {
+                    BurnState::Ok
+                };
+                SloStatus { name: target.name.clone(), state, fast_burn: fast, slow_burn: slow }
+            })
+            .collect()
+    }
+}
+
+/// Fast/slow burn of a bad/total counter ratio against `bound`.
+/// Windows with no traffic burn 0 (nothing served, nothing violated).
+fn ratio_burns(
+    bad: &crate::window::WindowedCounter,
+    total: &crate::window::WindowedCounter,
+    bound: f64,
+    t: u64,
+) -> (f64, f64) {
+    let burn = |k: usize| {
+        let n = total.sum_interval(t, k);
+        if n == 0 || bound <= 0.0 {
+            return 0.0;
+        }
+        (bad.sum_interval(t, k) as f64 / n as f64) / bound
+    };
+    (burn(LIVE_MID_K), burn(LIVE_SLOW_K))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p99_only(bound_ns: u64) -> SloTracker {
+        let mut t = SloTracker::new();
+        t.push("p99", SloKind::LatencyP99(Duration::from_nanos(bound_ns)));
+        t
+    }
+
+    #[test]
+    fn quiet_windows_are_ok() {
+        let live = LiveTelemetry::new();
+        let st = SloTracker::serving_defaults(Duration::from_millis(5), 0.01).evaluate(&live);
+        assert_eq!(st.len(), 3);
+        assert!(st.iter().all(|s| s.state == BurnState::Ok));
+        assert!(st.iter().all(|s| s.fast_burn == 0.0 && s.slow_burn == 0.0));
+    }
+
+    #[test]
+    fn sustained_violation_pages() {
+        let live = LiveTelemetry::new();
+        // Every observation in the current interval blows the 1µs
+        // bound, so fast and slow windows both violate.
+        for _ in 0..100 {
+            live.query_latency.record_interval(0, Duration::from_micros(100));
+        }
+        let st = p99_only(1_000).evaluate_at(&live, 0);
+        assert_eq!(st[0].state, BurnState::Page);
+        assert!(st[0].fast_burn >= 1.0 && st[0].slow_burn >= 1.0);
+    }
+
+    #[test]
+    fn fresh_violation_only_warns() {
+        let live = LiveTelemetry::new();
+        // Long good history: the slow window's p99 stays under the
+        // bound; the fast (1m = 6-slot) window sees only the spike.
+        for t in 0..24u64 {
+            for _ in 0..100 {
+                live.query_latency.record_interval(t, Duration::from_nanos(500));
+            }
+        }
+        for _ in 0..10 {
+            live.query_latency.record_interval(29, Duration::from_micros(100));
+        }
+        let st = p99_only(1_000).evaluate_at(&live, 29);
+        assert_eq!(st[0].state, BurnState::Warn, "slow window still within bound");
+        assert!(st[0].fast_burn >= 1.0);
+        assert!(st[0].slow_burn < 1.0);
+    }
+
+    #[test]
+    fn refusal_rate_burns_as_ratio() {
+        let live = LiveTelemetry::new();
+        live.queries.add_interval(0, 1000);
+        live.refusals.add_interval(0, 100); // 10% against a 1% bound
+        let mut tr = SloTracker::new();
+        tr.push("refusals", SloKind::RefusalRate(0.01));
+        let st = tr.evaluate_at(&live, 0);
+        assert_eq!(st[0].state, BurnState::Page);
+        assert!((st[0].fast_burn - 10.0).abs() < 1e-9);
+    }
+}

@@ -50,7 +50,9 @@ pub fn enabled() -> bool {
 }
 
 /// The instant timestamps are measured from (pinned on first use).
-fn epoch() -> Instant {
+/// Shared with the event journal so span and journal timestamps are
+/// directly comparable.
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }

@@ -13,8 +13,9 @@ use std::time::Duration;
 
 /// Aggregate timing for one span name.
 ///
-/// `p99` is a log₂ bucket upper bound (over-estimate by at most 2×,
-/// clamped to `max`); `max` is the true largest duration observed.
+/// `p99` is a sub-bucket upper bound from the log₂ histogram
+/// (over-estimate by at most 1.25×, clamped to `max`); `max` is the
+/// true largest duration observed.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SpanStats {
     /// The span name.
@@ -25,7 +26,7 @@ pub struct SpanStats {
     pub total: Duration,
     /// Mean duration.
     pub mean: Duration,
-    /// ~p99 duration (bucket upper bound, ≤ `max`).
+    /// ~p99 duration (sub-bucket upper bound, ≤ `max`).
     pub p99: Duration,
     /// Largest single duration.
     pub max: Duration,

@@ -1,0 +1,499 @@
+//! Interval-rotating windowed metrics: trailing-window latency and
+//! rate statistics for a live daemon, instead of lifetime aggregates.
+//!
+//! A [`WindowedHistogram`] (and the counter twin
+//! [`WindowedCounter`]) owns `N` rotating slots, each covering one
+//! fixed wall-clock interval. Recording computes the current interval
+//! number from a per-instance epoch, tags the slot `interval % N` with
+//! that interval, and records into it; a snapshot merges the slots
+//! whose tags fall inside the trailing `k` intervals. Operators
+//! therefore see p50/p99/qps over the trailing ~10s/1m/5m, not since
+//! process start.
+//!
+//! # Concurrency contract
+//!
+//! The record path is lock-free when the slot is current: one relaxed
+//! tag load plus the underlying [`LatencyHistogram`] increments.
+//! Recycling a stale slot (once per interval per slot) takes a private
+//! rotation mutex, re-checks the tag, clears the slot, and republishes
+//! it. A recorder that loses the race between reading the tag and
+//! incrementing may attribute one observation to the adjacent
+//! interval; no observation is ever lost, and a slot is never cleared
+//! while it is still inside any trailing window (guarded by
+//! `tests/concurrency.rs`).
+//!
+//! # Disabled cost
+//!
+//! Nothing here is consulted unless the caller records, and the
+//! instrumented hot paths in `serve`/`core`/`community` gate on
+//! [`live_armed`] — a single relaxed atomic load — before touching the
+//! global [`LiveTelemetry`].
+
+use crate::metrics::{quantile_of, LatencyHistogram, SLOTS};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One rotating slot: the interval it currently holds (tag is
+/// `interval + 1`; 0 means never used) plus its histogram.
+#[derive(Debug)]
+struct HistSlot {
+    tag: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+/// Merged trailing-window statistics from a [`WindowedHistogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowSummary {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: Duration,
+    /// ~p50 (sub-bucket upper bound, ≤ 1.25× the exact quantile,
+    /// clamped to `max`).
+    pub p50: Duration,
+    /// ~p99 (sub-bucket upper bound, ≤ 1.25× the exact quantile,
+    /// clamped to `max`).
+    pub p99: Duration,
+    /// True maximum observation inside the window.
+    pub max: Duration,
+    /// Observations per second over the window's covered span.
+    pub qps: f64,
+}
+
+impl WindowSummary {
+    fn empty() -> WindowSummary {
+        WindowSummary {
+            count: 0,
+            mean: Duration::ZERO,
+            p50: Duration::ZERO,
+            p99: Duration::ZERO,
+            max: Duration::ZERO,
+            qps: 0.0,
+        }
+    }
+}
+
+/// An interval-rotating latency histogram with `N` slots of
+/// `slot_duration` each; see the module docs for the rotation and
+/// concurrency contract.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    epoch: Instant,
+    slot_nanos: u64,
+    slots: Vec<HistSlot>,
+    rotate: Mutex<()>,
+}
+
+impl WindowedHistogram {
+    /// A windowed histogram with `slots` rotating slots of
+    /// `slot_duration` each (total coverage `slots × slot_duration`).
+    pub fn new(slot_duration: Duration, slots: usize) -> WindowedHistogram {
+        assert!(slots > 0, "a window needs at least one slot");
+        let slot_nanos = slot_duration.as_nanos().max(1).min(u64::MAX as u128) as u64;
+        WindowedHistogram {
+            epoch: Instant::now(),
+            slot_nanos,
+            slots: (0..slots)
+                .map(|_| HistSlot { tag: AtomicU64::new(0), hist: LatencyHistogram::new() })
+                .collect(),
+            rotate: Mutex::new(()),
+        }
+    }
+
+    /// Number of rotating slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Duration of one slot.
+    pub fn slot_duration(&self) -> Duration {
+        Duration::from_nanos(self.slot_nanos)
+    }
+
+    /// The interval number the wall clock is currently inside.
+    pub fn interval_now(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.slot_nanos as u128) as u64
+    }
+
+    /// Record one observation into the current interval's slot.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_interval(self.interval_now(), d);
+    }
+
+    /// Record into interval `t` explicitly. Public so tests can drive
+    /// rotation deterministically without sleeping; production code
+    /// uses [`record`](WindowedHistogram::record).
+    pub fn record_interval(&self, t: u64, d: Duration) {
+        let slot = &self.slots[(t % self.slots.len() as u64) as usize];
+        if slot.tag.load(Ordering::Relaxed) != t + 1 {
+            self.recycle(slot, t);
+        }
+        slot.hist.record(d);
+    }
+
+    /// Recycle `slot` for interval `t`: rare (once per slot per
+    /// interval), serialized so only one thread clears.
+    fn recycle(&self, slot: &HistSlot, t: u64) {
+        let _g = self.rotate.lock().expect("window rotation lock poisoned");
+        // Never move a tag backwards: a late recorder for an interval
+        // that has already been recycled away records into the newer
+        // slot rather than resurrecting the old interval.
+        if slot.tag.load(Ordering::Relaxed) > t {
+            return;
+        }
+        slot.hist.clear();
+        slot.tag.store(t + 1, Ordering::Relaxed);
+    }
+
+    /// Clear every slot (bench/test isolation; not for use while
+    /// recorders are active).
+    pub fn reset(&self) {
+        let _g = self.rotate.lock().expect("window rotation lock poisoned");
+        for slot in &self.slots {
+            slot.hist.clear();
+            slot.tag.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Merge the trailing `k` intervals (ending at the current one)
+    /// into one summary.
+    pub fn snapshot(&self, k: usize) -> WindowSummary {
+        self.snapshot_interval(self.interval_now(), k)
+    }
+
+    /// Merge the `k` intervals ending at interval `t`. Public for
+    /// deterministic tests; production code uses
+    /// [`snapshot`](WindowedHistogram::snapshot).
+    pub fn snapshot_interval(&self, t: u64, k: usize) -> WindowSummary {
+        let k = k.clamp(1, self.slots.len()) as u64;
+        let lo_tag = (t + 1).saturating_sub(k - 1); // tags in [lo_tag, t+1]
+        let mut counts = [0u64; SLOTS];
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for slot in &self.slots {
+            let tag = slot.tag.load(Ordering::Relaxed);
+            if tag == 0 || tag < lo_tag || tag > t + 1 {
+                continue;
+            }
+            for (acc, c) in counts.iter_mut().zip(slot.hist.slot_counts()) {
+                *acc += c;
+            }
+            total = total.saturating_add(slot.hist.total_nanos());
+            max = max.max(slot.hist.max_nanos());
+        }
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return WindowSummary::empty();
+        }
+        // qps over the span the window actually covers: the k
+        // requested intervals, shrunk to the process lifetime when the
+        // process is younger than the window.
+        let covered_nanos = (k * self.slot_nanos)
+            .min(self.epoch.elapsed().as_nanos().max(1).min(u64::MAX as u128) as u64);
+        WindowSummary {
+            count: n,
+            mean: Duration::from_nanos(total / n),
+            p50: quantile_of(&counts, n, max, 0.5),
+            p99: quantile_of(&counts, n, max, 0.99),
+            max: Duration::from_nanos(max),
+            qps: n as f64 / (covered_nanos.max(1) as f64 / 1e9),
+        }
+    }
+}
+
+/// One rotating counter slot.
+#[derive(Debug)]
+struct CountSlot {
+    tag: AtomicU64,
+    count: AtomicU64,
+}
+
+/// An interval-rotating event counter: the counter twin of
+/// [`WindowedHistogram`], sharing its slot/tag rotation scheme.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    epoch: Instant,
+    slot_nanos: u64,
+    slots: Vec<CountSlot>,
+    rotate: Mutex<()>,
+}
+
+impl WindowedCounter {
+    /// A windowed counter with `slots` rotating slots of
+    /// `slot_duration` each.
+    pub fn new(slot_duration: Duration, slots: usize) -> WindowedCounter {
+        assert!(slots > 0, "a window needs at least one slot");
+        let slot_nanos = slot_duration.as_nanos().max(1).min(u64::MAX as u128) as u64;
+        WindowedCounter {
+            epoch: Instant::now(),
+            slot_nanos,
+            slots: (0..slots)
+                .map(|_| CountSlot { tag: AtomicU64::new(0), count: AtomicU64::new(0) })
+                .collect(),
+            rotate: Mutex::new(()),
+        }
+    }
+
+    /// The interval number the wall clock is currently inside.
+    pub fn interval_now(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.slot_nanos as u128) as u64
+    }
+
+    /// Add `n` to the current interval's slot.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.add_interval(self.interval_now(), n);
+    }
+
+    /// Add one to the current interval's slot.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add into interval `t` explicitly (deterministic-test hook; see
+    /// [`WindowedHistogram::record_interval`]).
+    pub fn add_interval(&self, t: u64, n: u64) {
+        let slot = &self.slots[(t % self.slots.len() as u64) as usize];
+        if slot.tag.load(Ordering::Relaxed) != t + 1 {
+            let _g = self.rotate.lock().expect("window rotation lock poisoned");
+            if slot.tag.load(Ordering::Relaxed) < t + 1 {
+                slot.count.store(0, Ordering::Relaxed);
+                slot.tag.store(t + 1, Ordering::Relaxed);
+            }
+        }
+        slot.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Clear every slot (bench/test isolation; not for use while
+    /// recorders are active).
+    pub fn reset(&self) {
+        let _g = self.rotate.lock().expect("window rotation lock poisoned");
+        for slot in &self.slots {
+            slot.count.store(0, Ordering::Relaxed);
+            slot.tag.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum over the trailing `k` intervals ending at the current one.
+    pub fn sum(&self, k: usize) -> u64 {
+        self.sum_interval(self.interval_now(), k)
+    }
+
+    /// Sum over the `k` intervals ending at interval `t`
+    /// (deterministic-test hook).
+    pub fn sum_interval(&self, t: u64, k: usize) -> u64 {
+        let k = k.clamp(1, self.slots.len()) as u64;
+        let lo_tag = (t + 1).saturating_sub(k - 1);
+        self.slots
+            .iter()
+            .filter(|s| {
+                let tag = s.tag.load(Ordering::Relaxed);
+                tag != 0 && tag >= lo_tag && tag <= t + 1
+            })
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Events per second over the trailing `k` intervals.
+    pub fn rate(&self, k: usize) -> f64 {
+        let k = k.clamp(1, self.slots.len());
+        let covered_nanos = (k as u64 * self.slot_nanos)
+            .min(self.epoch.elapsed().as_nanos().max(1).min(u64::MAX as u128) as u64);
+        self.sum(k) as f64 / (covered_nanos.max(1) as f64 / 1e9)
+    }
+}
+
+/// Slot duration of the global [`LiveTelemetry`] windows: 10 seconds.
+pub const LIVE_SLOT: Duration = Duration::from_secs(10);
+/// Slot count of the global [`LiveTelemetry`] windows: 30 slots × 10s
+/// = 5 minutes of coverage.
+pub const LIVE_SLOTS: usize = 30;
+/// Trailing slots for the "now" window (~10s).
+pub const LIVE_FAST_K: usize = 1;
+/// Trailing slots for the fast SLO window (~1m).
+pub const LIVE_MID_K: usize = 6;
+/// Trailing slots for the slow SLO window (~5m).
+pub const LIVE_SLOW_K: usize = 30;
+
+/// Master switch for the live-telemetry layer (windowed metrics + the
+/// operational event [journal](crate::journal)). `false` by default;
+/// instrumented hot paths check it with one relaxed load and touch
+/// nothing else when it is off.
+static LIVE_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Is live telemetry armed? One relaxed atomic load — this is the
+/// entire disabled cost of every live-instrumentation site.
+#[inline]
+pub fn live_armed() -> bool {
+    LIVE_ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm the live-telemetry layer (windowed metrics + event journal).
+pub fn arm_live() {
+    LIVE_ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm the live-telemetry layer.
+pub fn disarm_live() {
+    LIVE_ARMED.store(false, Ordering::Relaxed);
+}
+
+/// The daemon-wide windowed metrics the serving hot path records into
+/// (when [`live_armed`]) and the introspection endpoint reads from.
+#[derive(Debug)]
+pub struct LiveTelemetry {
+    /// Per-query serving latency, windowed.
+    pub query_latency: WindowedHistogram,
+    /// Served queries, windowed (drives qps and SLO denominators).
+    pub queries: WindowedCounter,
+    /// Privacy-budget refusals, windowed.
+    pub refusals: WindowedCounter,
+    /// Serving errors, windowed.
+    pub errors: WindowedCounter,
+}
+
+impl LiveTelemetry {
+    /// A fresh instance with the standard 30 × 10s windows.
+    pub fn new() -> LiveTelemetry {
+        LiveTelemetry {
+            query_latency: WindowedHistogram::new(LIVE_SLOT, LIVE_SLOTS),
+            queries: WindowedCounter::new(LIVE_SLOT, LIVE_SLOTS),
+            refusals: WindowedCounter::new(LIVE_SLOT, LIVE_SLOTS),
+            errors: WindowedCounter::new(LIVE_SLOT, LIVE_SLOTS),
+        }
+    }
+
+    /// The process-wide instance (epoch starts at first access).
+    pub fn global() -> &'static LiveTelemetry {
+        static LIVE: OnceLock<LiveTelemetry> = OnceLock::new();
+        LIVE.get_or_init(LiveTelemetry::new)
+    }
+
+    /// Record one served query and its latency (call sites gate on
+    /// [`live_armed`] first).
+    #[inline]
+    pub fn record_query(&self, d: Duration) {
+        self.query_latency.record(d);
+        self.queries.inc();
+    }
+
+    /// Clear every window (bench/test isolation; not for use while
+    /// recorders are active).
+    pub fn reset(&self) {
+        self.query_latency.reset();
+        self.queries.reset();
+        self.refusals.reset();
+        self.errors.reset();
+    }
+}
+
+impl Default for LiveTelemetry {
+    fn default() -> LiveTelemetry {
+        LiveTelemetry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_zero() {
+        let w = WindowedHistogram::new(Duration::from_secs(10), 4);
+        let s = w.snapshot(4);
+        assert_eq!(s, WindowSummary::empty());
+    }
+
+    #[test]
+    fn snapshot_merges_only_trailing_k() {
+        let w = WindowedHistogram::new(Duration::from_secs(10), 4);
+        w.record_interval(0, Duration::from_nanos(100));
+        w.record_interval(1, Duration::from_nanos(200));
+        w.record_interval(2, Duration::from_nanos(400));
+        // k=1 at t=2: only interval 2.
+        let s = w.snapshot_interval(2, 1);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, Duration::from_nanos(400));
+        // k=2 at t=2: intervals 1 and 2.
+        let s = w.snapshot_interval(2, 2);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, Duration::from_nanos(300));
+        // k=4 at t=2: everything.
+        assert_eq!(w.snapshot_interval(2, 4).count, 3);
+    }
+
+    #[test]
+    fn rotation_recycles_wrapped_slots() {
+        let w = WindowedHistogram::new(Duration::from_secs(10), 2);
+        w.record_interval(0, Duration::from_nanos(100));
+        w.record_interval(1, Duration::from_nanos(200));
+        // Interval 2 reuses slot 0; the interval-0 data must vanish.
+        w.record_interval(2, Duration::from_nanos(400));
+        let s = w.snapshot_interval(2, 2);
+        assert_eq!(s.count, 2, "slot 0 was recycled for interval 2");
+        assert_eq!(s.max, Duration::from_nanos(400));
+        // A late writer for an already-recycled interval must not
+        // resurrect it (tags never move backwards).
+        w.record_interval(0, Duration::from_nanos(800));
+        let s = w.snapshot_interval(2, 2);
+        assert_eq!(s.count, 3, "late record lands in the live slot");
+    }
+
+    #[test]
+    fn quantiles_window_like_the_flat_histogram() {
+        let w = WindowedHistogram::new(Duration::from_secs(10), 8);
+        for _ in 0..99 {
+            w.record_interval(3, Duration::from_nanos(100));
+        }
+        w.record_interval(4, Duration::from_micros(100));
+        let s = w.snapshot_interval(4, 8);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_nanos(112));
+        assert!(s.p99 <= s.max);
+        assert_eq!(s.max, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn windowed_counter_sums_and_rotates() {
+        let c = WindowedCounter::new(Duration::from_secs(10), 3);
+        c.add_interval(0, 5);
+        c.add_interval(1, 7);
+        assert_eq!(c.sum_interval(1, 1), 7);
+        assert_eq!(c.sum_interval(1, 2), 12);
+        // Interval 3 wraps onto slot 0 and clears the 5.
+        c.add_interval(3, 1);
+        assert_eq!(c.sum_interval(3, 3), 8);
+    }
+
+    #[test]
+    fn live_clock_paths_record() {
+        // Smoke the Instant-driven paths (no interval injection).
+        let w = WindowedHistogram::new(Duration::from_secs(10), 4);
+        w.record(Duration::from_micros(5));
+        let s = w.snapshot(4);
+        assert_eq!(s.count, 1);
+        assert!(s.qps > 0.0);
+        let c = WindowedCounter::new(Duration::from_secs(10), 4);
+        c.inc();
+        assert_eq!(c.sum(4), 1);
+        assert!(c.rate(4) > 0.0);
+    }
+
+    #[test]
+    fn arm_flag_round_trips() {
+        // The flag is process-global: serialize with other tests that
+        // toggle it, and restore the prior state on the way out.
+        let _g = crate::span::test_lock();
+        let was = live_armed();
+        arm_live();
+        assert!(live_armed());
+        disarm_live();
+        assert!(!live_armed());
+        if was {
+            arm_live();
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! record may be lost — relaxed ordering only permits transient skew
 //! *during* recording, never after a join.
 
-use socialrec_obs::{MetricsRegistry, ServeMetrics};
+use socialrec_obs::journal::{self, EventKind};
+use socialrec_obs::{Journal, MetricsRegistry, ServeMetrics, WindowedCounter, WindowedHistogram};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -81,4 +82,144 @@ fn registry_counters_are_exact_under_contention() {
     let (_, hs) = &snap.histograms[0];
     assert_eq!(hs.count, total, "histogram conserves every record");
     assert_eq!(hs.max, Duration::from_nanos(RECORDS_PER_THREAD as u64));
+}
+
+#[test]
+fn journal_conserves_events_across_8_writers() {
+    // 8 threads × 10k events against a 1024-cell ring: heavy
+    // overwrite-oldest traffic. Once writers are quiescent, every
+    // ticket must be accounted for: emitted = retained + dropped.
+    let j = Arc::new(Journal::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let j = Arc::clone(&j);
+            scope.spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    j.record(EventKind::CoalesceRequeue, t as u64, i as u64);
+                }
+            });
+        }
+    });
+    let total = (THREADS * RECORDS_PER_THREAD) as u64;
+    let s = j.snapshot(journal::CAPACITY);
+    assert_eq!(s.emitted, total);
+    assert_eq!(
+        s.emitted,
+        s.events.len() as u64 + s.dropped,
+        "emitted = retained + dropped must hold exactly after a join"
+    );
+    assert_eq!(s.events.len(), journal::CAPACITY, "a saturated ring retains CAPACITY events");
+    // The retained tail is the newest CAPACITY tickets, in order.
+    for (k, e) in s.events.iter().enumerate() {
+        assert_eq!(e.seq, total - journal::CAPACITY as u64 + k as u64);
+    }
+}
+
+#[test]
+fn journal_timestamps_are_monotonic_per_lane() {
+    // Each writer stamps its lane id into the payload; within a lane,
+    // emission order (per-thread sequential) must imply non-decreasing
+    // timestamps even though lanes interleave arbitrarily in the ring.
+    let j = Arc::new(Journal::new());
+    std::thread::scope(|scope| {
+        for lane in 0..THREADS {
+            let j = Arc::clone(&j);
+            scope.spawn(move || {
+                for i in 0..100 {
+                    j.record(EventKind::HotSwapCompleted, lane as u64, i);
+                }
+            });
+        }
+    });
+    let s = j.snapshot(journal::CAPACITY);
+    assert_eq!(s.events.len(), THREADS * 100);
+    for lane in 0..THREADS as u64 {
+        let mut in_lane: Vec<_> = s.events.iter().filter(|e| e.a == lane).collect();
+        in_lane.sort_by_key(|e| e.b); // per-lane emission order
+        assert_eq!(in_lane.len(), 100);
+        for w in in_lane.windows(2) {
+            assert!(
+                w[0].at_ns <= w[1].at_ns,
+                "lane {lane}: timestamps ran backwards ({} > {})",
+                w[0].at_ns,
+                w[1].at_ns
+            );
+        }
+    }
+}
+
+#[test]
+fn rotating_window_never_loses_a_whole_slot_under_concurrent_rotate() {
+    // 8 writers spray records across interleaved intervals while the
+    // interval number keeps advancing, forcing recycles concurrent
+    // with records. Every interval inside the trailing window must
+    // retain observations: a rotation may misattribute a racing record
+    // to a neighbouring interval, but a whole slot must never vanish.
+    const INTERVALS: u64 = 12;
+    const SLOTS: usize = 16; // window wider than the interval span: no recycle of live data
+    let w = Arc::new(WindowedHistogram::new(Duration::from_secs(10), SLOTS));
+    let c = Arc::new(WindowedCounter::new(Duration::from_secs(10), SLOTS));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let w = Arc::clone(&w);
+            let c = Arc::clone(&c);
+            scope.spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    let interval = ((t + i) % INTERVALS as usize) as u64;
+                    w.record_interval(interval, Duration::from_nanos((i % 512 + 1) as u64));
+                    c.add_interval(interval, 1);
+                }
+            });
+        }
+    });
+    let total = (THREADS * RECORDS_PER_THREAD) as u64;
+    // Every record is retained across the full window...
+    let s = w.snapshot_interval(INTERVALS - 1, SLOTS);
+    assert_eq!(s.count, total, "no record may be lost while the window covers every interval");
+    assert_eq!(c.sum_interval(INTERVALS - 1, SLOTS), total);
+    // ...and every single-interval slice holds its share (each thread
+    // hits each interval RECORDS_PER_THREAD / INTERVALS ± 1 times, so
+    // a vanished slot would show up as a zero-count window).
+    for t in 0..INTERVALS {
+        let one = w.snapshot_interval(t, 1);
+        assert!(one.count > 0, "interval {t} lost its whole slot");
+        assert!(c.sum_interval(t, 1) > 0, "counter interval {t} lost its whole slot");
+    }
+}
+
+#[test]
+fn windowed_recycle_under_contention_never_drops_trailing_records() {
+    // Narrow ring (4 slots) with writers racing ahead through many
+    // intervals at independent speeds: old slots are recycled while
+    // other threads still record into newer ones. The final intervals
+    // have no later residue-class neighbours, so every record
+    // addressed to them must be retained; a thread lagging behind may
+    // *misattribute* a record forward into a recycled slot (documented
+    // window semantics), so the trailing count may exceed — but never
+    // undershoot — the addressed share, and can never exceed the grand
+    // total.
+    const LAST: u64 = 63;
+    const PER_INTERVAL: usize = 50;
+    let w = Arc::new(WindowedHistogram::new(Duration::from_secs(10), 4));
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let w = Arc::clone(&w);
+            scope.spawn(move || {
+                for t in 0..=LAST {
+                    for _ in 0..PER_INTERVAL {
+                        w.record_interval(t, Duration::from_micros(3));
+                    }
+                }
+            });
+        }
+    });
+    let s = w.snapshot_interval(LAST, 4);
+    let addressed = (THREADS * PER_INTERVAL * 4) as u64;
+    let grand_total = (THREADS * PER_INTERVAL * (LAST as usize + 1)) as u64;
+    assert!(
+        s.count >= addressed,
+        "trailing window lost records addressed to it: {} < {addressed}",
+        s.count
+    );
+    assert!(s.count <= grand_total, "window invented records: {} > {grand_total}", s.count);
 }

@@ -1,0 +1,75 @@
+//! Property tests pinning the histogram quantile error bound.
+//!
+//! The sub-bucketed `LatencyHistogram` promises: for any sample set
+//! and any `q`, `quantile(q)` is at least the exact nearest-rank
+//! quantile and at most 1.25× it (exact below 4ns, and never above the
+//! true max). These properties are what every consumer of `~p50` /
+//! `~p99` (serve-bench, the live windows, `/metrics`) relies on.
+
+use proptest::prelude::*;
+use socialrec_obs::{LatencyHistogram, WindowedHistogram};
+use std::time::Duration;
+
+/// Exact nearest-rank quantile (the same definition `serve-bench`
+/// uses): the ⌈q·n⌉-th smallest observation, 1-based.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes so buckets from sub-4ns up to seconds are hit.
+    proptest::collection::vec((0u32..38, 0u64..1000), 1..200).prop_map(|raw| {
+        raw.into_iter().map(|(exp, off)| (1u64 << exp).saturating_add(off)).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn quantile_within_sub_bucket_error_of_nearest_rank(
+        values in samples(),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(Duration::from_nanos(v));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let exact = nearest_rank(&sorted, q);
+            let approx = h.quantile(q).as_nanos() as u64;
+            prop_assert!(approx >= exact, "q={q}: approx {approx} under exact {exact}");
+            prop_assert!(
+                approx * 4 <= exact * 5 || approx == exact,
+                "q={q}: approx {approx} looser than 1.25x exact {exact}"
+            );
+            prop_assert!(approx <= *sorted.last().unwrap(), "clamped to observed max");
+        }
+    }
+
+    #[test]
+    fn windowed_merge_keeps_the_same_bound(
+        values in samples(),
+        q in 0.0f64..1.0,
+    ) {
+        // Spread the same samples across several window intervals; the
+        // merged snapshot must satisfy the identical error bound.
+        let w = WindowedHistogram::new(Duration::from_secs(10), 8);
+        for (i, &v) in values.iter().enumerate() {
+            w.record_interval((i % 5) as u64, Duration::from_nanos(v));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let s = w.snapshot_interval(4, 8);
+        prop_assert_eq!(s.count, values.len() as u64);
+        // Compare at whichever published quantile `q` selects.
+        let (approx, exact) = if q <= 0.5 {
+            (s.p50.as_nanos() as u64, nearest_rank(&sorted, 0.5))
+        } else {
+            (s.p99.as_nanos() as u64, nearest_rank(&sorted, 0.99))
+        };
+        prop_assert!(approx >= exact);
+        prop_assert!(approx * 4 <= exact * 5 || approx == exact);
+    }
+}

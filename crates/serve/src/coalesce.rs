@@ -28,6 +28,7 @@
 
 use socialrec_core::TopN;
 use socialrec_graph::UserId;
+use socialrec_obs::journal::{self, EventKind};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -101,6 +102,7 @@ impl Drop for RequeueGuard<'_> {
             .filter(|q| !Arc::ptr_eq(&q.slot, self.own) && !q.slot.is_done())
             .collect();
         if !orphans.is_empty() {
+            journal::emit(EventKind::CoalesceRequeue, orphans.len() as u64, 0);
             lock_recovering(&self.queue.pending).append(&mut orphans);
         }
     }

@@ -29,6 +29,7 @@
 //! raced for it.
 
 use socialrec_core::private::framework::NoisyClusterAverages;
+use socialrec_obs::journal::{self, EventKind};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Generations the exchange keeps alive: the current one plus its
@@ -115,6 +116,7 @@ impl ReleaseExchange {
                     let mut state = lock_recovering(&self.exchange.state);
                     state.entries.retain(|(g, _)| *g != self.generation);
                     self.exchange.ready.notify_all();
+                    journal::emit(EventKind::BuilderPanicRecovered, self.generation, 0);
                 }
             }
         }
@@ -142,6 +144,7 @@ impl ReleaseExchange {
         });
         drop(state);
         self.ready.notify_all();
+        journal::emit(EventKind::ReleasePublished, generation, 0);
         (averages, true)
     }
 
@@ -176,6 +179,7 @@ impl ReleaseExchange {
         });
         drop(state);
         self.ready.notify_all();
+        journal::emit(EventKind::ReleasePublished, generation, 0);
         true
     }
 

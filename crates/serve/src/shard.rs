@@ -50,7 +50,8 @@ use socialrec_core::private::framework::{ClusterFramework, NoiseModel, NoisyClus
 use socialrec_core::{top_n_items, RecommenderInputs, TopN, TopNRecommender};
 use socialrec_dp::Epsilon;
 use socialrec_graph::UserId;
-use socialrec_obs::{span, Counter, Gauge, LatencyHistogram, MetricsRegistry};
+use socialrec_obs::journal::{self, EventKind};
+use socialrec_obs::{span, Counter, Gauge, LatencyHistogram, LiveTelemetry, MetricsRegistry};
 use socialrec_similarity::SimilarityMatrix;
 use std::sync::Arc;
 use std::time::Instant;
@@ -81,6 +82,9 @@ struct Shard {
     release_swaps: Arc<Counter>,
     /// The generation currently in the epoch cell (as `i64` bits).
     generation: Arc<Gauge>,
+    /// Admission backlog observed at enqueue time (queries pending a
+    /// leader when this one arrived).
+    queue_depth: Arc<Gauge>,
     /// End-to-end single-query latency (admission to answer).
     latency: Arc<LatencyHistogram>,
 }
@@ -145,6 +149,7 @@ impl<'p> ShardedServer<'p> {
                     kernel_blocks: registry.counter(format!("serve.shard{s}.kernel_blocks")),
                     release_swaps: registry.counter(format!("serve.shard{s}.release_swaps")),
                     generation: registry.gauge(format!("serve.shard{s}.generation")),
+                    queue_depth: registry.gauge(format!("serve.shard{s}.queue_depth")),
                     latency: registry.histogram(format!("serve.shard{s}.query_ns")),
                 }
             })
@@ -184,6 +189,13 @@ impl<'p> ShardedServer<'p> {
     /// The daemon's metrics registry (per-shard counters live here).
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// A shared handle to the registry (e.g. for an
+    /// [`socialrec_obs::IntrospectionServer`], which outlives borrows
+    /// of the daemon).
+    pub fn registry_handle(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// The daemon-wide release exchange (epoch counter, retained
@@ -267,6 +279,11 @@ impl<'p> ShardedServer<'p> {
         shard.epoch.store(generation, Arc::clone(&averages));
         shard.release_swaps.inc();
         shard.generation.set(generation as i64);
+        journal::emit(
+            EventKind::HotSwapCompleted,
+            (shard.first_user as usize / self.chunk) as u64,
+            generation,
+        );
         averages
     }
 
@@ -327,10 +344,15 @@ impl<'p> ShardedServer<'p> {
         seed: u64,
     ) -> TopN {
         let shard = &self.shards[self.shard_of(user)];
+        shard.queue_depth.set(shard.queue.depth() as i64);
         let start = Instant::now();
         let top =
             shard.queue.submit(user, n, seed, |batch| self.run_coalesced(shard, inputs, batch));
-        shard.latency.record(start.elapsed());
+        let elapsed = start.elapsed();
+        shard.latency.record(elapsed);
+        if socialrec_obs::live_armed() {
+            LiveTelemetry::global().record_query(elapsed);
+        }
         top
     }
 
